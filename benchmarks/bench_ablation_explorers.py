@@ -1,0 +1,46 @@
+"""Ablation: how many Explorers does time traveling need?
+
+The paper uses four Explorers with progressively deeper windows
+(Section 3.3) and reports most key reuses resolved by Explorer-1
+(Figure 7).  This ablation truncates the chain: with fewer Explorers,
+key lines whose reuses lie beyond the last window are misclassified as
+cold, trading accuracy for (slightly) less profiling work.
+"""
+
+from conftest import emit
+from repro.core.explorer import DEFAULT_EXPLORERS
+from repro.experiments.report import format_table
+
+BENCHES = ("zeusmp", "GemsFDTD", "lbm", "perlbench")
+
+
+def run_ablation(runner):
+    reference = {name: runner.run(name, "SMARTS") for name in BENCHES
+                 if name in runner.names}
+    rows = []
+    for depth in (1, 2, 3, 4):
+        specs = DEFAULT_EXPLORERS[:depth]
+        errors = []
+        mips = []
+        for name in reference:
+            result = runner.run(name, "DeLorean", explorer_specs=specs)
+            errors.append(100 * result.cpi_error(reference[name]))
+            mips.append(result.mips)
+        rows.append([depth, sum(mips) / len(mips),
+                     sum(errors) / len(errors)])
+    headers = ["explorers", "avg MIPS", "avg CPI err%"]
+    text = format_table(headers, rows,
+                        title="Ablation: Explorer chain depth "
+                              "(long-reuse benchmarks)")
+    text += ("\npaper: four Explorers cover all key reuses; shallow "
+             "chains misclassify long reuses as cold")
+    return {"rows": rows, "text": text}
+
+
+def test_ablation_explorers(benchmark, suite_runner):
+    out = benchmark.pedantic(run_ablation, args=(suite_runner,),
+                             rounds=1, iterations=1)
+    emit("ablation_explorers", out["text"])
+    errors = [row[2] for row in out["rows"]]
+    # The full chain must be at least as accurate as the 1-Explorer one.
+    assert errors[-1] <= errors[0] + 1.0

@@ -1,0 +1,20 @@
+"""Figure 6: number of collected reuse distances (CoolSim vs DeLorean).
+
+Paper: ~340 k vs ~11 k over 10 regions — a 30x average reduction, up to
+6,800x (bwaves).
+"""
+
+from conftest import emit
+from repro.experiments import figures
+
+
+def test_figure6(benchmark, suite_runner):
+    out = benchmark.pedantic(
+        figures.figure6, args=(suite_runner,), rounds=1, iterations=1)
+    emit("figure06_reuse_counts", out["text"])
+    average = out["average"]
+    assert 100_000 < average[1] < 1_000_000      # CoolSim ~340k
+    assert average[2] < average[1]               # DSW collects fewer
+    assert average[3] > 5.0                      # meaningful reduction
+    largest = max(out["rows"], key=lambda row: row[3])
+    assert largest[0] in ("bwaves", "hmmer", "namd", "gamess")

@@ -1,0 +1,19 @@
+"""Figure 7: key reuse distances by collecting Explorer.
+
+Paper: most key reuses are collected by Explorer-1; a few benchmarks
+(zeusmp, cactusADM, GemsFDTD, lbm) engage Explorer-2..4 substantially.
+"""
+
+from conftest import emit
+from repro.experiments import figures
+
+
+def test_figure7(benchmark, suite_runner):
+    out = benchmark.pedantic(
+        figures.figure7, args=(suite_runner,), rounds=1, iterations=1)
+    emit("figure07_explorer_breakdown", out["text"])
+    by_name = {row[0]: row[1:] for row in out["rows"]}
+    for name in ("zeusmp", "cactusADM", "GemsFDTD", "lbm"):
+        if name in by_name:
+            deep_share = sum(by_name[name][1:])
+            assert deep_share > 10.0, f"{name} should engage deep Explorers"

@@ -1,0 +1,19 @@
+"""Figure 8: average number of Explorers engaged per detailed region.
+
+Paper: below one for bwaves; up to four for zeusmp, cactusADM, GemsFDTD
+and lbm; moderate for the pointer/long-reuse group.
+"""
+
+from conftest import emit
+from repro.experiments import figures
+
+
+def test_figure8(benchmark, suite_runner):
+    out = benchmark.pedantic(
+        figures.figure8, args=(suite_runner,), rounds=1, iterations=1)
+    emit("figure08_explorer_count", out["text"])
+    by_name = dict(out["rows"])
+    assert by_name["bwaves"] < 1.0
+    for name in ("GemsFDTD", "lbm"):
+        if name in by_name:
+            assert by_name[name] > 3.0

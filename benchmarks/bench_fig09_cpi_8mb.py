@@ -1,0 +1,19 @@
+"""Figure 9: CPI at the 8 MB(-equivalent) LLC, SMARTS as reference.
+
+Paper: average CPI error ~9.1 % for CoolSim, ~3.5 % for DeLorean, with
+soplex and GemsFDTD CoolSim's worst cases.
+"""
+
+from conftest import emit
+from repro.experiments import figures
+
+
+def test_figure9(benchmark, suite_runner):
+    out = benchmark.pedantic(
+        figures.figure9, args=(suite_runner,), rounds=1, iterations=1)
+    emit("figure09_cpi_8mb", out["text"])
+    average = out["average"]
+    coolsim_err, delorean_err = average[4], average[5]
+    assert delorean_err < coolsim_err        # DeLorean is more accurate
+    assert delorean_err < 10.0               # paper: ~3.5 %
+    assert coolsim_err < 25.0                # paper: ~9.1 %

@@ -1,0 +1,16 @@
+"""Figure 10: CPI at the 512 MB(-equivalent) LLC (DRAM-cache scale).
+
+Paper: average CPI error ~9.3 % for CoolSim, ~2.9 % for DeLorean.
+"""
+
+from conftest import emit
+from repro.experiments import figures
+
+
+def test_figure10(benchmark, suite_runner):
+    out = benchmark.pedantic(
+        figures.figure10, args=(suite_runner,), rounds=1, iterations=1)
+    emit("figure10_cpi_512mb", out["text"])
+    average = out["average"]
+    assert average[5] < average[4]           # DeLorean beats CoolSim
+    assert average[5] < 10.0

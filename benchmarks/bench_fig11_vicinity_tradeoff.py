@@ -1,0 +1,18 @@
+"""Figure 11: speed/accuracy trade-off vs vicinity sampling density.
+
+Paper (8 MB LLC): density 1/100k -> 126 MIPS at 3.5 % error; densifying
+to 1/10k -> 71.3 MIPS at 2.2 %.  Denser vicinity = slower but more
+accurate.
+"""
+
+from conftest import emit
+from repro.experiments import figures
+
+
+def test_figure11(benchmark, suite_runner):
+    out = benchmark.pedantic(
+        figures.figure11, args=(suite_runner,), rounds=1, iterations=1)
+    emit("figure11_vicinity_tradeoff", out["text"])
+    rows = out["rows"]                       # ordered dense -> sparse
+    mips = [row[1] for row in rows]
+    assert mips[0] < mips[-1], "denser vicinity must be slower"

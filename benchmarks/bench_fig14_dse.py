@@ -1,0 +1,23 @@
+"""Figure 14: CPI vs LLC size from one shared warm-up (parallel Analysts).
+
+Paper: all ten points come from a single warm-up; the marginal resource
+cost of 10 parallel Analysts is below 1.05x (vs 10x for independent
+simulations).
+"""
+
+import numpy as np
+
+from conftest import emit
+from repro.experiments import figures
+
+
+def test_figure14(benchmark, sweep_runner):
+    out = benchmark.pedantic(
+        figures.figure14, args=(sweep_runner,), rounds=1, iterations=1)
+    emit("figure14_dse", out["text"])
+    assert out["marginal_cost"] < 3.0        # far below the 10x naive cost
+    for name, series in out["data"].items():
+        smarts = np.asarray(series["smarts"])
+        delorean = np.asarray(series["delorean"])
+        assert smarts[0] >= smarts[-1] - 0.05
+        assert np.abs(smarts - delorean).mean() < 0.4, name

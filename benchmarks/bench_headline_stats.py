@@ -1,0 +1,14 @@
+"""Headline statistics of Sections 6.1/6.4 (speed, reduction, warm-up)."""
+
+from conftest import emit
+from repro.experiments import figures
+
+
+def test_headline(benchmark, suite_runner):
+    out = benchmark.pedantic(
+        figures.headline, args=(suite_runner,), rounds=1, iterations=1)
+    emit("headline_stats", out["text"])
+    rows = {row[0]: row[1] for row in out["rows"]}
+    assert rows["DeLorean vs SMARTS speedup"] > 20
+    assert rows["DeLorean vs CoolSim speedup"] > 2
+    assert rows["reuse-distance reduction"] > 5

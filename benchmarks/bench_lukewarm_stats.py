@@ -1,0 +1,18 @@
+"""Section 3.1.2 / 3.2 statistics: lukewarm hit rates and key-line counts.
+
+Paper: lukewarm hit rate 27.5-100 % (avg 93.5 %), hits+MSHR avg 96.7 %,
+key cachelines 1..2907 per region (avg 151).
+"""
+
+from conftest import emit
+from repro.experiments import figures
+
+
+def test_lukewarm_stats(benchmark, suite_runner):
+    out = benchmark.pedantic(
+        figures.lukewarm_stats, args=(suite_runner,), rounds=1, iterations=1)
+    emit("lukewarm_stats", out["text"])
+    average = out["average"]
+    assert average[1] > 75.0                 # lukewarm hit %, paper 93.5
+    assert average[2] >= average[1]          # MSHRs only add hits
+    assert 30 <= average[3] <= 1500          # key lines/region, paper 151

@@ -1,0 +1,9 @@
+"""Table 1: simulated processor architecture."""
+
+from conftest import emit
+from repro.experiments import figures
+
+
+def test_table1(benchmark):
+    out = benchmark.pedantic(figures.table1, rounds=1, iterations=1)
+    emit("table1", out["text"])

@@ -1,0 +1,46 @@
+"""Shared fixtures for the per-figure benchmark harness.
+
+Each ``bench_*`` file regenerates one table/figure of the paper.  They
+share a session-scoped :class:`~repro.experiments.runner.SuiteRunner`
+whose memoization makes overlapping exhibits (Figures 5-9 all reuse the
+same SMARTS/CoolSim/DeLorean matrix) cheap.
+
+Set ``REPRO_BENCH_PROFILE=quick`` for a reduced 6-benchmark sweep (for
+smoke-testing the harness); the default regenerates the full 24-benchmark
+evaluation.  Rendered exhibits are written to ``results/`` next to this
+directory and echoed to stdout.
+"""
+
+import os
+import pathlib
+
+import pytest
+
+from repro.experiments import ExperimentConfig, SuiteRunner
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+QUICK_NAMES = ("perlbench", "bwaves", "mcf", "povray", "GemsFDTD", "lbm")
+
+
+@pytest.fixture(scope="session")
+def suite_runner():
+    profile = os.environ.get("REPRO_BENCH_PROFILE", "full")
+    names = QUICK_NAMES if profile == "quick" else None
+    return SuiteRunner(ExperimentConfig(names=names))
+
+
+@pytest.fixture(scope="session")
+def sweep_runner(suite_runner):
+    """Runner reused for the Figure 13/14 size sweeps."""
+    return suite_runner
+
+
+def emit(name, text):
+    """Write a rendered exhibit to results/ and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print()
+    print(text)
+    return path

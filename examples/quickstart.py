@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Quickstart: sampled simulation of one benchmark under three warming
+strategies.
+
+Runs the mcf-like workload under SMARTS (functional warming — the
+accuracy reference), CoolSim (randomized statistical warming) and
+DeLorean (directed statistical warming through time traveling), then
+compares predicted CPI, MPKI and modeled simulation speed.
+"""
+
+from repro import (
+    CoolSim,
+    DeLorean,
+    SamplingPlan,
+    Smarts,
+    TraceIndex,
+    paper_hierarchy,
+    spec2006_suite,
+)
+
+N_INSTRUCTIONS = 3_000_000
+N_REGIONS = 5
+
+
+def main():
+    workload = spec2006_suite(
+        n_instructions=N_INSTRUCTIONS, seed=7, names=["mcf"])[0]
+    plan = SamplingPlan(n_instructions=N_INSTRUCTIONS, n_regions=N_REGIONS)
+    hierarchy = paper_hierarchy(llc_paper_bytes=8 << 20)   # 8 MiB-equivalent
+    index = TraceIndex(workload.trace)                     # share the oracle
+
+    print(f"workload: {workload.name}  "
+          f"({workload.trace.n_instructions:,} instructions, "
+          f"{workload.trace.n_accesses:,} memory accesses)")
+    print(f"plan: {N_REGIONS} regions of "
+          f"{plan.region_instructions:,} instructions, "
+          f"gap {plan.gap_instructions:,} (projected to "
+          f"{plan.paper_gap_instructions:,} at paper scale)\n")
+
+    reference = Smarts().run(workload, plan, hierarchy, index=index)
+    results = [reference]
+    for strategy in (CoolSim(), DeLorean()):
+        results.append(strategy.run(workload, plan, hierarchy, index=index))
+
+    header = (f"{'strategy':10s} {'CPI':>7s} {'MPKI':>7s} {'MIPS':>9s} "
+              f"{'vs SMARTS':>10s} {'CPI err':>8s}")
+    print(header)
+    print("-" * len(header))
+    for result in results:
+        print(f"{result.strategy:10s} {result.cpi:7.3f} {result.mpki:7.2f} "
+              f"{result.mips:9.1f} {result.speedup_over(reference):9.1f}x "
+              f"{100 * result.cpi_error(reference):7.2f}%")
+
+    delorean = results[-1]
+    print("\nDeLorean internals:")
+    print(f"  key lines/region:      "
+          f"{delorean.extras['key_lines_per_region']}")
+    print(f"  explorers engaged:     {delorean.extras['explorers_engaged']}")
+    print(f"  key reuses collected:  "
+          f"{delorean.extras['key_reuse_distances']}")
+    print(f"  warm-up vs detailed:   "
+          f"{delorean.extras['warmup_vs_detailed']:.0f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Anatomy of cache warming (the paper's Figure 1 motivation).
+
+Compares, for one workload, how much warm-up work each approach performs
+per detailed region:
+
+* functional warming (SMARTS) processes *every* access in the gap;
+* randomized statistical warming (CoolSim) samples many random reuses;
+* directed statistical warming (DeLorean) collects only the key reuse
+  distances plus a sparse vicinity distribution.
+"""
+
+from repro import (
+    CoolSim,
+    DeLorean,
+    SamplingPlan,
+    Smarts,
+    TraceIndex,
+    paper_hierarchy,
+    spec2006_suite,
+)
+
+N_INSTRUCTIONS = 2_400_000
+N_REGIONS = 4
+
+
+def main():
+    workload = spec2006_suite(
+        n_instructions=N_INSTRUCTIONS, seed=7, names=["zeusmp"])[0]
+    plan = SamplingPlan(n_instructions=N_INSTRUCTIONS, n_regions=N_REGIONS)
+    hierarchy = paper_hierarchy(8 << 20)
+    index = TraceIndex(workload.trace)
+    trace = workload.trace
+
+    smarts = Smarts().run(workload, plan, hierarchy, index=index)
+    coolsim = CoolSim().run(workload, plan, hierarchy, index=index)
+    delorean = DeLorean().run(workload, plan, hierarchy, index=index)
+
+    accesses_per_gap = trace.n_accesses / N_REGIONS * plan.scale
+    print(f"workload: {workload.name}\n")
+    print("warm-up references inspected per detailed region "
+          "(paper-equivalent):")
+    print(f"  functional warming (SMARTS):   {accesses_per_gap:12,.0f}  "
+          "(every access in the gap)")
+    print(f"  randomized warming (CoolSim):  "
+          f"{coolsim.extras['collected_reuse_distances'] / N_REGIONS:12,.0f}"
+          "  (random reuse distances)")
+    print(f"  directed warming (DeLorean):   "
+          f"{delorean.extras['collected_reuse_distances'] / N_REGIONS:12,.0f}"
+          "  (key reuses + vicinity)")
+
+    print("\nwhat DeLorean's passes did:")
+    print(f"  key lines/region:       {delorean.extras['key_lines_per_region']}")
+    print(f"  resolved in warming:    {delorean.extras['resolved_in_warming']}")
+    print(f"  resolved by Explorers:  {delorean.extras['resolved_by_explorer']}")
+    print(f"  cold key lines:         {delorean.extras['cold_key_lines']}")
+    print(f"  watchpoint stops:       "
+          f"{delorean.extras['watchpoint_true_stops']} true + "
+          f"{delorean.extras['watchpoint_false_stops']} false positives")
+
+    print("\naccuracy and speed versus the reference:")
+    for result in (smarts, coolsim, delorean):
+        print(f"  {result.strategy:9s} cpi={result.cpi:6.3f} "
+              f"err={100 * result.cpi_error(smarts):5.2f}%  "
+              f"speed={result.speedup_over(smarts):7.1f}x SMARTS "
+              f"({result.mips:.1f} MIPS)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Legacy setup shim: enables `pip install -e .` on hosts without the
+`wheel` package (offline PEP 517 editable installs need bdist_wheel)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,108 @@
+"""Command-line interface: regenerate the paper's exhibits.
+
+Usage::
+
+    python -m repro list
+    python -m repro table1
+    python -m repro fig5 [--quick] [--benchmarks mcf,lbm] [--out FILE]
+    python -m repro all --quick
+
+Each exhibit command runs the corresponding harness from
+:mod:`repro.experiments.figures` and prints the rendered table/chart
+(optionally writing it to a file).  ``--quick`` uses a reduced
+six-benchmark sweep; the default regenerates the full 24-benchmark
+evaluation (several minutes for the figure matrix).
+"""
+
+import argparse
+import sys
+
+from repro.experiments import ExperimentConfig, SuiteRunner, figures
+
+QUICK_NAMES = ("perlbench", "bwaves", "mcf", "povray", "GemsFDTD", "lbm")
+
+EXHIBITS = {
+    "table1": lambda runner: figures.table1(),
+    "fig5": figures.figure5,
+    "fig6": figures.figure6,
+    "fig7": figures.figure7,
+    "fig8": figures.figure8,
+    "fig9": figures.figure9,
+    "fig10": figures.figure10,
+    "fig11": figures.figure11,
+    "fig12": figures.figure12,
+    "fig13": figures.figure13,
+    "fig14": figures.figure14,
+    "headline": figures.headline,
+    "lukewarm": figures.lukewarm_stats,
+}
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate exhibits of the DeLorean paper "
+                    "(MICRO-52 2019) from the reproduction library.")
+    parser.add_argument("exhibit",
+                        choices=sorted(EXHIBITS) + ["all", "list"],
+                        help="which exhibit to regenerate ('list' shows "
+                             "descriptions, 'all' runs everything)")
+    parser.add_argument("--quick", action="store_true",
+                        help="six-benchmark sweep instead of all 24")
+    parser.add_argument("--benchmarks", default=None,
+                        help="comma-separated benchmark subset")
+    parser.add_argument("--instructions", type=int, default=None,
+                        help="trace length per benchmark (default 6M)")
+    parser.add_argument("--regions", type=int, default=None,
+                        help="detailed regions per benchmark (default 10)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="top-level seed (default 1)")
+    parser.add_argument("--out", default=None,
+                        help="also write the rendered exhibit to this file")
+    return parser
+
+
+def list_exhibits():
+    width = max(len(name) for name in EXHIBITS)
+    for name in sorted(EXHIBITS):
+        doc = (EXHIBITS[name].__doc__ or "").strip().splitlines()
+        summary = doc[0] if doc else ""
+        print(f"{name:<{width}}  {summary}")
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    if args.exhibit == "list":
+        list_exhibits()
+        return 0
+
+    names = None
+    if args.benchmarks:
+        names = tuple(name.strip() for name in args.benchmarks.split(","))
+    elif args.quick:
+        names = QUICK_NAMES
+    overrides = {"names": names}
+    if args.instructions:
+        overrides["n_instructions"] = args.instructions
+    if args.regions:
+        overrides["n_regions"] = args.regions
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    runner = SuiteRunner(ExperimentConfig(**overrides))
+
+    targets = sorted(EXHIBITS) if args.exhibit == "all" else [args.exhibit]
+    blocks = []
+    for target in targets:
+        out = EXHIBITS[target](runner)
+        blocks.append(out["text"])
+        print(out["text"])
+        print()
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write("\n\n".join(blocks) + "\n")
+        print(f"written to {args.out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

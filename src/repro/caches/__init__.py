@@ -1,0 +1,47 @@
+"""Cache simulator substrate.
+
+Implements the memory-side microarchitecture the paper simulates in gem5:
+set-associative caches with pluggable replacement (Table 1 uses LRU; the
+generality discussion of Section 4.1 motivates random, tree-PLRU and NMRU
+as well), MSHR files for miss tracking, a two-level L1/LLC hierarchy, and
+an exact stack/reuse-distance profiler (the Mattson reference that
+statistical cache modeling approximates).
+"""
+
+from repro.caches.cache import CacheConfig, SetAssocCache
+from repro.caches.replacement import (
+    REPLACEMENT_POLICIES,
+    LRUPolicy,
+    NMRUPolicy,
+    RandomPolicy,
+    TreePLRUPolicy,
+    make_policy,
+)
+from repro.caches.mshr import MSHRFile
+from repro.caches.hierarchy import CacheHierarchy, HierarchyConfig
+from repro.caches.stack import (
+    FenwickTree,
+    StackDistanceProfiler,
+    miss_count_for_sizes,
+    reuse_and_stack_distances,
+)
+from repro.caches.stats import AccessStats
+
+__all__ = [
+    "CacheConfig",
+    "SetAssocCache",
+    "REPLACEMENT_POLICIES",
+    "LRUPolicy",
+    "NMRUPolicy",
+    "RandomPolicy",
+    "TreePLRUPolicy",
+    "make_policy",
+    "MSHRFile",
+    "CacheHierarchy",
+    "HierarchyConfig",
+    "FenwickTree",
+    "StackDistanceProfiler",
+    "miss_count_for_sizes",
+    "reuse_and_stack_distances",
+    "AccessStats",
+]

@@ -1,0 +1,212 @@
+"""Set-associative cache model.
+
+Two internal representations are used, chosen at construction:
+
+* LRU (the paper's Table 1 policy) keeps each set as a Python list in
+  recency order (LRU at index 0).  This allows a tight bulk ``warm`` loop,
+  which matters because functional warming — simulating every access in
+  the warm-up interval — is the very overhead the paper is attacking, and
+  our SMARTS baseline has to do exactly that.
+* Other policies (random, tree-PLRU, NMRU) use a way-table plus a
+  pluggable :mod:`~repro.caches.replacement` policy object.
+"""
+
+from dataclasses import dataclass
+
+from repro.caches.replacement import make_policy
+from repro.util.units import CACHELINE_BYTES, format_size
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and policy of one cache."""
+
+    size_bytes: int
+    assoc: int
+    line_bytes: int = CACHELINE_BYTES
+    policy: str = "lru"
+
+    def __post_init__(self):
+        if self.size_bytes <= 0 or self.assoc <= 0 or self.line_bytes <= 0:
+            raise ValueError("cache geometry must be positive")
+        if self.size_bytes % (self.assoc * self.line_bytes):
+            raise ValueError("size must be a multiple of assoc * line size")
+        if self.n_sets & (self.n_sets - 1):
+            raise ValueError("number of sets must be a power of two")
+
+    @property
+    def n_lines(self):
+        return self.size_bytes // self.line_bytes
+
+    @property
+    def n_sets(self):
+        return self.n_lines // self.assoc
+
+    def describe(self):
+        return (f"{format_size(self.size_bytes)}, {self.assoc}-way "
+                f"{self.policy.upper()}, {self.line_bytes} B line")
+
+
+class SetAssocCache:
+    """A set-associative cache indexed by cacheline number.
+
+    All methods take *line* addresses (byte address >> 6), matching the
+    trace's memory view.
+    """
+
+    def __init__(self, config, seed=0):
+        self.config = config
+        self.n_sets = config.n_sets
+        self.assoc = config.assoc
+        self._mask = self.n_sets - 1
+        self.hits = 0
+        self.misses = 0
+        self._is_lru = config.policy == "lru"
+        if self._is_lru:
+            self._sets = [[] for _ in range(self.n_sets)]
+            self._policy = None
+        else:
+            self._tags = [[None] * self.assoc for _ in range(self.n_sets)]
+            self._ways = [dict() for _ in range(self.n_sets)]
+            self._policy = make_policy(
+                config.policy, self.n_sets, self.assoc, seed=seed)
+
+    # -- single-access interface -----------------------------------------
+
+    def access(self, line):
+        """Access ``line``; update state; return True on hit."""
+        if self._is_lru:
+            return self._access_lru(line)
+        return self._access_policy(line)
+
+    def _access_lru(self, line):
+        entries = self._sets[line & self._mask]
+        if line in entries:
+            if entries[-1] != line:
+                entries.remove(line)
+                entries.append(line)
+            self.hits += 1
+            return True
+        if len(entries) >= self.assoc:
+            entries.pop(0)
+        entries.append(line)
+        self.misses += 1
+        return False
+
+    def _access_policy(self, line):
+        set_idx = line & self._mask
+        ways = self._ways[set_idx]
+        way = ways.get(line)
+        if way is not None:
+            self._policy.touch(set_idx, way)
+            self.hits += 1
+            return True
+        tags = self._tags[set_idx]
+        if len(ways) < self.assoc:
+            way = len(ways)
+        else:
+            way = self._policy.victim(set_idx)
+            del ways[tags[way]]
+        tags[way] = line
+        ways[line] = way
+        self._policy.fill(set_idx, way)
+        self.misses += 1
+        return False
+
+    # -- bulk interface ----------------------------------------------------
+
+    def warm(self, lines):
+        """Access every line of a numpy array; return (hits, misses).
+
+        This is the functional-warming hot loop; for LRU it avoids all
+        attribute lookups inside the loop.
+        """
+        if not self._is_lru:
+            hits = 0
+            for line in lines.tolist():
+                hits += self._access_policy(line)
+            misses = len(lines) - hits
+            return hits, misses
+
+        sets = self._sets
+        mask = self._mask
+        assoc = self.assoc
+        hits = 0
+        for line in lines.tolist():
+            entries = sets[line & mask]
+            if line in entries:
+                if entries[-1] != line:
+                    entries.remove(line)
+                    entries.append(line)
+                hits += 1
+            else:
+                if len(entries) >= assoc:
+                    entries.pop(0)
+                entries.append(line)
+        misses = len(lines) - hits
+        self.hits += hits
+        self.misses += misses
+        return hits, misses
+
+    def insert(self, line):
+        """Fill ``line`` without counting a hit or miss (prefetch path).
+
+        No-op if the line is already resident; evicts per policy if the
+        set is full.
+        """
+        if self.contains(line):
+            return
+        if self._is_lru:
+            entries = self._sets[line & self._mask]
+            if len(entries) >= self.assoc:
+                entries.pop(0)
+            entries.append(line)
+            return
+        set_idx = line & self._mask
+        ways = self._ways[set_idx]
+        tags = self._tags[set_idx]
+        if len(ways) < self.assoc:
+            way = len(ways)
+        else:
+            way = self._policy.victim(set_idx)
+            del ways[tags[way]]
+        tags[way] = line
+        ways[line] = way
+        self._policy.fill(set_idx, way)
+
+    # -- inspection (no state change) --------------------------------------
+
+    def contains(self, line):
+        """True if ``line`` is resident (does not update recency)."""
+        if self._is_lru:
+            return line in self._sets[line & self._mask]
+        return line in self._ways[line & self._mask]
+
+    def set_occupancy(self, line):
+        """Number of valid ways in the set that ``line`` maps to."""
+        if self._is_lru:
+            return len(self._sets[line & self._mask])
+        return len(self._ways[line & self._mask])
+
+    def set_is_full(self, line):
+        """True if the set that ``line`` maps to has no free way."""
+        return self.set_occupancy(line) >= self.assoc
+
+    def resident_lines(self):
+        """All resident lines (order unspecified)."""
+        if self._is_lru:
+            return [l for entries in self._sets for l in entries]
+        return [l for ways in self._ways for l in ways]
+
+    def flush(self):
+        """Invalidate everything and reset hit/miss counters."""
+        self.hits = 0
+        self.misses = 0
+        if self._is_lru:
+            self._sets = [[] for _ in range(self.n_sets)]
+        else:
+            self._tags = [[None] * self.assoc for _ in range(self.n_sets)]
+            self._ways = [dict() for _ in range(self.n_sets)]
+
+    def __repr__(self):
+        return f"SetAssocCache({self.config.describe()})"

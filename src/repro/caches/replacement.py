@@ -1,0 +1,152 @@
+"""Replacement policies for set-associative caches.
+
+Each policy manages victim selection for one cache; per-set state lives in
+the policy object, indexed by set number.  The policy operates on *way*
+indices; the cache owns the tag array.
+
+LRU is the paper's configuration (Table 1).  Random, tree-PLRU and NMRU
+support the generality argument of Section 4.1 (statistical models exist
+for these policies; our StatCache module models random replacement).
+"""
+
+import numpy as np
+
+from repro.util.rng import child_rng
+
+
+class ReplacementPolicy:
+    """Interface: called by :class:`~repro.caches.cache.SetAssocCache`."""
+
+    name = "abstract"
+
+    def __init__(self, n_sets, assoc):
+        self.n_sets = int(n_sets)
+        self.assoc = int(assoc)
+
+    def touch(self, set_idx, way):
+        """Record a hit on ``way`` of ``set_idx``."""
+
+    def fill(self, set_idx, way):
+        """Record a fill into ``way`` of ``set_idx``."""
+        self.touch(set_idx, way)
+
+    def victim(self, set_idx):
+        """Choose the way to evict from a full ``set_idx``."""
+        raise NotImplementedError
+
+
+class LRUPolicy(ReplacementPolicy):
+    """True least-recently-used via per-set recency stamps."""
+
+    name = "lru"
+
+    def __init__(self, n_sets, assoc):
+        super().__init__(n_sets, assoc)
+        self._stamp = np.zeros((n_sets, assoc), dtype=np.int64)
+        self._clock = 0
+
+    def touch(self, set_idx, way):
+        self._clock += 1
+        self._stamp[set_idx, way] = self._clock
+
+    def victim(self, set_idx):
+        return int(np.argmin(self._stamp[set_idx]))
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Uniformly random victim (StatCache's modeled policy)."""
+
+    name = "random"
+
+    def __init__(self, n_sets, assoc, seed=0):
+        super().__init__(n_sets, assoc)
+        self._rng = child_rng(seed, "random-replacement", n_sets, assoc)
+
+    def victim(self, set_idx):
+        return int(self._rng.integers(0, self.assoc))
+
+
+class TreePLRUPolicy(ReplacementPolicy):
+    """Binary-tree pseudo-LRU (requires power-of-two associativity)."""
+
+    name = "tree-plru"
+
+    def __init__(self, n_sets, assoc):
+        if assoc & (assoc - 1):
+            raise ValueError("tree-PLRU requires power-of-two associativity")
+        super().__init__(n_sets, assoc)
+        # Node k's children are 2k+1, 2k+2; assoc-1 internal nodes per set.
+        self._bits = np.zeros((n_sets, max(1, assoc - 1)), dtype=np.uint8)
+
+    def touch(self, set_idx, way):
+        bits = self._bits[set_idx]
+        node = 0
+        lo, hi = 0, self.assoc
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if way < mid:
+                bits[node] = 1          # point away from the touched half
+                node = 2 * node + 1
+                hi = mid
+            else:
+                bits[node] = 0
+                node = 2 * node + 2
+                lo = mid
+        self._bits[set_idx] = bits
+
+    def victim(self, set_idx):
+        bits = self._bits[set_idx]
+        node = 0
+        lo, hi = 0, self.assoc
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if bits[node]:              # 1 points to the colder half
+                node = 2 * node + 2
+                lo = mid
+            else:
+                node = 2 * node + 1
+                hi = mid
+        return lo
+
+
+class NMRUPolicy(ReplacementPolicy):
+    """Not-most-recently-used: random victim excluding the MRU way."""
+
+    name = "nmru"
+
+    def __init__(self, n_sets, assoc, seed=0):
+        super().__init__(n_sets, assoc)
+        self._mru = np.zeros(n_sets, dtype=np.int32)
+        self._rng = child_rng(seed, "nmru-replacement", n_sets, assoc)
+
+    def touch(self, set_idx, way):
+        self._mru[set_idx] = way
+
+    def victim(self, set_idx):
+        if self.assoc == 1:
+            return 0
+        way = int(self._rng.integers(0, self.assoc - 1))
+        if way >= self._mru[set_idx]:
+            way += 1
+        return way
+
+
+REPLACEMENT_POLICIES = {
+    "lru": LRUPolicy,
+    "random": RandomPolicy,
+    "tree-plru": TreePLRUPolicy,
+    "nmru": NMRUPolicy,
+}
+
+
+def make_policy(name, n_sets, assoc, seed=0):
+    """Instantiate a replacement policy by name."""
+    try:
+        cls = REPLACEMENT_POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown replacement policy {name!r}; "
+            f"choose from {sorted(REPLACEMENT_POLICIES)}") from None
+    if cls in (RandomPolicy, NMRUPolicy):
+        return cls(n_sets, assoc, seed=seed)
+    return cls(n_sets, assoc)

@@ -1,0 +1,71 @@
+"""The Analyst pass: detailed evaluation with DSW-predicted warming.
+
+Per Figure 4 the Analyst does not fast-forward: it receives the
+full-system state from Explorer-N at the start of the detailed-warming
+window, performs the 30 k-instruction detailed warming (which builds the
+lukewarm cache and warms pipeline/predictor state), then simulates the
+detailed region cycle-accurately, consulting the Figure 3 classifier for
+every memory request that escapes the lukewarm state (Section 3.2).
+Because the Analyst's only work is warming + detailed simulation, extra
+Analysts for design-space exploration are nearly free (Section 6.4.2).
+"""
+
+from repro.sampling.base import StrategyBase
+from repro.sampling.classify import WarmingClassifier
+from repro.sampling.results import RegionResult
+from repro.statmodel.assoc import StrideDetector
+
+
+class AnalystPass(StrategyBase):
+    """Detailed-region evaluation for one cache/processor configuration."""
+
+    name = "analyst"
+
+    def __init__(self, machine, hierarchy_config, processor_config=None,
+                 prefetcher_factory=None, mshr_window=24, seed=0):
+        super().__init__(processor_config)
+        self.machine = machine
+        self.hierarchy_config = hierarchy_config
+        self.prefetcher_factory = prefetcher_factory
+        self.mshr_window = mshr_window
+        self.seed = seed
+
+    def run_region(self, spec, capacity_predictor):
+        """Evaluate one region given the DSW capacity predictor."""
+        machine = self.machine
+        trace = machine.trace
+        machine.switch_state()      # receive state from Explorer-N
+
+        classifier = WarmingClassifier(
+            self.hierarchy_config,
+            capacity_predictor=capacity_predictor,
+            stride_detector=StrideDetector(),
+            mshrs=self.processor_config.mshrs_l1d,
+            mshr_window=self.mshr_window,
+            seed=self.seed,
+            prefetcher=(self.prefetcher_factory()
+                        if self.prefetcher_factory else None),
+        )
+        machine.meter.detailed(spec.paper_warming_instructions)
+        l1_lo, l1_hi = trace.access_range(
+            spec.l1_warming_start, spec.region_start)
+        lo, hi = trace.access_range(spec.warming_start, spec.region_start)
+        classifier.warm_detailed(trace.mem_line[l1_lo:l1_hi],
+                                 trace.mem_line[lo:hi])
+
+        machine.detailed(spec.region_start, spec.region_end)
+        rlo, rhi = trace.access_range(spec.region_start, spec.region_end)
+        classified = classifier.classify_region(
+            trace.mem_line[rlo:rhi],
+            trace.mem_pc[rlo:rhi],
+            trace.mem_instr[rlo:rhi] - spec.region_start,
+        )
+        machine.switch_state()
+
+        timing = self.region_timing(trace, spec, classified)
+        return RegionResult(
+            index=spec.index,
+            n_instructions=spec.region_end - spec.region_start,
+            stats=classified.stats,
+            timing=timing,
+        )

@@ -1,0 +1,98 @@
+"""Thread-aware directed statistical warming (Section 4.3).
+
+StatCache-MP (Berg, Zeffer & Hagersten, ISPASS 2006) shows how sparse
+reuse information from one multi-threaded execution models cache sharing
+under MSI coherence.  The paper sketches how this fits DSW: for a key
+access by thread A whose previous access to the line was a *write by
+thread B*,
+
+* if A and B do **not** share the modeled cache, the line was
+  invalidated in A's cache — a **coherence miss**, regardless of reuse
+  distance;
+* if they **do** share it, B's write warmed the shared cache for A —
+  **constructive sharing**: a hit provided the (shared-stream) reuse
+  distance is short enough, else an ordinary capacity miss.
+
+:class:`ThreadAwareCapacityPredictor` layers these rules on top of the
+single-threaded :class:`~repro.core.warming.DirectedCapacityPredictor`,
+so it plugs into the same Figure 3 classifier.  (O/E-state refinements
+are future work in the paper and here.)
+"""
+
+from dataclasses import dataclass, field
+
+from repro.caches.stats import (
+    HIT_WARMING,
+    MISS_CAPACITY,
+    MISS_COHERENCE,
+    MISS_COLD,
+)
+from repro.core.warming import COLD_DISTANCE, DirectedCapacityPredictor
+
+@dataclass(frozen=True)
+class KeyAccessOrigin:
+    """Provenance of a key line's previous access."""
+
+    #: Backward reuse distance in (shared-stream) accesses; -1 = cold.
+    distance: int
+    #: Thread that performed the previous access (None if unknown/cold).
+    writer_thread: int = None
+    #: True if the previous access was a store.
+    was_write: bool = False
+
+
+@dataclass
+class CacheTopology:
+    """Which threads share the modeled cache.
+
+    ``groups`` maps a thread id to a cache-domain id; threads in the
+    same domain share the cache.  A single-domain topology models a
+    shared LLC; one domain per thread models private caches.
+    """
+
+    groups: dict = field(default_factory=dict)
+
+    def shared(self, thread_a, thread_b):
+        if thread_a is None or thread_b is None:
+            return False
+        return (self.groups.get(thread_a, thread_a)
+                == self.groups.get(thread_b, thread_b))
+
+
+class ThreadAwareCapacityPredictor:
+    """DSW capacity decision with MSI coherence rules (Section 4.3)."""
+
+    def __init__(self, key_origins, vicinity_histogram, topology,
+                 reader_thread):
+        """``key_origins`` maps line -> :class:`KeyAccessOrigin`."""
+        self.key_origins = dict(key_origins)
+        self.topology = topology
+        self.reader_thread = reader_thread
+        distances = {line: origin.distance
+                     for line, origin in self.key_origins.items()}
+        self._base = DirectedCapacityPredictor(distances,
+                                               vicinity_histogram)
+        self.coherence_misses = 0
+        self.constructive_hits = 0
+
+    def __call__(self, pc, line, effective_llc_lines):
+        origin = self.key_origins.get(int(line))
+        if origin is None or origin.distance == COLD_DISTANCE:
+            return MISS_COLD
+        if origin.was_write and origin.writer_thread is not None and (
+                origin.writer_thread != self.reader_thread):
+            if not self.topology.shared(self.reader_thread,
+                                        origin.writer_thread):
+                # The remote write invalidated our copy.
+                self.coherence_misses += 1
+                return MISS_COHERENCE
+            # Constructive sharing: the remote write warmed the shared
+            # cache — an ordinary capacity check decides.
+            outcome = self._base(pc, line, effective_llc_lines)
+            if outcome == HIT_WARMING:
+                self.constructive_hits += 1
+            return outcome
+        return self._base(pc, line, effective_llc_lines)
+
+    def predicted_stack_distance(self, line):
+        return self._base.predicted_stack_distance(line)

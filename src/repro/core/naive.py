@@ -1,0 +1,117 @@
+"""Naive directed statistical warming — the ablation for Time Traveling.
+
+Section 3.3 ("RSW versus DSW") argues that DSW *without* time traveling
+is no faster than RSW: key-cacheline watchpoints must stay armed for the
+entire warm-up interval (only the last reuse matters), so a single
+profiling pass takes every page stop of every key line across the whole
+gap — "the overhead for collecting them in a naive implementation is
+high".  Time traveling exists precisely to avoid this.
+
+This strategy implements that naive design: one process, watchpoints on
+all key cachelines for the whole warm-up interval (plus the same
+vicinity sampling), then the identical DSW classification.  Accuracy
+therefore matches DeLorean; only the cost differs — which is the point
+of the ablation benchmark.
+"""
+
+import numpy as np
+
+from repro.core.scout import ScoutPass
+from repro.core.vicinity import DEFAULT_DENSITY, VicinitySampler
+from repro.core.warming import DirectedCapacityPredictor
+from repro.core.analyst import AnalystPass
+from repro.sampling.base import StrategyBase
+from repro.sampling.results import StrategyResult
+from repro.statmodel.histogram import ReuseHistogram
+from repro.util.rng import child_rng
+from repro.vff.costmodel import CostMeter
+from repro.vff.index import TraceIndex
+from repro.vff.machine import VirtualMachine
+
+
+class NaiveDirectedWarming(StrategyBase):
+    """DSW with single-pass full-gap directed profiling (no TT)."""
+
+    name = "NaiveDSW"
+
+    def __init__(self, processor_config=None, vicinity_density=DEFAULT_DENSITY,
+                 vicinity_boost=1000.0, mshr_window=24):
+        super().__init__(processor_config)
+        self.vicinity_density = float(vicinity_density)
+        self.vicinity_boost = float(vicinity_boost)
+        self.mshr_window = mshr_window
+
+    def run(self, workload, plan, hierarchy_config, index=None, seed=0):
+        trace = workload.trace
+        if index is None:
+            index = TraceIndex(trace)
+        meter = CostMeter(scale=plan.scale)
+        # Two logical phases of the same process: identify key lines
+        # (requires a first pass to the region), then profile the entire
+        # gap with all key-line watchpoints armed.
+        scout_machine = VirtualMachine(trace, meter=meter.fork(), index=index)
+        profile_machine = VirtualMachine(trace, meter=meter.fork(),
+                                         index=index)
+        analyst_machine = VirtualMachine(trace, meter=meter.fork(),
+                                         index=index)
+        scout = ScoutPass(scout_machine)
+        rng = child_rng(seed, "naive-dsw", workload.name)
+        sampler = VicinitySampler(
+            profile_machine, density=self.vicinity_density,
+            density_boost=self.vicinity_boost, rng=rng,
+            footprint_scale=plan.footprint_scale)
+        analyst = AnalystPass(
+            analyst_machine, hierarchy_config,
+            processor_config=self.processor_config,
+            mshr_window=self.mshr_window, seed=seed)
+
+        regions = []
+        total_stops = 0
+        for spec in plan.regions():
+            report = scout.run_region(spec)
+
+            gap_lo, _ = trace.access_range(spec.warmup_start,
+                                           spec.region_start)
+            watched = sorted(report.key_first_access)
+            profile = profile_machine.watchpoints.profile_window(
+                watched, gap_lo, report.region_access_lo)
+            # Watchpoints stay armed across the whole paper-scale gap:
+            # charge the full window's stop traffic (footprint-projected,
+            # like the Explorers' charges).
+            paper_gap = spec.gap_instructions * meter.scale
+            projection = (paper_gap / max(spec.gap_instructions, 1)
+                          * plan.footprint_scale)
+            profile_machine.meter.fast_forward(paper_gap, scaled=False)
+            profile_machine.meter.watchpoint_setups(len(watched),
+                                                    scaled=False)
+            profile_machine.meter.watchpoint_stops(
+                profile.total_stops * projection, scaled=False)
+            total_stops += profile.total_stops
+
+            vicinity = ReuseHistogram()
+            sampler.sample_window(
+                vicinity, gap_lo, report.region_access_lo,
+                report.region_access_lo,
+                paper_window_instructions=paper_gap,
+                model_window_instructions=spec.gap_instructions)
+
+            distances = {}
+            for line, first in report.key_first_access.items():
+                last = profile.last_access.get(line)
+                if last is None:
+                    last = report.warming_resolved.get(line)
+                distances[line] = (first - last - 1) if last is not None else -1
+            predictor = DirectedCapacityPredictor(distances, vicinity)
+            regions.append(analyst.run_region(spec, predictor))
+
+        merged = CostMeter(params=meter.params, scale=plan.scale)
+        for machine in (scout_machine, profile_machine, analyst_machine):
+            merged.ledger.merge(machine.meter.ledger)
+        return StrategyResult(
+            strategy=self.name,
+            workload=workload.name,
+            regions=regions,
+            meter=merged,
+            paper_equivalent_instructions=plan.paper_equivalent_instructions,
+            extras={"watchpoint_stops_model": total_stops},
+        )

@@ -1,0 +1,50 @@
+"""Pipelined pass scheduling (Figure 4).
+
+Time traveling runs Scout, Explorer-1..N and Analyst as separate
+processes: each pass works on region *m* while its upstream neighbour is
+already on region *m+1*.  Given per-pass, per-region processing times,
+the finish times follow the classic pipeline recurrence
+
+    finish[k][m] = max(finish[k][m-1], finish[k-1][m]) + t[k][m]
+
+and the run's wall-clock is the last pass's last finish.  The paper's
+126 MIPS headline is wall-clock of exactly this schedule on a host with
+enough cores for all passes.
+"""
+
+import numpy as np
+
+
+def pipeline_schedule(stage_times):
+    """Compute pipelined finish times.
+
+    Parameters
+    ----------
+    stage_times:
+        2-D array-like ``[n_stages][n_regions]`` of per-stage seconds.
+
+    Returns
+    -------
+    (numpy.ndarray, float)
+        The finish-time matrix and the wall-clock (last finish).
+    """
+    times = np.asarray(stage_times, dtype=np.float64)
+    if times.ndim != 2:
+        raise ValueError("stage_times must be 2-D [stage][region]")
+    n_stages, n_regions = times.shape
+    finish = np.zeros_like(times)
+    for k in range(n_stages):
+        for m in range(n_regions):
+            upstream = finish[k - 1, m] if k > 0 else 0.0
+            previous = finish[k, m - 1] if m > 0 else 0.0
+            finish[k, m] = max(upstream, previous) + times[k, m]
+    wall = float(finish[-1, -1]) if times.size else 0.0
+    return finish, wall
+
+
+def bottleneck_stage(stage_times):
+    """Index and total time of the slowest stage (the pipeline limiter)."""
+    times = np.asarray(stage_times, dtype=np.float64)
+    totals = times.sum(axis=1)
+    index = int(np.argmax(totals))
+    return index, float(totals[index])

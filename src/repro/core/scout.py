@@ -1,0 +1,87 @@
+"""The Scout pass: look into the future for the key cachelines.
+
+The Scout fast-forwards (VFF) to each detailed region and switches to
+functional simulation to record the *key cachelines* — all unique
+cachelines referenced in the region (Section 3.2).  Because reaching the
+region means passing through the 30 k-instruction detailed-warming
+window, the Scout also observes, for free, the last warm-up access of any
+key line that was touched inside that window; such lines need no Explorer
+at all (this is why bwaves averages fewer than one engaged Explorer in
+Figure 8 — nearly all of its key reuses sit within the warming window or
+the lukewarm cache).
+"""
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class ScoutReport:
+    """Key-cacheline information for one detailed region."""
+
+    region_index: int
+    #: line -> access index of its *first* access inside the region.
+    key_first_access: dict = field(default_factory=dict)
+    #: line -> access index of its last warm-up access, for lines already
+    #: resolved inside the detailed-warming window.
+    warming_resolved: dict = field(default_factory=dict)
+    #: Access-coordinate bounds of the region.
+    region_access_lo: int = 0
+    region_access_hi: int = 0
+
+    @property
+    def key_lines(self):
+        return list(self.key_first_access)
+
+    @property
+    def n_key_lines(self):
+        return len(self.key_first_access)
+
+    @property
+    def unresolved_after_warming(self):
+        """Key lines whose last reuse precedes the warming window."""
+        return [line for line in self.key_first_access
+                if line not in self.warming_resolved]
+
+
+class ScoutPass:
+    """Runs ahead of the Explorers, one region at a time."""
+
+    name = "scout"
+
+    def __init__(self, machine):
+        self.machine = machine
+
+    def run_region(self, spec):
+        """Produce the :class:`ScoutReport` for one region spec."""
+        machine = self.machine
+        trace = machine.trace
+        # Near-native fast-forward across the gap...
+        machine.fast_forward(spec.warmup_start, spec.warming_start)
+        # ...then functional simulation through warming + region (cost
+        # charged at the paper's 30 k + 10 k instructions; cheap even at
+        # atomic speed).
+        machine.meter.atomic(
+            spec.paper_warming_instructions
+            + (spec.region_end - spec.region_start), scaled=False)
+
+        region_lo, region_hi = trace.access_range(
+            spec.region_start, spec.region_end)
+        region_lines = trace.mem_line[region_lo:region_hi]
+        unique_lines, first_idx = np.unique(region_lines, return_index=True)
+
+        report = ScoutReport(
+            region_index=spec.index,
+            region_access_lo=region_lo,
+            region_access_hi=region_hi,
+        )
+        warming_lo, _ = trace.access_range(
+            spec.warming_start, spec.region_start)
+        for line, first in zip(unique_lines.tolist(), first_idx.tolist()):
+            report.key_first_access[line] = region_lo + first
+            last = machine.index.lines.last_in(line, warming_lo, region_lo)
+            if last >= 0:
+                report.warming_resolved[line] = last
+        machine.sync()       # hand the key set to Explorer-1 over a pipe
+        return report

@@ -1,0 +1,34 @@
+"""CPU timing substrate.
+
+The paper evaluates detailed regions on gem5's default out-of-order x86
+CPU (Table 1).  A full cycle-by-cycle O3 pipeline is neither feasible nor
+necessary in a trace-driven prototype: the paper's CPI differences across
+warming strategies are driven entirely by cache-miss classification, so
+an interval-analysis model — base dispatch cost plus branch-misprediction
+and MLP-corrected memory-stall cycles — consumes the (actual or
+predicted) hit/miss stream and converts it to CPI through the same
+mechanism for every strategy.
+
+* :class:`~repro.cpu.config.ProcessorConfig` — Table 1, with timing
+  parameters.
+* :class:`~repro.cpu.interval.IntervalCoreModel` — CPI from an outcome
+  stream.
+* :class:`~repro.cpu.branch.TournamentPredictor` — the Table 1 branch
+  predictor (local/global/choice + BTB).
+* :class:`~repro.cpu.prefetch.StridePrefetcher` — the 8-stream LLC
+  stride prefetcher of Section 6.3.2.
+"""
+
+from repro.cpu.config import ProcessorConfig, format_table1
+from repro.cpu.interval import IntervalCoreModel, RegionTiming
+from repro.cpu.branch import TournamentPredictor
+from repro.cpu.prefetch import StridePrefetcher
+
+__all__ = [
+    "ProcessorConfig",
+    "format_table1",
+    "IntervalCoreModel",
+    "RegionTiming",
+    "TournamentPredictor",
+    "StridePrefetcher",
+]

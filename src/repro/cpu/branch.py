@@ -1,0 +1,99 @@
+"""Tournament branch predictor (Table 1 configuration).
+
+Local history (2 k x 2-bit), global history (8 k x 2-bit), a choice
+predictor (8 k x 2-bit) arbitrating between them, and a 4 k-entry BTB.
+The synthetic traces materialize branch outcomes so CPI comparisons stay
+strategy-independent; this component exists because the detailed-warming
+phase warms *all* microarchitectural state (Section 3.1.2) and the
+library should be usable with real branch streams.
+"""
+
+import numpy as np
+
+
+class _SaturatingCounters:
+    """A table of n-bit saturating counters."""
+
+    def __init__(self, entries, bits):
+        if entries & (entries - 1):
+            raise ValueError("entries must be a power of two")
+        self.entries = entries
+        self.max_value = (1 << bits) - 1
+        self.threshold = 1 << (bits - 1)
+        self.table = np.full(entries, self.threshold, dtype=np.int8)
+
+    def predict(self, index):
+        return self.table[index & (self.entries - 1)] >= self.threshold
+
+    def update(self, index, taken):
+        idx = index & (self.entries - 1)
+        value = self.table[idx] + (1 if taken else -1)
+        self.table[idx] = min(max(value, 0), self.max_value)
+
+
+class TournamentPredictor:
+    """gem5-style tournament predictor."""
+
+    def __init__(self, config):
+        self.config = config
+        self.local = _SaturatingCounters(
+            config.local_entries, config.local_counters_bits)
+        self.global_ = _SaturatingCounters(
+            config.global_entries, config.global_counters_bits)
+        self.choice = _SaturatingCounters(
+            config.choice_entries, config.choice_counters_bits)
+        self.local_history = np.zeros(config.local_entries, dtype=np.int64)
+        self.global_history = 0
+        self.btb = {}
+        self.predictions = 0
+        self.mispredictions = 0
+        self.btb_misses = 0
+
+    def predict(self, pc):
+        """Predicted direction for a branch at ``pc``."""
+        pc = int(pc)
+        local_idx = pc & (self.config.local_entries - 1)
+        local_pred = self.local.predict(
+            int(self.local_history[local_idx]))
+        global_pred = self.global_.predict(self.global_history)
+        use_global = self.choice.predict(self.global_history)
+        return global_pred if use_global else local_pred
+
+    def update(self, pc, taken, target=None):
+        """Train on the resolved branch; returns True if mispredicted."""
+        pc = int(pc)
+        taken = bool(taken)
+        local_idx = pc & (self.config.local_entries - 1)
+        local_hist = int(self.local_history[local_idx])
+        local_pred = self.local.predict(local_hist)
+        global_pred = self.global_.predict(self.global_history)
+        use_global = self.choice.predict(self.global_history)
+        prediction = global_pred if use_global else local_pred
+
+        mispredicted = prediction != taken
+        self.predictions += 1
+        self.mispredictions += mispredicted
+
+        # Train the choice predictor toward whichever component was right.
+        if local_pred != global_pred:
+            self.choice.update(self.global_history, global_pred == taken)
+        self.local.update(local_hist, taken)
+        self.global_.update(self.global_history, taken)
+
+        mask_local = self.config.local_entries - 1
+        self.local_history[local_idx] = ((local_hist << 1) | taken) & mask_local
+        mask_global = self.config.global_entries - 1
+        self.global_history = ((self.global_history << 1) | taken) & mask_global
+
+        if taken and target is not None:
+            btb_idx = pc & (self.config.btb_entries - 1)
+            if self.btb.get(btb_idx) != (pc, target):
+                self.btb_misses += 1
+                self.btb[btb_idx] = (pc, target)
+        return mispredicted
+
+    @property
+    def mispredict_rate(self):
+        if self.predictions == 0:
+            return 0.0
+        return self.mispredictions / self.predictions

@@ -1,0 +1,85 @@
+"""LLC stride prefetcher (Section 6.3.2, Figure 12).
+
+A PC-indexed stride prefetcher with a fixed number of streams.  Trained
+on LLC misses: when a PC's consecutive miss addresses show a stable line
+stride, the prefetcher issues prefetches ``degree`` strides ahead.
+
+The paper's key point is methodological: under DeLorean the prefetcher is
+triggered by *predicted* misses instead of simulated ones, and prefetches
+to lines predicted-present are nullified.  The same class serves both
+uses — the caller decides which miss stream feeds ``train`` and what to
+do with the returned prefetch addresses.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class _Stream:
+    last_line: int
+    stride: int = 0
+    confidence: int = 0
+
+
+class StridePrefetcher:
+    """PC-indexed stride detector with bounded stream table."""
+
+    def __init__(self, n_streams=8, degree=2, confidence_threshold=2):
+        if n_streams <= 0 or degree <= 0:
+            raise ValueError("n_streams and degree must be positive")
+        self.n_streams = int(n_streams)
+        self.degree = int(degree)
+        self.confidence_threshold = int(confidence_threshold)
+        self._streams = {}
+        self._lru = []
+        self.issued = 0
+        self.nullified = 0
+
+    def train(self, pc, line, is_present=None):
+        """Observe one (predicted or actual) miss; return prefetch lines.
+
+        ``is_present`` is an optional callable ``line -> bool``; prefetches
+        to already-present lines are nullified (not returned), matching
+        the paper's bandwidth-saving rule.
+        """
+        pc = int(pc)
+        line = int(line)
+        stream = self._streams.get(pc)
+        if stream is None:
+            self._evict_if_needed()
+            self._streams[pc] = _Stream(last_line=line)
+            self._lru.append(pc)
+            return []
+
+        self._lru.remove(pc)
+        self._lru.append(pc)
+        stride = line - stream.last_line
+        if stride != 0 and stride == stream.stride:
+            stream.confidence = min(stream.confidence + 1, 3)
+        else:
+            stream.stride = stride
+            stream.confidence = 0 if stride == 0 else 1
+        stream.last_line = line
+
+        if stream.confidence < self.confidence_threshold or stream.stride == 0:
+            return []
+        prefetches = []
+        for k in range(1, self.degree + 1):
+            target = line + k * stream.stride
+            if is_present is not None and is_present(target):
+                self.nullified += 1
+                continue
+            prefetches.append(target)
+            self.issued += 1
+        return prefetches
+
+    def _evict_if_needed(self):
+        if len(self._streams) >= self.n_streams:
+            victim = self._lru.pop(0)
+            del self._streams[victim]
+
+    def reset(self):
+        self._streams.clear()
+        self._lru.clear()
+        self.issued = 0
+        self.nullified = 0

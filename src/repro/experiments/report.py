@@ -1,0 +1,95 @@
+"""Text rendering: aligned tables and ASCII charts for experiment output."""
+
+import math
+
+
+def format_table(headers, rows, title=None, float_format="{:.2f}"):
+    """Render a list of rows as an aligned text table.
+
+    Cells may be strings or numbers; numbers use ``float_format`` (ints
+    print as ints).
+    """
+    def render(cell):
+        if isinstance(cell, bool):
+            return str(cell)
+        if isinstance(cell, int):
+            return str(cell)
+        if isinstance(cell, float):
+            if math.isnan(cell):
+                return "-"
+            if math.isinf(cell):
+                return "inf"
+            return float_format.format(cell)
+        return str(cell)
+
+    rendered = [[render(c) for c in row] for row in rows]
+    widths = [max(len(h), *(len(r[i]) for r in rendered)) if rendered
+              else len(h)
+              for i, h in enumerate(headers)]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rendered:
+        lines.append("  ".join(c.rjust(w) if _numericish(c) else c.ljust(w)
+                               for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _numericish(cell):
+    return bool(cell) and (cell[0].isdigit() or cell[0] in "-+.")
+
+
+def ascii_chart(xs, series, width=60, height=12, title=None, logy=False,
+                x_label="", y_label=""):
+    """Plot one or more named series as a crude ASCII chart.
+
+    ``series`` is ``{label: [values aligned with xs]}``; each series gets
+    a distinct marker.  Good enough to eyeball the shape of a working-set
+    curve next to the paper's figure.
+    """
+    markers = "*o+x#@"
+    values = [v for vs in series.values() for v in vs
+              if v is not None and not math.isnan(v)]
+    if not values:
+        return "(no data)"
+    lo, hi = min(values), max(values)
+    if logy:
+        floor = min(v for v in values if v > 0) if any(
+            v > 0 for v in values) else 1e-9
+        transform = lambda v: math.log10(max(v, floor))
+        lo, hi = transform(lo if lo > 0 else floor), transform(hi)
+    else:
+        transform = lambda v: v
+    if hi - lo < 1e-12:
+        hi = lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for s, (label, vs) in enumerate(series.items()):
+        marker = markers[s % len(markers)]
+        for i, v in enumerate(vs):
+            if v is None or math.isnan(v):
+                continue
+            x = int(i * (width - 1) / max(len(vs) - 1, 1))
+            frac = (transform(v) - lo) / (hi - lo)
+            y = height - 1 - int(frac * (height - 1))
+            grid[y][x] = marker
+    lines = []
+    if title:
+        lines.append(title)
+    top = f"{(10 ** hi if logy else hi):.3g}"
+    bottom = f"{(10 ** lo if logy else lo):.3g}"
+    for y, row in enumerate(grid):
+        prefix = top if y == 0 else (bottom if y == height - 1 else "")
+        lines.append(f"{prefix:>8} |" + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    axis = f"{xs[0]} .. {xs[-1]} {x_label}".strip()
+    lines.append(" " * 10 + axis)
+    legend = "   ".join(f"{markers[s % len(markers)]} {label}"
+                        for s, label in enumerate(series))
+    lines.append(" " * 10 + legend)
+    if y_label:
+        lines.append(" " * 10 + f"(y: {y_label})")
+    return "\n".join(lines)

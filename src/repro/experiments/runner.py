@@ -1,0 +1,126 @@
+"""Suite runner: build workloads once, memoize strategy runs.
+
+Several figures share the same underlying runs (Figures 5-8 all come from
+one SMARTS/CoolSim/DeLorean sweep at the 8 MiB-equivalent LLC), so the
+runner memoizes ``(benchmark, strategy, llc, options)`` results for the
+lifetime of the process and keeps at most one workload's trace and index
+in memory at a time.
+"""
+
+from repro.caches.hierarchy import paper_hierarchy
+from repro.core.delorean import DeLorean
+from repro.core.dse import DesignSpaceExploration
+from repro.sampling.coolsim import CoolSim
+from repro.sampling.smarts import Smarts
+from repro.trace.spec import benchmark_spec, SPEC2006_NAMES
+from repro.vff.index import TraceIndex
+
+STRATEGIES = {
+    "SMARTS": Smarts,
+    "CoolSim": CoolSim,
+    "DeLorean": DeLorean,
+}
+
+
+class SuiteRunner:
+    """Runs strategies over the benchmark suite with memoization."""
+
+    def __init__(self, config):
+        self.config = config
+        self._results = {}
+        self._active_workload = None
+        self._active_index = None
+
+    @property
+    def names(self):
+        return self.config.names or SPEC2006_NAMES
+
+    # -- workload management -------------------------------------------------
+
+    def _workload(self, name):
+        if self._active_workload is None or self._active_workload.name != name:
+            if self._active_workload is not None:
+                self._active_workload.release()
+            self._active_workload = benchmark_spec(name).workload(
+                n_instructions=self.config.n_instructions,
+                seed=self.config.seed,
+                scale=self.config.footprint_scale,
+            )
+            self._active_index = None
+        return self._active_workload
+
+    def _index(self, name):
+        workload = self._workload(name)
+        if self._active_index is None:
+            self._active_index = TraceIndex(workload.trace)
+        return self._active_index
+
+    # -- running ---------------------------------------------------------------
+
+    def run(self, name, strategy, llc_paper_bytes=None, **strategy_options):
+        """Run one (benchmark, strategy) pair; memoized.
+
+        ``strategy`` is a key of :data:`STRATEGIES`; ``strategy_options``
+        are forwarded to the strategy constructor (e.g.
+        ``prefetcher=True`` or ``vicinity_density=1e-4``).
+        """
+        llc = llc_paper_bytes or self.config.llc_paper_bytes
+        key = (name, strategy, llc, tuple(sorted(strategy_options.items())))
+        if key in self._results:
+            return self._results[key]
+
+        workload = self._workload(name)
+        index = self._index(name)
+        plan = self.config.plan()
+        hierarchy = paper_hierarchy(llc, scale=self.config.footprint_scale)
+        strat = STRATEGIES[strategy](**strategy_options)
+        result = strat.run(workload, plan, hierarchy, index=index,
+                           seed=self.config.seed)
+        self._results[key] = result
+        return result
+
+    def run_all(self, strategy, llc_paper_bytes=None, **strategy_options):
+        """Run one strategy over the whole suite; returns {name: result}.
+
+        Iterates benchmark-major so each trace is built once and released
+        before the next (memoized reruns are free).
+        """
+        return {
+            name: self.run(name, strategy, llc_paper_bytes,
+                           **strategy_options)
+            for name in self.names
+        }
+
+    def run_matrix(self, strategies=("SMARTS", "CoolSim", "DeLorean"),
+                   llc_paper_bytes=None, **strategy_options):
+        """All strategies over the suite, benchmark-major for cache reuse."""
+        llc = llc_paper_bytes or self.config.llc_paper_bytes
+        matrix = {strategy: {} for strategy in strategies}
+        for name in self.names:
+            for strategy in strategies:
+                matrix[strategy][name] = self.run(
+                    name, strategy, llc, **strategy_options)
+        return matrix
+
+    def run_dse(self, name, llc_paper_bytes_list=None, **options):
+        """Design-space sweep for one benchmark (shared warm-up)."""
+        sizes = llc_paper_bytes_list or self.config.sweep_llc_paper_bytes
+        key = (name, "DSE", tuple(sizes), tuple(sorted(options.items())))
+        if key in self._results:
+            return self._results[key]
+        workload = self._workload(name)
+        index = self._index(name)
+        plan = self.config.plan()
+        configs = [paper_hierarchy(size, scale=self.config.footprint_scale)
+                   for size in sizes]
+        report = DesignSpaceExploration(**options).run(
+            workload, plan, configs, index=index, seed=self.config.seed)
+        self._results[key] = report
+        return report
+
+    def release(self):
+        """Drop the active workload/trace (results stay memoized)."""
+        if self._active_workload is not None:
+            self._active_workload.release()
+        self._active_workload = None
+        self._active_index = None

@@ -1,0 +1,32 @@
+"""Sampled-simulation framework.
+
+* :class:`~repro.sampling.plan.SamplingPlan` — region placement: the
+  paper's 10 detailed regions of 10 k instructions, 30 k detailed warming,
+  uniformly spread (Section 5).
+* :class:`~repro.sampling.results.RegionResult` /
+  :class:`~repro.sampling.results.StrategyResult` — per-region and
+  aggregate outcomes, CPI/MPKI, modeled time and MIPS.
+* :class:`~repro.sampling.classify.WarmingClassifier` — the Figure 3
+  decision flow (lukewarm hit -> MSHR hit -> conflict -> capacity ->
+  warming miss) with a pluggable capacity predictor.
+* :class:`~repro.sampling.smarts.Smarts` — functional warming, the
+  accuracy reference (SMARTS [34]).
+* :class:`~repro.sampling.coolsim.CoolSim` — randomized statistical
+  warming, the state-of-the-art baseline (CoolSim [23]).
+"""
+
+from repro.sampling.plan import RegionSpec, SamplingPlan
+from repro.sampling.results import RegionResult, StrategyResult
+from repro.sampling.classify import WarmingClassifier
+from repro.sampling.smarts import Smarts
+from repro.sampling.coolsim import CoolSim
+
+__all__ = [
+    "RegionSpec",
+    "SamplingPlan",
+    "RegionResult",
+    "StrategyResult",
+    "WarmingClassifier",
+    "Smarts",
+    "CoolSim",
+]

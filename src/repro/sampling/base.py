@@ -1,0 +1,34 @@
+"""Shared machinery for sampling strategies."""
+
+from repro.cpu.config import ProcessorConfig
+from repro.cpu.interval import IntervalCoreModel
+
+
+class StrategyBase:
+    """Common helpers: branch accounting and region timing."""
+
+    name = "abstract"
+
+    def __init__(self, processor_config=None):
+        self.processor_config = processor_config or ProcessorConfig()
+        self.core_model = IntervalCoreModel(self.processor_config)
+
+    def region_mispredicts(self, trace, spec):
+        """Branch mispredictions inside the detailed region.
+
+        Outcomes are materialized in the trace so every strategy sees the
+        identical branch behaviour (the paper warms predictors identically
+        through the 30 k detailed-warming window).
+        """
+        lo, hi = trace.branch_range(spec.region_start, spec.region_end)
+        return int(trace.branch_mispred[lo:hi].sum())
+
+    def region_timing(self, trace, spec, classified):
+        """Interval-model timing for a classified region."""
+        return self.core_model.region_timing(
+            n_instructions=spec.region_end - spec.region_start,
+            outcomes=classified.outcomes,
+            outcome_instr=classified.outcome_instr,
+            llc_hit_instr=classified.llc_hit_instr,
+            n_mispredicts=self.region_mispredicts(trace, spec),
+        )

@@ -1,0 +1,172 @@
+"""The Figure 3 decision flow: statistical warming classification.
+
+For every memory request of a detailed region:
+
+1. hit in the *lukewarm* cache (state built by the 30 k detailed-warming
+   instructions only) -> a definite hit;
+2. outstanding miss for the same line -> MSHR (delayed) hit;
+3. referenced set already full in the lukewarm cache -> conflict miss;
+   a dominant-stride PC whose effective capacity is exceeded -> conflict
+   miss (limited-associativity model);
+4. capacity predictor says the stack distance exceeds the cache ->
+   capacity miss (cold lines have infinite stack distance);
+5. anything else missed only for lack of warming -> *warming miss*,
+   modeled as a hit.
+
+The capacity predictor is the only piece that differs between CoolSim
+(per-PC reuse distributions, probabilistic) and DeLorean (exact key reuse
+distance + vicinity StatStack); it is injected as a callable.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.caches.hierarchy import CacheHierarchy
+from repro.caches.mshr import MSHRFile
+from repro.caches.stats import (
+    AccessStats,
+    HIT_LUKEWARM,
+    HIT_MSHR,
+    HIT_WARMING,
+    MISS_CAPACITY,
+    MISS_COLD,
+    MISS_CONFLICT,
+)
+
+
+@dataclass
+class ClassifiedRegion:
+    """Per-access classification of one detailed region."""
+
+    stats: AccessStats
+    #: Outcome label per access that reaches beyond the L1 (for timing).
+    outcomes: list = field(default_factory=list)
+    #: Region-relative instruction position per outcome.
+    outcome_instr: list = field(default_factory=list)
+    #: Region-relative instruction positions of LLC (or warming) hits.
+    llc_hit_instr: list = field(default_factory=list)
+
+
+class WarmingClassifier:
+    """Classify detailed-region accesses given a capacity predictor.
+
+    Parameters
+    ----------
+    hierarchy_config:
+        The modeled cache hierarchy (its LLC is the cache whose warm
+        state is being predicted).
+    capacity_predictor:
+        ``f(pc, line, effective_llc_lines) -> outcome`` returning one of
+        ``MISS_CAPACITY``, ``MISS_COLD`` or ``HIT_WARMING``.
+    stride_detector:
+        Optional :class:`~repro.statmodel.assoc.StrideDetector` for the
+        limited-associativity conflict model.
+    mshrs / mshr_window:
+        L1-D MSHR file configuration (Table 1: 8 entries).
+    """
+
+    def __init__(self, hierarchy_config, capacity_predictor,
+                 stride_detector=None, mshrs=8, mshr_window=24, seed=0,
+                 prefetcher=None):
+        self.hierarchy_config = hierarchy_config
+        self.capacity_predictor = capacity_predictor
+        self.stride_detector = stride_detector
+        self.lukewarm = CacheHierarchy(hierarchy_config, seed=seed)
+        self.mshr = MSHRFile(mshrs, window=mshr_window)
+        #: Optional stride prefetcher fed by *predicted* misses (the
+        #: Section 6.3.2 extension): prefetched lines land in the lukewarm
+        #: LLC so later accesses hit; prefetches to predicted-present
+        #: lines are nullified.
+        self.prefetcher = prefetcher
+
+    def warm_detailed(self, l1_window_lines, llc_window_lines=None):
+        """Run detailed warming through the lukewarm hierarchy.
+
+        ``l1_window_lines`` is the full 30 k-instruction window: it warms
+        the L1 exactly as the reference's L1 is warm at region start (the
+        paper statistically warms only the LLC).  ``llc_window_lines`` is
+        the footprint-scaled tail of that window; those accesses also
+        populate the lukewarm LLC.  With a single argument both caches
+        see the same window.
+        """
+        if llc_window_lines is None:
+            self.lukewarm.warm(l1_window_lines)
+            return
+        n_tail = llc_window_lines.shape[0]
+        if n_tail:
+            head = l1_window_lines[:-n_tail] if n_tail else l1_window_lines
+        else:
+            head = l1_window_lines
+        if head.shape[0]:
+            self.lukewarm.l1d.warm(head)
+        self.lukewarm.warm(llc_window_lines)
+
+    def classify_region(self, lines, pcs, instr_offsets):
+        """Classify every access of the region (arrays must align).
+
+        ``instr_offsets`` are region-relative instruction positions used
+        for timing; classification itself is order-dependent because each
+        access updates the lukewarm cache and MSHRs (Figure 3's "fetch
+        block" arrow).
+        """
+        result = ClassifiedRegion(stats=AccessStats())
+        llc = self.lukewarm.llc
+        llc_lines = llc.config.n_lines
+        n_sets = llc.config.n_sets
+
+        for position, (line, pc, instr) in enumerate(
+                zip(lines.tolist(), pcs.tolist(), instr_offsets.tolist())):
+            if self.stride_detector is not None:
+                self.stride_detector.observe(pc, line)
+
+            l1_hit = self.lukewarm.l1d.access(line)
+            llc_resident = llc.contains(line)
+            if l1_hit or llc_resident:
+                if not l1_hit:
+                    llc.access(line)        # update recency
+                    result.llc_hit_instr.append(instr)
+                result.stats.record(HIT_LUKEWARM)
+                continue
+
+            if self.mshr.lookup(line, position):
+                result.stats.record(HIT_MSHR)
+                result.outcomes.append(HIT_MSHR)
+                result.outcome_instr.append(instr)
+                continue
+
+            outcome = self._beyond_lukewarm(line, pc, llc_lines, n_sets)
+            result.stats.record(outcome)
+            result.outcomes.append(outcome)
+            result.outcome_instr.append(instr)
+            if outcome == HIT_WARMING:
+                # A warming miss is modeled as a hit: the block would have
+                # been resident in the warm LLC.  (It cannot have been in
+                # the warm L1 — the L1 is warmed with the full window, so
+                # an L1 miss here is an L1 miss in the reference too.)
+                result.llc_hit_instr.append(instr)
+            else:
+                self.mshr.allocate(line, position)
+                if self.prefetcher is not None:
+                    for target in self.prefetcher.train(
+                            pc, line, is_present=llc.contains):
+                        llc.insert(target)
+            llc.access(line)                # fetch block into lukewarm state
+        return result
+
+    def _beyond_lukewarm(self, line, pc, llc_lines, n_sets):
+        # Conflict: the referenced set is full in the lukewarm cache.
+        if self.lukewarm.llc.set_is_full(line):
+            return MISS_CONFLICT
+
+        effective_lines = llc_lines
+        if self.stride_detector is not None:
+            effective_lines = self.stride_detector.effective_lines_for(
+                pc, llc_lines, n_sets)
+
+        outcome = self.capacity_predictor(pc, line, effective_lines)
+        if outcome == MISS_CAPACITY and effective_lines < llc_lines:
+            # Capacity exceeded only because of the stride-limited
+            # effective size: that is a conflict miss.
+            full_outcome = self.capacity_predictor(pc, line, llc_lines)
+            if full_outcome == HIT_WARMING:
+                return MISS_CONFLICT
+        return outcome

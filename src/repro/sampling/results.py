@@ -1,0 +1,98 @@
+"""Per-region and aggregate results for a sampling strategy run."""
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class RegionResult:
+    """Outcome of evaluating one detailed region."""
+
+    index: int
+    n_instructions: int
+    stats: object                   # caches.stats.AccessStats
+    timing: object = None           # cpu.interval.RegionTiming
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def cpi(self):
+        return self.timing.cpi if self.timing is not None else float("nan")
+
+    @property
+    def misses(self):
+        return self.stats.misses
+
+    @property
+    def mpki(self):
+        if self.n_instructions == 0:
+            return 0.0
+        return 1000.0 * self.stats.misses / self.n_instructions
+
+
+@dataclass
+class StrategyResult:
+    """Aggregate of one strategy over one workload."""
+
+    strategy: str
+    workload: str
+    regions: list
+    meter: object                   # vff.costmodel.CostMeter
+    paper_equivalent_instructions: int
+    wall_seconds: float = None      # pipelined wall clock if != meter total
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def cpi(self):
+        """Instruction-weighted mean CPI across regions (the sampled
+        estimate of whole-program CPI)."""
+        cycles = sum(r.timing.total_cycles for r in self.regions
+                     if r.timing is not None)
+        instructions = sum(r.n_instructions for r in self.regions
+                           if r.timing is not None)
+        return cycles / instructions if instructions else float("nan")
+
+    @property
+    def mpki(self):
+        misses = sum(r.misses for r in self.regions)
+        instructions = sum(r.n_instructions for r in self.regions)
+        return 1000.0 * misses / instructions if instructions else 0.0
+
+    @property
+    def total_seconds(self):
+        if self.wall_seconds is not None:
+            return self.wall_seconds
+        return self.meter.ledger.total_seconds
+
+    @property
+    def mips(self):
+        seconds = self.total_seconds
+        if seconds <= 0:
+            return float("inf")
+        return self.paper_equivalent_instructions / seconds / 1e6
+
+    def cpi_error(self, reference):
+        """Relative CPI error versus a reference result (SMARTS)."""
+        ref = reference.cpi
+        if not np.isfinite(ref) or ref == 0:
+            return float("nan")
+        return abs(self.cpi - ref) / ref
+
+    def mpki_error(self, reference):
+        """Absolute MPKI difference versus a reference result."""
+        return abs(self.mpki - reference.mpki)
+
+    def speedup_over(self, reference):
+        """Simulation-speed ratio (this strategy / reference)."""
+        return reference.total_seconds / self.total_seconds
+
+    def summary(self):
+        return {
+            "strategy": self.strategy,
+            "workload": self.workload,
+            "cpi": self.cpi,
+            "mpki": self.mpki,
+            "seconds": self.total_seconds,
+            "mips": self.mips,
+            **self.extras,
+        }

@@ -1,0 +1,121 @@
+"""SMARTS: sampled simulation with functional warming (the reference).
+
+Wunderlich et al. (ISCA 2003).  Between detailed regions the caches are
+kept warm by functionally simulating *every* memory access — no storage
+overhead, full accuracy, but the functional-warming rate (~1.3 MIPS)
+bounds overall speed.  The paper uses SMARTS as the accuracy reference
+for CPI (Figures 9/10) and for working-set curves (Figure 13), and as the
+speed baseline (= 1.0) in Figure 5.
+"""
+
+import numpy as np
+
+from repro.caches.hierarchy import CacheHierarchy
+from repro.caches.mshr import MSHRFile
+from repro.caches.stats import (
+    AccessStats,
+    HIT_LUKEWARM,
+    HIT_MSHR,
+    MISS_CAPACITY,
+    MISS_COLD,
+)
+from repro.cpu.prefetch import StridePrefetcher
+from repro.sampling.base import StrategyBase
+from repro.sampling.classify import ClassifiedRegion
+from repro.sampling.results import RegionResult, StrategyResult
+from repro.vff.costmodel import CostMeter
+from repro.vff.machine import VirtualMachine
+
+
+class Smarts(StrategyBase):
+    """Functional warming between detailed regions."""
+
+    name = "SMARTS"
+
+    def __init__(self, processor_config=None, prefetcher=False,
+                 mshr_window=24):
+        super().__init__(processor_config)
+        self.prefetcher_enabled = prefetcher
+        self.mshr_window = mshr_window
+
+    def run(self, workload, plan, hierarchy_config, index=None, seed=0):
+        """Evaluate ``workload`` under the plan; returns StrategyResult."""
+        trace = workload.trace
+        meter = CostMeter(scale=plan.scale)
+        machine = VirtualMachine(trace, meter=meter, index=index)
+        hierarchy = CacheHierarchy(hierarchy_config, seed=seed)
+        prefetcher = (StridePrefetcher(n_streams=8)
+                      if self.prefetcher_enabled else None)
+        seen_lines = set()
+        regions = []
+
+        for spec in plan.regions():
+            # Functional warming across the gap (the expensive part).
+            machine.functional_warm(
+                hierarchy, spec.warmup_start, spec.warming_start)
+            glo, ghi = trace.access_range(spec.warmup_start,
+                                          spec.warming_start)
+            seen_lines.update(np.unique(trace.mem_line[glo:ghi]).tolist())
+            # Detailed warming: detailed simulation that also warms caches
+            # (cost charged at the paper's 30 k instructions).
+            machine.meter.detailed(spec.paper_warming_instructions)
+            lo, hi = trace.access_range(spec.warming_start, spec.region_start)
+            seen_lines.update(np.unique(trace.mem_line[lo:hi]).tolist())
+            hierarchy.warm(trace.mem_line[lo:hi])
+
+            machine.detailed(spec.region_start, spec.region_end)
+            classified = self._simulate_region(
+                trace, spec, hierarchy, prefetcher, seen_lines)
+            timing = self.region_timing(trace, spec, classified)
+            regions.append(RegionResult(
+                index=spec.index,
+                n_instructions=spec.region_end - spec.region_start,
+                stats=classified.stats,
+                timing=timing,
+            ))
+
+        return StrategyResult(
+            strategy=self.name,
+            workload=workload.name,
+            regions=regions,
+            meter=meter,
+            paper_equivalent_instructions=plan.paper_equivalent_instructions,
+        )
+
+    def _simulate_region(self, trace, spec, hierarchy, prefetcher,
+                         seen_lines):
+        """Cycle-level region simulation over the warmed hierarchy."""
+        lo, hi = trace.access_range(spec.region_start, spec.region_end)
+        lines = trace.mem_line[lo:hi]
+        pcs = trace.mem_pc[lo:hi]
+        instr = trace.mem_instr[lo:hi] - spec.region_start
+        mshr = MSHRFile(self.processor_config.mshrs_l1d,
+                        window=self.mshr_window)
+        result = ClassifiedRegion(stats=AccessStats())
+
+        for position, (line, pc, rel_instr) in enumerate(
+                zip(lines.tolist(), pcs.tolist(), instr.tolist())):
+            first_touch = line not in seen_lines
+            seen_lines.add(line)
+            if hierarchy.l1d.access(line):
+                result.stats.record(HIT_LUKEWARM)
+                continue
+            if hierarchy.llc.access(line):
+                result.stats.record(HIT_LUKEWARM)
+                result.llc_hit_instr.append(rel_instr)
+                continue
+            if mshr.lookup(line, position):
+                result.stats.record(HIT_MSHR)
+                result.outcomes.append(HIT_MSHR)
+                result.outcome_instr.append(rel_instr)
+                continue
+            outcome = MISS_COLD if first_touch else MISS_CAPACITY
+            mshr.allocate(line, position)
+            result.stats.record(outcome)
+            result.outcomes.append(outcome)
+            result.outcome_instr.append(rel_instr)
+            if prefetcher is not None:
+                for target in prefetcher.train(
+                        pc, line, is_present=hierarchy.llc.contains):
+                    hierarchy.llc.insert(target)
+        return result

@@ -1,0 +1,43 @@
+"""Statistical cache modeling substrate.
+
+The models that turn (sparse) reuse-distance information into cache-miss
+predictions — the machinery underneath both randomized statistical
+warming (CoolSim) and directed statistical warming (DeLorean):
+
+* :class:`~repro.statmodel.histogram.ReuseHistogram` — sparse reuse-
+  distance distributions with cold (never-reused) mass.
+* :class:`~repro.statmodel.statstack.StatStack` — Eklov & Hagersten's
+  reuse-to-stack-distance model for fully-associative LRU caches.
+* :class:`~repro.statmodel.statcache.StatCache` — Berg & Hagersten's
+  random-replacement fixed-point model (Section 4.1 generality).
+* :mod:`~repro.statmodel.assoc` — the limited-associativity model used to
+  catch dominant-stride conflict misses (Section 3.1.2).
+* :class:`~repro.statmodel.perpc.PerPCReuseStats` — per-load-PC reuse
+  distributions, the statistic CoolSim depends on (Section 2.3).
+* :class:`~repro.statmodel.statcc.StatCC` — shared-cache contention
+  between co-running applications (Section 4.2 generality).
+"""
+
+from repro.statmodel.histogram import ReuseHistogram
+from repro.statmodel.statstack import StatStack
+from repro.statmodel.statcache import StatCache
+from repro.statmodel.assoc import (
+    StrideDetector,
+    effective_cache_lines,
+    sets_touched_by_stride,
+)
+from repro.statmodel.perpc import PerPCReuseStats
+from repro.statmodel.statcc import CoRunner, StatCC, StatCCResult
+
+__all__ = [
+    "ReuseHistogram",
+    "StatStack",
+    "StatCache",
+    "StrideDetector",
+    "effective_cache_lines",
+    "sets_touched_by_stride",
+    "PerPCReuseStats",
+    "CoRunner",
+    "StatCC",
+    "StatCCResult",
+]

@@ -1,0 +1,169 @@
+"""StatCC: shared-cache contention between co-running applications.
+
+Eklov, Black-Schaffer & Hagersten (PACT 2010), summarized in the paper's
+Section 4.2: sparse reuse information collected *separately* for each
+application predicts how independent applications interact when sharing
+a cache.  The mechanism: when application A shares the cache with B,
+every reuse window of A is stretched by the accesses B injects in the
+same wall-clock interval; the injection rate depends on B's CPI, which
+depends on B's miss rate, which depends on A's traffic — so StatCC
+iterates a small fixed point:
+
+1. guess a CPI for every application;
+2. scale each application's reuse distances by the co-runners' combined
+   access rate (accesses per cycle = mem_fraction / CPI);
+3. predict each application's shared-cache miss ratio with StatStack;
+4. recompute CPI from the miss ratio; repeat until stable.
+
+The paper suggests replacing step 4's "simplistic CPU performance model"
+with DeLorean's detailed simulation; here we use the interval model's
+first-order equivalent, which is exactly that hook.
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.statmodel.histogram import ReuseHistogram
+from repro.statmodel.statstack import StatStack
+
+
+@dataclass
+class CoRunner:
+    """One application of a multiprogrammed mix."""
+
+    name: str
+    #: Solo reuse-distance histogram (distances in the app's own accesses).
+    histogram: ReuseHistogram
+    #: Memory accesses per instruction.
+    mem_fraction: float
+    #: CPI when every access hits (the interval model's base + branches).
+    base_cpi: float
+    #: Extra cycles per miss (amortized; memory penalty / effective MLP).
+    miss_penalty: float
+
+
+@dataclass
+class StatCCResult:
+    """Fixed point of the contention model."""
+
+    names: list
+    cpi: np.ndarray
+    miss_ratio: np.ndarray
+    solo_miss_ratio: np.ndarray
+    iterations: int
+
+    @property
+    def slowdown(self):
+        """Per-application CPI inflation versus running solo."""
+        solo = np.array([c for c in self._solo_cpi])
+        return self.cpi / solo
+
+    # set by the solver
+    _solo_cpi: np.ndarray = None
+
+
+class StatCC:
+    """Iterative shared-cache contention solver."""
+
+    def __init__(self, max_iterations=50, tolerance=1e-6, damping=0.5):
+        self.max_iterations = int(max_iterations)
+        self.tolerance = float(tolerance)
+        self.damping = float(damping)
+
+    def solo_miss_ratio(self, app, cache_lines):
+        """Miss ratio of ``app`` running alone in the cache."""
+        return StatStack(app.histogram).miss_ratio(cache_lines)
+
+    def solve(self, apps, cache_lines):
+        """Solve the mix's shared-cache fixed point.
+
+        Returns a :class:`StatCCResult` with per-application CPI and
+        shared miss ratios (order follows ``apps``).
+        """
+        if not apps:
+            raise ValueError("need at least one application")
+        n = len(apps)
+        solo_mr = np.array([self.solo_miss_ratio(a, cache_lines)
+                            for a in apps])
+        solo_cpi = np.array([
+            a.base_cpi + a.mem_fraction * mr * a.miss_penalty
+            for a, mr in zip(apps, solo_mr)])
+
+        cpi = solo_cpi.copy()
+        miss_ratio = solo_mr.copy()
+        iterations = 0
+        for iterations in range(1, self.max_iterations + 1):
+            # Access rate (per cycle) of each app at the current CPI.
+            rates = np.array([a.mem_fraction / max(c, 1e-9)
+                              for a, c in zip(apps, cpi)])
+            total_rate = rates.sum()
+            # Each reuse window of app k (length d in its own accesses =
+            # d / rates[k] cycles) absorbs the co-runners' accesses:
+            # distances stretch to shared-stream units by
+            # total_rate / own_rate.
+            stretched = [
+                _stretch_histogram(a.histogram,
+                                   total_rate / max(rates[k], 1e-12))
+                for k, a in enumerate(apps)]
+            # The reuse->stack conversion must describe the *shared*
+            # access stream: merge the stretched histograms weighted by
+            # each app's share of the traffic.  (A cache-friendly
+            # co-runner adds few unique lines to a window even if it
+            # adds many accesses.)
+            mix = ReuseHistogram()
+            for k, s in enumerate(stretched):
+                share = rates[k] / max(total_rate, 1e-12)
+                weighted = ReuseHistogram()
+                distances, weights = s.distances()
+                total_k = s.total
+                if total_k > 0:
+                    for d, w in zip(distances.tolist(), weights.tolist()):
+                        weighted.add(d, w / total_k * share)
+                    if s.cold:
+                        weighted.add_cold(s.cold / total_k * share)
+                mix.merge(weighted)
+            conversion = StatStack(mix)
+            r_star = conversion.reuse_for_stack(cache_lines)
+
+            new_mr = np.empty(n)
+            for k in range(n):
+                if r_star is None:
+                    total_k = stretched[k].total
+                    new_mr[k] = (stretched[k].cold / total_k
+                                 if total_k else 0.0)
+                else:
+                    new_mr[k] = float(stretched[k].ccdf(r_star - 1))
+            new_cpi = np.array([
+                a.base_cpi + a.mem_fraction * mr * a.miss_penalty
+                for a, mr in zip(apps, new_mr)])
+            delta = np.abs(new_cpi - cpi).max()
+            cpi = (1 - self.damping) * cpi + self.damping * new_cpi
+            miss_ratio = new_mr
+            if delta < self.tolerance:
+                break
+
+        result = StatCCResult(
+            names=[a.name for a in apps],
+            cpi=cpi,
+            miss_ratio=miss_ratio,
+            solo_miss_ratio=solo_mr,
+            iterations=iterations,
+        )
+        result._solo_cpi = solo_cpi
+        return result
+
+
+def _stretch_histogram(histogram, factor):
+    """Reuse histogram with every distance scaled by ``factor``.
+
+    Stretching models co-runner accesses interleaving into each reuse
+    window; the result is expressed in *shared-cache accesses*.
+    """
+    distances, weights = histogram.distances()
+    stretched = ReuseHistogram()
+    for distance, weight in zip(distances.tolist(), weights.tolist()):
+        stretched.add(int(round(distance * factor)), weight)
+    if histogram.cold:
+        stretched.add_cold(histogram.cold)
+    return stretched

@@ -1,0 +1,109 @@
+"""StatStack: estimating stack distances from reuse distances.
+
+Eklov & Hagersten (ISPASS 2010), the model underneath both CoolSim's and
+DeLorean's statistical warming (Section 2.2 of the paper).
+
+For a reuse pair with ``r`` accesses strictly in between, the stack
+distance (number of *distinct* lines in between) equals the number of
+in-window accesses whose own forward reuse escapes the window.  With a
+stationary reuse-distance distribution this gives the expected stack
+distance
+
+    sd(r) = sum_{k=0}^{r-1} P(rd > k)
+
+which is monotone and concave in ``r``.  The sum is evaluated exactly in
+O(#distinct distances) by exploiting that the CCDF is a step function:
+``sd`` is piecewise linear with breakpoints one past each observed
+distance.
+
+A fully-associative LRU cache with ``C`` lines misses iff the stack
+distance is ``>= C``; cold accesses always miss.
+"""
+
+import numpy as np
+
+
+class StatStack:
+    """Reuse-to-stack-distance converter plus miss-ratio queries."""
+
+    def __init__(self, histogram):
+        """``histogram`` is a :class:`~repro.statmodel.histogram.ReuseHistogram`."""
+        self.histogram = histogram
+        distances, weights = histogram.distances()
+        total = float(weights.sum()) + histogram.cold
+        self._total = total
+        if total == 0:
+            # Degenerate: no information; sd(r) = r (every access distinct).
+            self._breaks = np.array([0.0])
+            self._integral = np.array([0.0])
+            self._slopes = np.array([1.0])
+            return
+        # ccdf(k) = P(rd > k) is constant on [d_i, d_{i+1}) with value
+        # "tail mass beyond d_i"; prepend the [0, d_1) segment where the
+        # ccdf is 1.  (A duplicate break at 0 when d_1 == 0 is harmless:
+        # the leading segment has zero width and searchsorted picks the
+        # correct slope.)
+        tail = total - np.concatenate(([0.0], np.cumsum(weights)))
+        breaks = np.concatenate(([0], distances)).astype(np.float64)
+        slopes = tail / total
+        integral = np.concatenate(
+            ([0.0], np.cumsum(np.diff(breaks) * slopes[:-1])))
+        self._breaks = breaks
+        self._integral = integral
+        self._slopes = slopes
+
+    def stack_distance(self, reuse_distance):
+        """Expected stack distance for finite reuse distance(s).
+
+        Vectorized; negative inputs (cold markers) map to ``+inf``.
+        """
+        r = np.asarray(reuse_distance, dtype=np.float64)
+        scalar = r.ndim == 0
+        r = np.atleast_1d(r)
+        seg = np.searchsorted(self._breaks, r, side="right") - 1
+        seg = np.clip(seg, 0, len(self._breaks) - 1)
+        sd = self._integral[seg] + (r - self._breaks[seg]) * self._slopes[seg]
+        sd = np.where(r < 0, np.inf, sd)
+        return float(sd[0]) if scalar else sd
+
+    def reuse_for_stack(self, stack_distance):
+        """Smallest reuse distance whose expected stack distance reaches
+        ``stack_distance`` (None if unreachable: the CCDF tail is flat at
+        the cold fraction, so any target is reachable iff cold mass > 0 or
+        slopes stay positive)."""
+        target = float(stack_distance)
+        if target <= 0:
+            return 0
+        idx = int(np.searchsorted(self._integral, target, side="left"))
+        if idx < len(self._integral) and self._integral[idx] >= target:
+            idx = max(idx - 1, 0)
+        else:
+            idx = len(self._integral) - 1
+        slope = self._slopes[idx]
+        if slope <= 0:
+            return None
+        return int(np.ceil(
+            self._breaks[idx] + (target - self._integral[idx]) / slope))
+
+    def is_miss(self, reuse_distance, cache_lines):
+        """Vectorized miss decision: stack distance >= cache size (cold=miss)."""
+        sd = self.stack_distance(reuse_distance)
+        return np.asarray(sd) >= cache_lines
+
+    def miss_ratio(self, cache_lines):
+        """Miss ratio of a fully-associative LRU cache of ``cache_lines``.
+
+        Treats the histogram's samples as representative of all accesses:
+        an access misses iff ``sd(rd) >= C``; cold mass always misses.
+        """
+        if self._total == 0:
+            return 0.0
+        r_star = self.reuse_for_stack(cache_lines)
+        if r_star is None:
+            return float(self.histogram.cold / self._total)
+        # Accesses with rd >= r_star miss: tail of the CCDF at r_star - 1.
+        return float(self.histogram.ccdf(r_star - 1))
+
+    def miss_ratio_curve(self, sizes_in_lines):
+        """Miss ratios for an array of cache sizes."""
+        return np.array([self.miss_ratio(s) for s in sizes_in_lines])

@@ -1,0 +1,63 @@
+"""Workload substrate: synthetic instruction/memory traces.
+
+The paper evaluates on SPEC CPU2006 binaries running under gem5+KVM.  We
+have neither the binaries nor hardware virtualization, so this package
+provides the closest synthetic equivalent: deterministic trace generators
+whose dynamic memory-reference structure (working-set sizes, reuse-
+distance profiles, strides, phase behaviour, page-layout locality) is
+calibrated per benchmark to the behaviour the paper attributes to it.
+
+Everything downstream (cache simulation, statistical warming, time
+traveling) consumes only the dynamic trace, so the substitution exercises
+identical code paths.
+
+Public API:
+
+* :class:`~repro.trace.record.Trace` — materialized trace with an
+  instruction view and a memory-access view.
+* :class:`~repro.trace.workload.Workload` — named, lazily-built trace.
+* address engines in :mod:`repro.trace.engines` and phase composition in
+  :mod:`repro.trace.phases` for building custom workloads.
+* :func:`~repro.trace.spec.spec2006_suite` — the 24 SPEC CPU2006-like
+  benchmarks used throughout the evaluation.
+"""
+
+from repro.trace.record import Kind, Trace
+from repro.trace.address_space import AddressSpace
+from repro.trace.engines import (
+    AddressEngine,
+    MultiWorkingSetEngine,
+    PointerChaseEngine,
+    SequentialEngine,
+    StridedEngine,
+    UniformWorkingSetEngine,
+    WorkingSetComponent,
+)
+from repro.trace.phases import PhaseSpec, build_trace
+from repro.trace.workload import Workload
+from repro.trace.spec import (
+    BenchmarkSpec,
+    SPEC2006_NAMES,
+    benchmark_spec,
+    spec2006_suite,
+)
+
+__all__ = [
+    "Kind",
+    "Trace",
+    "AddressSpace",
+    "AddressEngine",
+    "MultiWorkingSetEngine",
+    "PointerChaseEngine",
+    "SequentialEngine",
+    "StridedEngine",
+    "UniformWorkingSetEngine",
+    "WorkingSetComponent",
+    "PhaseSpec",
+    "build_trace",
+    "Workload",
+    "BenchmarkSpec",
+    "SPEC2006_NAMES",
+    "benchmark_spec",
+    "spec2006_suite",
+]

@@ -1,0 +1,223 @@
+"""Address engines: vectorized generators of cacheline access streams.
+
+An engine produces, on demand, the next ``n`` cacheline addresses (plus a
+static-PC id per access) for one workload component.  Engines are the
+knobs that calibrate a synthetic benchmark's reuse-distance profile:
+
+* :class:`UniformWorkingSetEngine` — uniform (or Zipf-skewed) references
+  over a fixed set of lines; reuse distances concentrate around
+  ``n_lines / access_share``.
+* :class:`SequentialEngine` / :class:`StridedEngine` — circular streaming;
+  reuse distance equals the buffer length, and power-of-two strides
+  exercise the limited-associativity (conflict-miss) model.
+* :class:`PointerChaseEngine` — a random Hamiltonian cycle over an arena;
+  dependent-chain behaviour with buffer-length reuses.
+* :class:`MultiWorkingSetEngine` — a weighted mixture of sub-engines;
+  the workhorse for multi-modal reuse-distance distributions.
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class AddressEngine:
+    """Base class for address engines.
+
+    Subclasses implement :meth:`generate`; all state needed to continue the
+    stream lives on the engine instance so a trace can be built in chunks.
+    """
+
+    #: Number of static PCs this engine attributes accesses to.
+    n_pcs = 1
+
+    def generate(self, rng, n):
+        """Produce the next ``n`` accesses.
+
+        Returns
+        -------
+        (numpy.ndarray, numpy.ndarray)
+            ``(lines, pcs)``: absolute cacheline numbers (``int64``) and
+            engine-local PC ids (``int32`` in ``[0, n_pcs)``).
+        """
+        raise NotImplementedError
+
+    def footprint_lines(self):
+        """Number of distinct cachelines this engine can ever touch."""
+        raise NotImplementedError
+
+
+class UniformWorkingSetEngine(AddressEngine):
+    """References drawn uniformly (or Zipf-skewed) from a line map."""
+
+    def __init__(self, line_map, n_pcs=8, zipf_a=None):
+        if len(line_map) == 0:
+            raise ValueError("empty line map")
+        self.line_map = np.asarray(line_map, dtype=np.int64)
+        self.n_pcs = int(n_pcs)
+        self.zipf_a = zipf_a
+        if zipf_a is not None:
+            ranks = np.arange(1, len(self.line_map) + 1, dtype=np.float64)
+            weights = ranks ** (-float(zipf_a))
+            self._cdf = np.cumsum(weights / weights.sum())
+        else:
+            self._cdf = None
+
+    def generate(self, rng, n):
+        if self._cdf is None:
+            idx = rng.integers(0, len(self.line_map), size=n)
+        else:
+            idx = np.searchsorted(self._cdf, rng.random(n), side="left")
+            idx = np.minimum(idx, len(self.line_map) - 1)
+        pcs = rng.integers(0, self.n_pcs, size=n, dtype=np.int32)
+        return self.line_map[idx], pcs
+
+    def footprint_lines(self):
+        return int(len(self.line_map))
+
+
+class StridedEngine(AddressEngine):
+    """Circular strided streaming over a line map.
+
+    With ``stride_lines > 1`` the stream only ever touches every
+    ``stride_lines``-th line *position* of the map modulo its length,
+    producing the uneven cache-set usage that the paper's
+    limited-associativity model targets (Section 3.1.2, Conflict Misses).
+    """
+
+    def __init__(self, line_map, stride_lines=1, n_pcs=2,
+                 round_robin_pcs=None):
+        if len(line_map) == 0:
+            raise ValueError("empty line map")
+        if stride_lines < 1:
+            raise ValueError("stride_lines must be >= 1")
+        self.line_map = np.asarray(line_map, dtype=np.int64)
+        self.stride_lines = int(stride_lines)
+        self.n_pcs = int(n_pcs)
+        # Unit-stride sweeps model loop bodies whose several load PCs
+        # sample the sweep irregularly: random PC attribution (otherwise
+        # every PC would see a phantom stride of n_pcs lines and trip the
+        # limited-associativity conflict model).  Genuine large-stride
+        # streams keep deterministic attribution so the stride *is*
+        # detectable, as the conflict model intends.
+        if round_robin_pcs is None:
+            round_robin_pcs = stride_lines > 1
+        self.round_robin_pcs = bool(round_robin_pcs)
+        self._cursor = 0
+
+    def generate(self, rng, n):
+        steps = self._cursor + np.arange(n, dtype=np.int64)
+        idx = (steps * self.stride_lines) % len(self.line_map)
+        self._cursor += n
+        if self.round_robin_pcs:
+            pcs = (steps % self.n_pcs).astype(np.int32)
+        else:
+            pcs = rng.integers(0, self.n_pcs, size=n, dtype=np.int32)
+        return self.line_map[idx], pcs
+
+    def footprint_lines(self):
+        from math import gcd
+        return int(len(self.line_map) // gcd(len(self.line_map),
+                                             self.stride_lines))
+
+
+class SequentialEngine(StridedEngine):
+    """Unit-stride circular streaming (a :class:`StridedEngine` special case)."""
+
+    def __init__(self, line_map, n_pcs=2):
+        super().__init__(line_map, stride_lines=1, n_pcs=n_pcs)
+
+
+class PointerChaseEngine(AddressEngine):
+    """Walk a random Hamiltonian cycle over an arena of lines.
+
+    The cycle order is precomputed once, so generating a chunk of the walk
+    is a vectorized gather: position ``k`` of the walk is
+    ``order[(start + k) mod n]``.
+    """
+
+    def __init__(self, line_map, seed_perm_rng, n_pcs=4):
+        if len(line_map) == 0:
+            raise ValueError("empty line map")
+        self.line_map = np.asarray(line_map, dtype=np.int64)
+        self._order = seed_perm_rng.permutation(len(self.line_map))
+        self.n_pcs = int(n_pcs)
+        self._cursor = 0
+
+    def generate(self, rng, n):
+        steps = self._cursor + np.arange(n, dtype=np.int64)
+        idx = self._order[steps % len(self._order)]
+        self._cursor += n
+        pcs = rng.integers(0, self.n_pcs, size=n, dtype=np.int32)
+        return self.line_map[idx], pcs
+
+    def footprint_lines(self):
+        return int(len(self.line_map))
+
+
+@dataclass
+class WorkingSetComponent:
+    """One weighted member of a :class:`MultiWorkingSetEngine` mixture."""
+
+    engine: AddressEngine
+    weight: float
+    pc_base: int = 0
+
+    def __post_init__(self):
+        if self.weight < 0:
+            raise ValueError("component weight must be non-negative")
+
+
+class MultiWorkingSetEngine(AddressEngine):
+    """Weighted mixture of address engines.
+
+    Each access independently picks a component with probability
+    proportional to its weight; the chosen component supplies the line and
+    a PC in its own PC range (``pc_base + local``).  Mixtures of working
+    sets with different sizes and rates produce the multi-modal
+    reuse-distance distributions that drive explorer engagement in the
+    paper's Figures 7 and 8.
+    """
+
+    def __init__(self, components):
+        if not components:
+            raise ValueError("at least one component required")
+        self.components = list(components)
+        weights = np.asarray([c.weight for c in self.components], float)
+        total = weights.sum()
+        if total <= 0:
+            raise ValueError("total weight must be positive")
+        self._probs = weights / total
+        self.n_pcs = max(c.pc_base + c.engine.n_pcs for c in self.components)
+
+    def generate(self, rng, n):
+        lines = np.empty(n, dtype=np.int64)
+        pcs = np.empty(n, dtype=np.int32)
+        choice = rng.choice(len(self.components), size=n, p=self._probs)
+        for k, comp in enumerate(self.components):
+            mask = choice == k
+            count = int(np.count_nonzero(mask))
+            if count == 0:
+                continue
+            comp_lines, comp_pcs = comp.engine.generate(rng, count)
+            lines[mask] = comp_lines
+            pcs[mask] = comp_pcs + comp.pc_base
+        return lines, pcs
+
+    def footprint_lines(self):
+        return sum(c.engine.footprint_lines() for c in self.components)
+
+    def reweighted(self, weight_by_index):
+        """Return a copy with component weights replaced.
+
+        ``weight_by_index`` maps component position to its new weight;
+        unmentioned components keep their current weight.  Used by
+        phase-structured benchmarks (e.g. calculix) whose large working
+        set is only active in one phase.
+        """
+        new_components = []
+        for k, comp in enumerate(self.components):
+            weight = weight_by_index.get(k, comp.weight)
+            new_components.append(WorkingSetComponent(
+                engine=comp.engine, weight=weight, pc_base=comp.pc_base))
+        return MultiWorkingSetEngine(new_components)

@@ -1,0 +1,140 @@
+"""Trace record types.
+
+A :class:`Trace` is a materialized dynamic execution: a per-instruction
+kind stream plus a compact *memory-access view* (one row per load/store)
+and a *branch view*.  Reuse distances in the paper are counted in memory
+accesses while windows (regions, warm-up intervals, explorer reaches) are
+expressed in instructions; the trace therefore keeps, for every memory
+access, the index of the instruction that issued it, and offers
+``searchsorted``-based conversion between the two coordinate systems.
+"""
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.util.units import CACHELINE_SHIFT, PAGE_SHIFT
+
+
+class Kind:
+    """Instruction kind codes used in :attr:`Trace.kind`."""
+
+    ALU = 0
+    LOAD = 1
+    STORE = 2
+    BRANCH = 3
+
+
+@dataclass
+class Trace:
+    """A materialized instruction/memory trace.
+
+    Attributes
+    ----------
+    kind:
+        ``uint8`` array, one entry per instruction (:class:`Kind` codes).
+    mem_instr:
+        ``int64`` array: instruction index of each memory access, ascending.
+    mem_line:
+        ``int64`` array: cacheline address (byte address >> 6) per access.
+    mem_pc:
+        ``int32`` array: static PC id of the load/store per access.
+    mem_store:
+        ``bool`` array: True for stores.
+    branch_instr:
+        ``int64`` array: instruction index of each branch.
+    branch_mispred:
+        ``bool`` array: True if the branch mispredicts under the modeled
+        (identically-warmed) predictor.  Materializing the outcome keeps
+        branch behaviour identical across warming strategies, so CPI
+        differences trace back to cache-miss classification only.
+    """
+
+    kind: np.ndarray
+    mem_instr: np.ndarray
+    mem_line: np.ndarray
+    mem_pc: np.ndarray
+    mem_store: np.ndarray
+    branch_instr: np.ndarray
+    branch_mispred: np.ndarray
+    name: str = "trace"
+    _page_cache: np.ndarray = field(default=None, repr=False, compare=False)
+
+    @property
+    def n_instructions(self):
+        """Total dynamic instruction count."""
+        return int(self.kind.shape[0])
+
+    @property
+    def n_accesses(self):
+        """Total dynamic memory-access count."""
+        return int(self.mem_instr.shape[0])
+
+    @property
+    def mem_page(self):
+        """Page number of each memory access (lazily derived from lines)."""
+        if self._page_cache is None:
+            self._page_cache = self.mem_line >> (PAGE_SHIFT - CACHELINE_SHIFT)
+        return self._page_cache
+
+    def validate(self):
+        """Check internal consistency; raises ``ValueError`` on corruption."""
+        n = self.n_instructions
+        if self.mem_instr.size and (
+            self.mem_instr[0] < 0 or self.mem_instr[-1] >= n
+        ):
+            raise ValueError("memory access outside instruction range")
+        if np.any(np.diff(self.mem_instr) < 0):
+            raise ValueError("memory accesses not sorted by instruction")
+        for attr in ("mem_line", "mem_pc", "mem_store"):
+            if getattr(self, attr).shape != self.mem_instr.shape:
+                raise ValueError(f"{attr} length mismatch")
+        if self.branch_instr.shape != self.branch_mispred.shape:
+            raise ValueError("branch view length mismatch")
+        n_mem = int(np.count_nonzero(
+            (self.kind == Kind.LOAD) | (self.kind == Kind.STORE)))
+        if n_mem != self.n_accesses:
+            raise ValueError("kind stream and memory view disagree")
+
+    # -- coordinate conversion -------------------------------------------
+
+    def access_range(self, instr_lo, instr_hi):
+        """Memory-access index range for instructions ``[instr_lo, instr_hi)``.
+
+        Returns ``(lo, hi)`` such that ``mem_instr[lo:hi]`` are exactly the
+        accesses issued by that instruction window.
+        """
+        lo = int(np.searchsorted(self.mem_instr, instr_lo, side="left"))
+        hi = int(np.searchsorted(self.mem_instr, instr_hi, side="left"))
+        return lo, hi
+
+    def branch_range(self, instr_lo, instr_hi):
+        """Branch index range for instructions ``[instr_lo, instr_hi)``."""
+        lo = int(np.searchsorted(self.branch_instr, instr_lo, side="left"))
+        hi = int(np.searchsorted(self.branch_instr, instr_hi, side="left"))
+        return lo, hi
+
+    def instructions_between_accesses(self, access_lo, access_hi):
+        """Instruction count spanned by accesses ``[access_lo, access_hi)``."""
+        if access_hi <= access_lo:
+            return 0
+        return int(self.mem_instr[access_hi - 1] - self.mem_instr[access_lo]) + 1
+
+    # -- summary statistics ----------------------------------------------
+
+    def unique_lines(self, access_lo=0, access_hi=None):
+        """Number of unique cachelines touched by an access range."""
+        if access_hi is None:
+            access_hi = self.n_accesses
+        window = self.mem_line[access_lo:access_hi]
+        return int(np.unique(window).size)
+
+    def footprint_bytes(self):
+        """Total unique-data footprint of the trace in bytes."""
+        return self.unique_lines() << CACHELINE_SHIFT
+
+    def mem_fraction(self):
+        """Fraction of instructions that are loads or stores."""
+        if self.n_instructions == 0:
+            return 0.0
+        return self.n_accesses / self.n_instructions

@@ -1,0 +1,45 @@
+"""Workload: a named trace built lazily from a phase recipe."""
+
+
+class Workload:
+    """A named workload whose trace is built on first use and cached.
+
+    Parameters
+    ----------
+    name:
+        Benchmark name (e.g. ``"mcf"``).
+    phase_factory:
+        Zero-argument callable returning the list of
+        :class:`~repro.trace.phases.PhaseSpec` to materialize.  A factory
+        (rather than a phase list) lets engine state start fresh on every
+        build, keeping ``Workload.trace`` deterministic.
+    seed:
+        Top-level seed for trace generation.
+    metadata:
+        Free-form dictionary (the benchmark spec records its calibration
+        targets here for documentation and tests).
+    """
+
+    def __init__(self, name, phase_factory, seed=0, metadata=None):
+        self.name = name
+        self.seed = int(seed)
+        self._phase_factory = phase_factory
+        self.metadata = dict(metadata or {})
+        self._trace = None
+
+    @property
+    def trace(self):
+        """The materialized :class:`~repro.trace.record.Trace` (cached)."""
+        if self._trace is None:
+            from repro.trace.phases import build_trace
+            self._trace = build_trace(
+                self._phase_factory(), seed=self.seed, name=self.name)
+        return self._trace
+
+    def release(self):
+        """Drop the cached trace to free memory (it rebuilds on demand)."""
+        self._trace = None
+
+    def __repr__(self):
+        built = "built" if self._trace is not None else "lazy"
+        return f"Workload({self.name!r}, seed={self.seed}, {built})"

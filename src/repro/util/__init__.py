@@ -1,0 +1,28 @@
+"""Shared utilities: deterministic RNG streams, units, address helpers."""
+
+from repro.util.rng import child_rng, stream_seed
+from repro.util.units import (
+    KIB,
+    MIB,
+    GIB,
+    CACHELINE_BYTES,
+    CACHELINE_SHIFT,
+    PAGE_BYTES,
+    PAGE_SHIFT,
+    LINES_PER_PAGE,
+    format_size,
+)
+
+__all__ = [
+    "child_rng",
+    "stream_seed",
+    "KIB",
+    "MIB",
+    "GIB",
+    "CACHELINE_BYTES",
+    "CACHELINE_SHIFT",
+    "PAGE_BYTES",
+    "PAGE_SHIFT",
+    "LINES_PER_PAGE",
+    "format_size",
+]

@@ -1,0 +1,34 @@
+"""Deterministic random-number streams.
+
+Every stochastic component (trace generators, samplers, replacement
+policies) takes an integer seed and derives independent child streams with
+:func:`stream_seed`, so that any experiment is reproducible bit-for-bit
+from a single top-level seed, and adding a consumer never perturbs the
+streams of existing ones.
+"""
+
+import hashlib
+
+import numpy as np
+
+
+def stream_seed(seed, *labels):
+    """Derive a child seed from ``seed`` and a tuple of string labels.
+
+    The derivation hashes the labels, so streams are stable under code
+    reorganization (unlike ``seed + k`` schemes).
+
+    >>> stream_seed(42, "trace", "mcf") != stream_seed(42, "trace", "lbm")
+    True
+    """
+    h = hashlib.blake2b(digest_size=8)
+    h.update(str(int(seed)).encode())
+    for label in labels:
+        h.update(b"/")
+        h.update(str(label).encode())
+    return int.from_bytes(h.digest(), "little")
+
+
+def child_rng(seed, *labels):
+    """Return a ``numpy.random.Generator`` for the labelled child stream."""
+    return np.random.default_rng(stream_seed(seed, *labels))

@@ -1,0 +1,43 @@
+"""Size units and address-geometry constants.
+
+The whole library standardizes on 64-byte cachelines and 4 KiB pages, the
+configuration used throughout the paper (Table 1 and the page-protection
+watchpoint mechanism of Section 2.3).
+"""
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+#: Cacheline size in bytes (Table 1: 64 B lines at every level).
+CACHELINE_BYTES = 64
+#: log2(CACHELINE_BYTES); byte address >> CACHELINE_SHIFT == line address.
+CACHELINE_SHIFT = 6
+
+#: Page size used by the OS page-protection watchpoint mechanism.
+PAGE_BYTES = 4096
+#: log2(PAGE_BYTES); byte address >> PAGE_SHIFT == page number.
+PAGE_SHIFT = 12
+
+#: Cachelines per page: watchpoints on one line protect all 64 lines of
+#: its page, which is the source of false-positive watchpoint stops.
+LINES_PER_PAGE = PAGE_BYTES // CACHELINE_BYTES
+
+
+def format_size(n_bytes):
+    """Render a byte count as a human-readable string (e.g. ``8 MiB``).
+
+    >>> format_size(8 * MIB)
+    '8 MiB'
+    >>> format_size(1536)
+    '1.5 KiB'
+    """
+    if n_bytes % GIB == 0:
+        return f"{n_bytes // GIB} GiB"
+    if n_bytes % MIB == 0:
+        return f"{n_bytes // MIB} MiB"
+    if n_bytes % KIB == 0:
+        return f"{n_bytes // KIB} KiB"
+    if n_bytes >= KIB:
+        return f"{n_bytes / KIB:.1f} KiB"
+    return f"{n_bytes} B"

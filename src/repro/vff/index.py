@@ -1,0 +1,91 @@
+"""Per-line and per-page access-position indices over a trace.
+
+A real DeLorean run discovers reuses by executing with watchpoints; the
+trace-driven substitute answers the same questions from a sorted index:
+*when was line L last accessed before access position P?* and *how many
+accesses hit page G inside a window?* (the stop count a page-protection
+watchpoint would have taken).  Building the index is two argsorts; every
+query is a binary search.
+"""
+
+import numpy as np
+
+from repro.util.units import CACHELINE_SHIFT, PAGE_SHIFT
+
+
+class _PositionIndex:
+    """Sorted access positions grouped by key (line or page)."""
+
+    def __init__(self, keys):
+        keys = np.asarray(keys)
+        order = np.argsort(keys, kind="stable")
+        self._positions = order.astype(np.int64)
+        sorted_keys = keys[order]
+        unique, starts = np.unique(sorted_keys, return_index=True)
+        self._keys = unique
+        self._starts = np.concatenate(
+            (starts, [keys.shape[0]])).astype(np.int64)
+
+    def positions(self, key):
+        """Ascending access positions of ``key`` (empty if unseen)."""
+        idx = int(np.searchsorted(self._keys, key))
+        if idx >= self._keys.shape[0] or self._keys[idx] != key:
+            return np.empty(0, dtype=np.int64)
+        return self._positions[self._starts[idx]:self._starts[idx + 1]]
+
+    def count_in(self, key, lo, hi):
+        """Number of accesses to ``key`` with position in ``[lo, hi)``."""
+        positions = self.positions(key)
+        return int(np.searchsorted(positions, hi, side="left")
+                   - np.searchsorted(positions, lo, side="left"))
+
+    def last_in(self, key, lo, hi):
+        """Largest position of ``key`` in ``[lo, hi)``, or -1."""
+        positions = self.positions(key)
+        idx = int(np.searchsorted(positions, hi, side="left")) - 1
+        if idx < 0 or positions[idx] < lo:
+            return -1
+        return int(positions[idx])
+
+    def first_in(self, key, lo, hi):
+        """Smallest position of ``key`` in ``[lo, hi)``, or -1."""
+        positions = self.positions(key)
+        idx = int(np.searchsorted(positions, lo, side="left"))
+        if idx >= positions.shape[0] or positions[idx] >= hi:
+            return -1
+        return int(positions[idx])
+
+
+class TraceIndex:
+    """Line- and page-granularity position indices for one trace."""
+
+    def __init__(self, trace):
+        self.trace = trace
+        self.lines = _PositionIndex(trace.mem_line)
+        self.pages = _PositionIndex(trace.mem_page)
+
+    def page_of_line(self, line):
+        """Page number containing ``line``."""
+        return int(line) >> (PAGE_SHIFT - CACHELINE_SHIFT)
+
+    def pages_of_lines(self, lines):
+        """Unique pages covering an array of lines."""
+        lines = np.asarray(lines, dtype=np.int64)
+        return np.unique(lines >> (PAGE_SHIFT - CACHELINE_SHIFT))
+
+    def last_access_before(self, line, position):
+        """Most recent access to ``line`` strictly before ``position`` (-1 if none)."""
+        return self.lines.last_in(line, 0, position)
+
+    def next_access_after(self, line, position):
+        """First access to ``line`` strictly after ``position`` (-1 if none)."""
+        return self.lines.first_in(line, position + 1, self.trace.n_accesses)
+
+    def page_stops_in(self, pages, lo, hi):
+        """Total accesses landing in ``pages`` within window ``[lo, hi)``.
+
+        This is exactly the number of watchpoint stops a run with those
+        pages protected would take over the window.
+        """
+        return sum(self.pages.count_in(int(page), lo, hi)
+                   for page in np.asarray(pages).tolist())

@@ -1,0 +1,72 @@
+"""Tests for the address-space allocator."""
+
+import numpy as np
+import pytest
+
+from repro.trace.address_space import AddressSpace
+from repro.util.units import LINES_PER_PAGE
+
+
+def test_allocations_are_disjoint():
+    space = AddressSpace()
+    a = space.allocate("a", 100)
+    b = space.allocate("b", 300)
+    assert not set(a.tolist()) & set(b.tolist())
+
+
+def test_allocation_lines_unique():
+    space = AddressSpace()
+    lines = space.allocate("a", 500)
+    assert len(np.unique(lines)) == 500
+
+
+def test_duplicate_name_rejected():
+    space = AddressSpace()
+    space.allocate("a", 10)
+    with pytest.raises(ValueError):
+        space.allocate("a", 10)
+
+
+def test_zero_lines_rejected():
+    with pytest.raises(ValueError):
+        AddressSpace().allocate("a", 0)
+
+
+def test_pack_ratio_spreads_pages():
+    dense = AddressSpace().allocate("a", 256)
+    sparse = AddressSpace().allocate("a", 256, pack_ratio=0.125)
+    dense_pages = np.unique(dense // LINES_PER_PAGE).size
+    sparse_pages = np.unique(sparse // LINES_PER_PAGE).size
+    assert sparse_pages == 8 * dense_pages
+
+
+def test_pack_ratio_randomizes_set_residues():
+    # Fixed within-page slots would bias line residues mod 64; random
+    # slots must cover many residues (cache-set uniformity).
+    lines = AddressSpace(seed=1).allocate("a", 512, pack_ratio=0.125)
+    residues = np.unique(lines % LINES_PER_PAGE)
+    assert residues.size > 16
+
+
+def test_colocate_places_lines_in_host_pages():
+    space = AddressSpace()
+    host = space.allocate("host", 96, pack_ratio=0.75)
+    guest = space.allocate("guest", 16, colocate_with="host")
+    host_pages = set((host // LINES_PER_PAGE).tolist())
+    guest_pages = set((guest // LINES_PER_PAGE).tolist())
+    assert guest_pages <= host_pages
+    assert not set(guest.tolist()) & set(host.tolist())
+
+
+def test_colocate_overflow_rejected():
+    space = AddressSpace()
+    space.allocate("host", LINES_PER_PAGE)     # one full page, no slack
+    with pytest.raises(ValueError):
+        space.allocate("guest", 1, colocate_with="host")
+
+
+def test_lines_of_and_components():
+    space = AddressSpace()
+    lines = space.allocate("a", 10)
+    assert np.array_equal(space.lines_of("a"), lines)
+    assert space.components == ["a"]

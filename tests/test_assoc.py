@@ -1,0 +1,99 @@
+"""Tests for the limited-associativity (dominant stride) model."""
+
+import pytest
+
+from repro.statmodel.assoc import (
+    StrideDetector,
+    effective_cache_lines,
+    sets_touched_by_stride,
+)
+
+
+def test_sets_touched_unit_stride():
+    assert sets_touched_by_stride(1, 256) == 256
+
+
+def test_sets_touched_pow2_strides():
+    assert sets_touched_by_stride(8, 256) == 32      # 512 B stride / 64 B
+    assert sets_touched_by_stride(256, 256) == 1
+    assert sets_touched_by_stride(512, 256) == 1     # beyond set count
+
+
+def test_sets_touched_odd_stride_covers_everything():
+    assert sets_touched_by_stride(3, 256) == 256
+
+
+def test_effective_cache_lines():
+    # 2048-line, 256-set (8-way) cache with an 8-line stride: 32 sets
+    # x 8 ways = 256 effective lines.
+    assert effective_cache_lines(2048, 256, 8) == 256
+    assert effective_cache_lines(2048, 256, 1) == 2048
+
+
+def test_invalid_stride_rejected():
+    with pytest.raises(ValueError):
+        sets_touched_by_stride(0, 256)
+
+
+def test_detector_finds_dominant_stride():
+    detector = StrideDetector()
+    for k in range(20):
+        detector.observe(pc=1, line=1000 + 8 * k)
+    assert detector.dominant_stride(1) == 8
+
+
+def test_detector_ignores_unit_stride():
+    detector = StrideDetector()
+    for k in range(20):
+        detector.observe(pc=1, line=1000 + k)
+    assert detector.dominant_stride(1) is None
+
+
+def test_detector_needs_history():
+    detector = StrideDetector()
+    detector.observe(1, 0)
+    detector.observe(1, 8)
+    assert detector.dominant_stride(1) is None       # too few deltas
+
+
+def test_detector_rejects_mixed_deltas():
+    detector = StrideDetector()
+    deltas = [8, 3, 17, 5, 8, 2, 9, 4, 8, 31]
+    line = 0
+    for d in deltas:
+        detector.observe(1, line)
+        line += d
+    assert detector.dominant_stride(1) is None
+
+
+def test_detector_threshold():
+    # 70% of deltas are 16: dominant at the default 0.6 threshold.
+    detector = StrideDetector()
+    line = 0
+    for k in range(30):
+        detector.observe(2, line)
+        line += 16 if k % 10 < 7 else 5
+    assert detector.dominant_stride(2) == 16
+
+
+def test_effective_lines_for():
+    detector = StrideDetector()
+    for k in range(20):
+        detector.observe(3, 8 * k)
+    assert detector.effective_lines_for(3, 2048, 256) == 256
+    assert detector.effective_lines_for(99, 2048, 256) == 2048
+
+
+def test_history_bounded():
+    detector = StrideDetector(max_history=8)
+    for k in range(100):
+        detector.observe(1, 4 * k)
+    assert len(detector._deltas[1]) == 8
+
+
+def test_observe_many():
+    detector = StrideDetector()
+    pcs = [5] * 10
+    lines = [100 + 8 * k for k in range(10)]
+    detector.observe_many(pcs, lines)
+    assert detector.dominant_stride(5) == 8

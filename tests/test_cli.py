@@ -1,0 +1,38 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.__main__ import EXHIBITS, build_parser, main
+
+
+def test_parser_accepts_exhibits():
+    parser = build_parser()
+    args = parser.parse_args(["fig8", "--quick"])
+    assert args.exhibit == "fig8" and args.quick
+
+
+def test_parser_rejects_unknown():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["fig99"])
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in EXHIBITS:
+        assert name in out
+
+
+def test_table1_command(capsys, tmp_path):
+    out_file = tmp_path / "t1.txt"
+    assert main(["table1", "--out", str(out_file)]) == 0
+    assert "Table 1" in capsys.readouterr().out
+    assert "ROB" in out_file.read_text()
+
+
+def test_figure_with_tiny_config(capsys):
+    code = main(["fig8", "--benchmarks", "bwaves",
+                 "--instructions", "360000", "--regions", "3"])
+    assert code == 0
+    assert "Figure 8" in capsys.readouterr().out

@@ -1,0 +1,80 @@
+"""Tests for the thread-aware (Section 4.3) capacity predictor."""
+
+import pytest
+
+from repro.caches.stats import HIT_WARMING, MISS_CAPACITY, MISS_COLD
+from repro.core.coherence import (
+    CacheTopology,
+    KeyAccessOrigin,
+    MISS_COHERENCE,
+    ThreadAwareCapacityPredictor,
+)
+from repro.statmodel.histogram import ReuseHistogram
+
+
+def vicinity(mean=10, n=200):
+    histogram = ReuseHistogram()
+    for _ in range(n):
+        histogram.add(mean)
+    return histogram
+
+
+def private_caches():
+    return CacheTopology(groups={0: 0, 1: 1})
+
+
+def shared_cache():
+    return CacheTopology(groups={0: 0, 1: 0})
+
+
+def test_remote_write_private_cache_is_coherence_miss():
+    predictor = ThreadAwareCapacityPredictor(
+        {100: KeyAccessOrigin(distance=5, writer_thread=1, was_write=True)},
+        vicinity(), private_caches(), reader_thread=0)
+    assert predictor(0, 100, 1000) == MISS_COHERENCE
+    assert predictor.coherence_misses == 1
+
+
+def test_remote_write_shared_cache_is_constructive():
+    predictor = ThreadAwareCapacityPredictor(
+        {100: KeyAccessOrigin(distance=5, writer_thread=1, was_write=True)},
+        vicinity(), shared_cache(), reader_thread=0)
+    assert predictor(0, 100, 1000) == HIT_WARMING
+    assert predictor.constructive_hits == 1
+
+
+def test_remote_write_shared_cache_long_reuse_is_capacity_miss():
+    predictor = ThreadAwareCapacityPredictor(
+        {100: KeyAccessOrigin(distance=100_000, writer_thread=1,
+                              was_write=True)},
+        vicinity(), shared_cache(), reader_thread=0)
+    assert predictor(0, 100, 10) == MISS_CAPACITY
+
+
+def test_own_write_behaves_like_single_threaded():
+    predictor = ThreadAwareCapacityPredictor(
+        {100: KeyAccessOrigin(distance=5, writer_thread=0, was_write=True)},
+        vicinity(), private_caches(), reader_thread=0)
+    assert predictor(0, 100, 1000) == HIT_WARMING
+
+
+def test_remote_read_does_not_invalidate():
+    predictor = ThreadAwareCapacityPredictor(
+        {100: KeyAccessOrigin(distance=5, writer_thread=1, was_write=False)},
+        vicinity(), private_caches(), reader_thread=0)
+    assert predictor(0, 100, 1000) == HIT_WARMING
+
+
+def test_cold_lines():
+    predictor = ThreadAwareCapacityPredictor(
+        {100: KeyAccessOrigin(distance=-1)},
+        vicinity(), private_caches(), reader_thread=0)
+    assert predictor(0, 100, 1000) == MISS_COLD
+    assert predictor(0, 999, 1000) == MISS_COLD      # unknown line
+
+
+def test_topology_defaults():
+    topology = CacheTopology()
+    assert topology.shared(3, 3)          # same thread id, same domain
+    assert not topology.shared(0, 1)      # default: private per thread
+    assert not topology.shared(None, 1)

@@ -1,0 +1,88 @@
+"""Tests for the host cost model and time ledger."""
+
+import pytest
+
+from repro.vff.costmodel import CostMeter, HostCostParameters, TimeLedger
+
+
+def test_ledger_accumulates_by_category():
+    ledger = TimeLedger()
+    ledger.add("vff", 1.0)
+    ledger.add("vff", 0.5)
+    ledger.add("detailed", 2.0)
+    assert ledger.seconds_by_category["vff"] == pytest.approx(1.5)
+    assert ledger.total_seconds == pytest.approx(3.5)
+
+
+def test_ledger_rejects_negative():
+    with pytest.raises(ValueError):
+        TimeLedger().add("x", -1.0)
+
+
+def test_ledger_merge():
+    a = TimeLedger()
+    a.add("vff", 1.0)
+    b = TimeLedger()
+    b.add("vff", 2.0)
+    b.add("atomic", 1.0)
+    a.merge(b)
+    assert a.seconds_by_category == {"vff": 3.0, "atomic": 1.0}
+
+
+def test_instruction_charges_use_rates():
+    params = HostCostParameters()
+    meter = CostMeter(params=params)
+    seconds = meter.fast_forward(params.vff_mips * 1e6)   # one second worth
+    assert seconds == pytest.approx(1.0)
+    assert meter.ledger.seconds_by_category["vff"] == pytest.approx(1.0)
+
+
+def test_scale_projection():
+    meter = CostMeter(scale=1000.0)
+    scaled = meter.fast_forward(1_000_000, scaled=True)
+    unscaled = meter.fast_forward(1_000_000, scaled=False)
+    assert scaled == pytest.approx(1000.0 * unscaled)
+
+
+def test_detailed_never_scaled_by_default():
+    meter = CostMeter(scale=1000.0)
+    seconds = meter.detailed(10_000)
+    expected = 10_000 / (meter.params.detailed_mips * 1e6)
+    assert seconds == pytest.approx(expected)
+
+
+def test_event_charges():
+    meter = CostMeter(scale=10.0)
+    meter.watchpoint_stops(100, scaled=False)
+    expected = 100 * meter.params.watchpoint_stop_seconds
+    assert meter.ledger.seconds_by_category["watchpoint_stop"] == (
+        pytest.approx(expected))
+    meter.watchpoint_stops(100, scaled=True)
+    assert meter.ledger.seconds_by_category["watchpoint_stop"] == (
+        pytest.approx(expected * 11))
+
+
+def test_state_transfer_and_pipe():
+    meter = CostMeter()
+    meter.state_transfer(2)
+    meter.pipe_sync(3)
+    assert meter.ledger.seconds_by_category["state_transfer"] == (
+        pytest.approx(2 * meter.params.state_transfer_seconds))
+    assert "pipe_sync" in meter.ledger.seconds_by_category
+
+
+def test_mips():
+    meter = CostMeter()
+    meter.ledger.add("vff", 2.0)
+    assert meter.mips(200e6) == pytest.approx(100.0)
+    empty = CostMeter()
+    assert empty.mips(1e9) == float("inf")
+
+
+def test_fork_shares_params_not_ledger():
+    meter = CostMeter(scale=7.0)
+    meter.fast_forward(1000)
+    child = meter.fork()
+    assert child.scale == 7.0
+    assert child.params is meter.params
+    assert child.ledger.total_seconds == 0.0

@@ -1,0 +1,164 @@
+"""Tests for the CPU timing substrate: config, interval model, predictor,
+prefetcher."""
+
+import numpy as np
+import pytest
+
+from repro.caches.stats import HIT_MSHR, MISS_CAPACITY
+from repro.cpu.branch import TournamentPredictor
+from repro.cpu.config import ProcessorConfig, format_table1
+from repro.cpu.interval import IntervalCoreModel
+from repro.cpu.prefetch import StridePrefetcher
+
+
+# -- Table 1 -----------------------------------------------------------------
+
+def test_table1_contains_paper_rows():
+    text = format_table1()
+    assert "ROB" in text and "192 entries" in text
+    assert "8 wide" in text
+    assert "1 MiB to 512 MiB" in text
+    assert "4 (L1-I), 8 (L1-D), 20 (LLC)" in text
+
+
+# -- interval model ----------------------------------------------------------
+
+def model():
+    return IntervalCoreModel(ProcessorConfig())
+
+
+def test_base_cpi_is_dispatch_bound():
+    timing = model().region_timing(8000, [], [], [], 0)
+    assert timing.cpi == pytest.approx(1 / 8)
+
+
+def test_branch_penalty():
+    config = ProcessorConfig()
+    timing = model().region_timing(8000, [], [], [], n_mispredicts=10)
+    assert timing.branch_cycles == 10 * config.branch_mispredict_penalty
+
+
+def test_llc_hit_penalty():
+    config = ProcessorConfig()
+    timing = model().region_timing(8000, [], [], llc_hit_instr=[1, 2, 3],
+                                   n_mispredicts=0)
+    assert timing.llc_hit_cycles == 3 * config.llc_hit_penalty
+
+
+def test_memory_clustering_overlaps_within_rob():
+    m = model()
+    # 8 misses at the same instruction: one serialized round-trip.
+    assert m.serialized_misses([100] * 8) == 1.0
+    # 9 misses: two round-trips (max_mlp = 8).
+    assert m.serialized_misses([100] * 9) == 2.0
+    # Two misses farther apart than the ROB: two round-trips.
+    assert m.serialized_misses([0, 1000]) == 2.0
+    assert m.serialized_misses([]) == 0.0
+
+
+def test_region_timing_memory_cycles():
+    config = ProcessorConfig()
+    timing = model().region_timing(
+        10_000,
+        outcomes=[MISS_CAPACITY, MISS_CAPACITY],
+        outcome_instr=[0, 5000],
+        llc_hit_instr=[],
+        n_mispredicts=0,
+    )
+    assert timing.memory_cycles == 2 * config.memory_penalty
+    assert timing.total_cycles > timing.base_cycles
+
+
+def test_delayed_hits_cost_fraction():
+    timing = model().region_timing(
+        10_000, outcomes=[HIT_MSHR], outcome_instr=[0], llc_hit_instr=[])
+    assert 0 < timing.delayed_hit_cycles < ProcessorConfig().memory_penalty
+
+
+def test_length_mismatch_rejected():
+    with pytest.raises(ValueError):
+        model().region_timing(100, [MISS_CAPACITY], [], [])
+
+
+# -- tournament predictor ----------------------------------------------------
+
+def test_predictor_learns_bias():
+    predictor = TournamentPredictor(ProcessorConfig())
+    for _ in range(200):
+        predictor.update(pc=64, taken=True)
+    assert predictor.predict(64)
+    assert predictor.mispredict_rate < 0.1
+
+
+def test_predictor_learns_alternation():
+    predictor = TournamentPredictor(ProcessorConfig())
+    for k in range(400):
+        predictor.update(pc=128, taken=bool(k % 2))
+    # Local history should capture a strict alternation.
+    late_errors = sum(
+        predictor.update(pc=128, taken=bool(k % 2)) for k in range(400, 440))
+    assert late_errors < 10
+
+
+def test_predictor_random_stream_worse_than_biased():
+    rng = np.random.default_rng(0)
+    biased = TournamentPredictor(ProcessorConfig())
+    noisy = TournamentPredictor(ProcessorConfig())
+    for _ in range(500):
+        biased.update(1, True)
+        noisy.update(1, bool(rng.integers(0, 2)))
+    assert biased.mispredict_rate < noisy.mispredict_rate
+
+
+def test_btb_tracks_targets():
+    predictor = TournamentPredictor(ProcessorConfig())
+    predictor.update(10, True, target=500)
+    predictor.update(10, True, target=500)
+    assert predictor.btb_misses == 1     # second update hits
+
+
+# -- stride prefetcher ---------------------------------------------------------
+
+def test_prefetcher_detects_stride():
+    prefetcher = StridePrefetcher(degree=2, confidence_threshold=2)
+    issued = []
+    for k in range(6):
+        issued = prefetcher.train(pc=1, line=100 + 4 * k)
+    assert issued == [100 + 4 * 5 + 4, 100 + 4 * 5 + 8]
+
+
+def test_prefetcher_requires_confidence():
+    prefetcher = StridePrefetcher(confidence_threshold=2)
+    assert prefetcher.train(1, 100) == []       # new stream
+    assert prefetcher.train(1, 104) == []       # first delta: confidence 1
+    assert prefetcher.train(1, 108) != []       # repeated: confidence 2
+
+
+def test_prefetcher_nullifies_present_lines():
+    prefetcher = StridePrefetcher(degree=1, confidence_threshold=1)
+    prefetcher.train(1, 0)
+    prefetcher.train(1, 4)
+    issued = prefetcher.train(1, 8, is_present=lambda line: True)
+    assert issued == []
+    assert prefetcher.nullified == 1
+
+
+def test_prefetcher_stream_table_bounded():
+    prefetcher = StridePrefetcher(n_streams=2)
+    prefetcher.train(1, 0)
+    prefetcher.train(2, 0)
+    prefetcher.train(3, 0)        # evicts pc=1
+    assert len(prefetcher._streams) == 2
+    assert 1 not in prefetcher._streams
+
+
+def test_prefetcher_reset():
+    prefetcher = StridePrefetcher()
+    prefetcher.train(1, 0)
+    prefetcher.reset()
+    assert len(prefetcher._streams) == 0
+
+
+def test_prefetcher_invalid_params():
+    with pytest.raises(ValueError):
+        StridePrefetcher(n_streams=0)

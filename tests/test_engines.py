@@ -1,0 +1,133 @@
+"""Tests for the address engines."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.trace.engines import (
+    MultiWorkingSetEngine,
+    PointerChaseEngine,
+    SequentialEngine,
+    StridedEngine,
+    UniformWorkingSetEngine,
+    WorkingSetComponent,
+)
+from repro.util.rng import child_rng
+
+
+def line_map(n, base=1000):
+    return np.arange(base, base + n, dtype=np.int64)
+
+
+def test_uniform_engine_stays_in_map():
+    engine = UniformWorkingSetEngine(line_map(32), n_pcs=4)
+    lines, pcs = engine.generate(child_rng(0, "t"), 500)
+    assert set(lines.tolist()) <= set(line_map(32).tolist())
+    assert pcs.min() >= 0 and pcs.max() < 4
+
+
+def test_zipf_engine_skews_toward_head():
+    engine = UniformWorkingSetEngine(line_map(64), zipf_a=1.5)
+    lines, _ = engine.generate(child_rng(0, "t"), 4000)
+    head = np.count_nonzero(lines < 1000 + 8)
+    assert head > 4000 * 8 / 64          # far above uniform share
+
+
+def test_sequential_engine_cycles():
+    engine = SequentialEngine(line_map(5))
+    lines, _ = engine.generate(child_rng(0, "t"), 12)
+    expected = [1000 + (i % 5) for i in range(12)]
+    assert lines.tolist() == expected
+
+
+def test_sequential_engine_resumes_across_calls():
+    engine = SequentialEngine(line_map(100))
+    first, _ = engine.generate(child_rng(0, "t"), 30)
+    second, _ = engine.generate(child_rng(0, "t"), 30)
+    assert second[0] == first[-1] + 1
+
+
+def test_strided_engine_deterministic_revisit():
+    engine = StridedEngine(line_map(8), stride_lines=1)
+    lines, _ = engine.generate(child_rng(0, "t"), 17)
+    # Reuse distance of a circular unit sweep equals the buffer length.
+    assert lines[0] == lines[8] == lines[16]
+
+
+def test_strided_engine_pow2_footprint():
+    engine = StridedEngine(line_map(16), stride_lines=4)
+    assert engine.footprint_lines() == 4
+    lines, _ = engine.generate(child_rng(0, "t"), 64)
+    assert np.unique(lines).size == 4
+
+
+def test_strided_round_robin_pcs_for_large_strides():
+    engine = StridedEngine(line_map(64), stride_lines=8, n_pcs=2)
+    assert engine.round_robin_pcs
+    _, pcs = engine.generate(child_rng(0, "t"), 8)
+    assert pcs.tolist() == [0, 1, 0, 1, 0, 1, 0, 1]
+
+
+def test_unit_stride_uses_random_pcs():
+    engine = StridedEngine(line_map(64), stride_lines=1, n_pcs=4)
+    assert not engine.round_robin_pcs
+    _, pcs = engine.generate(child_rng(0, "t"), 256)
+    # Random attribution: consecutive same-PC deltas must not be a
+    # single dominant stride.
+    assert np.unique(pcs).size == 4
+
+
+def test_pointer_chase_is_permutation_cycle():
+    engine = PointerChaseEngine(line_map(50), child_rng(7, "perm"))
+    lines, _ = engine.generate(child_rng(0, "t"), 50)
+    assert np.unique(lines).size == 50        # Hamiltonian: no repeats
+    again, _ = engine.generate(child_rng(0, "t"), 50)
+    assert np.array_equal(lines, again)       # same cycle order
+
+
+def test_mixture_respects_weights():
+    a = UniformWorkingSetEngine(line_map(16, base=0), n_pcs=2)
+    b = UniformWorkingSetEngine(line_map(16, base=10_000), n_pcs=2)
+    engine = MultiWorkingSetEngine([
+        WorkingSetComponent(a, weight=0.9, pc_base=0),
+        WorkingSetComponent(b, weight=0.1, pc_base=2),
+    ])
+    lines, pcs = engine.generate(child_rng(0, "t"), 5000)
+    share_b = np.count_nonzero(lines >= 10_000) / 5000
+    assert 0.06 < share_b < 0.16
+    assert pcs.max() >= 2                     # pc_base applied
+
+
+def test_mixture_reweighted():
+    a = UniformWorkingSetEngine(line_map(16, base=0))
+    b = UniformWorkingSetEngine(line_map(16, base=10_000))
+    engine = MultiWorkingSetEngine([
+        WorkingSetComponent(a, weight=0.5),
+        WorkingSetComponent(b, weight=0.5),
+    ])
+    off = engine.reweighted({1: 0.0})
+    lines, _ = off.generate(child_rng(0, "t"), 1000)
+    assert lines.max() < 10_000
+
+
+def test_mixture_rejects_zero_total_weight():
+    a = UniformWorkingSetEngine(line_map(4))
+    with pytest.raises(ValueError):
+        MultiWorkingSetEngine([WorkingSetComponent(a, weight=0.0)])
+
+
+def test_empty_line_map_rejected():
+    with pytest.raises(ValueError):
+        UniformWorkingSetEngine(np.empty(0, dtype=np.int64))
+    with pytest.raises(ValueError):
+        StridedEngine(np.empty(0, dtype=np.int64))
+
+
+@settings(max_examples=25, deadline=None)
+@given(n_lines=st.integers(2, 64), stride=st.integers(1, 16),
+       n=st.integers(1, 200))
+def test_strided_engine_always_within_map(n_lines, stride, n):
+    engine = StridedEngine(line_map(n_lines), stride_lines=stride)
+    lines, pcs = engine.generate(child_rng(0, "t"), n)
+    assert lines.shape == (n,) and pcs.shape == (n,)
+    assert set(lines.tolist()) <= set(line_map(n_lines).tolist())

@@ -1,0 +1,78 @@
+"""Tests for the two-level cache hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro.caches.cache import CacheConfig
+from repro.caches.hierarchy import (
+    CacheHierarchy,
+    HierarchyConfig,
+    paper_hierarchy,
+)
+from repro.util.units import KIB, MIB
+
+
+def small_hierarchy():
+    return CacheHierarchy(HierarchyConfig(
+        l1d=CacheConfig(4 * 64, assoc=2),
+        l1i=CacheConfig(4 * 64, assoc=2),
+        llc=CacheConfig(32 * 64, assoc=4),
+    ))
+
+
+def test_access_levels():
+    h = small_hierarchy()
+    assert h.access(10) == "mem"     # cold
+    assert h.access(10) == "l1"      # now in L1
+    # Push line 10 out of L1 (same set: lines differ by n_sets=2).
+    h.access(12)
+    h.access(14)
+    assert h.access(10) == "llc"     # evicted from L1, still in LLC
+
+
+def test_warm_matches_per_access():
+    rng = np.random.default_rng(0)
+    lines = rng.integers(0, 128, size=6000)
+    bulk = small_hierarchy()
+    single = small_hierarchy()
+    l1, llc, mem = bulk.warm(lines)
+    for line in lines.tolist():
+        single.access(line)
+    assert (l1, llc, mem) == (single.l1_hits, single.llc_hits,
+                              single.mem_misses)
+
+
+def test_warm_counts_sum():
+    rng = np.random.default_rng(1)
+    lines = rng.integers(0, 500, size=3000)
+    h = small_hierarchy()
+    l1, llc, mem = h.warm(lines)
+    assert l1 + llc + mem == 3000
+
+
+def test_flush():
+    h = small_hierarchy()
+    h.warm(np.arange(50))
+    h.flush()
+    assert h.access(0) == "mem"
+    assert h.l1_hits == 0 and h.mem_misses == 1
+
+
+def test_scaled_llc_preserves_l1():
+    config = HierarchyConfig()
+    bigger = config.scaled_llc(1 * MIB)
+    assert bigger.llc.size_bytes == 1 * MIB
+    assert bigger.l1d == config.l1d
+
+
+def test_paper_hierarchy_scaling():
+    config = paper_hierarchy(8 * MIB, scale=1 / 64)
+    assert config.llc.size_bytes == 128 * KIB
+    assert config.llc.assoc == 8
+    assert config.l1d.size_bytes == 16 * KIB    # milder L1 scale (1/4)
+    assert config.l1d.assoc == 2
+
+
+def test_paper_hierarchy_floor():
+    config = paper_hierarchy(1 * MIB, scale=1 / 512)
+    assert config.llc.size_bytes >= 4 * KIB

@@ -1,0 +1,74 @@
+"""Tests for the trace position index (the profiling oracle)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.vff.index import TraceIndex
+from tests.test_record import make_trace
+
+
+def index_for(lines):
+    lines = np.asarray(lines, dtype=np.int64)
+    trace = make_trace(list(range(len(lines))), lines,
+                       n_instructions=len(lines))
+    return TraceIndex(trace)
+
+
+def test_positions():
+    idx = index_for([5, 7, 5, 9, 5])
+    assert idx.lines.positions(5).tolist() == [0, 2, 4]
+    assert idx.lines.positions(42).size == 0
+
+
+def test_count_in_window():
+    idx = index_for([5, 7, 5, 9, 5])
+    assert idx.lines.count_in(5, 0, 5) == 3
+    assert idx.lines.count_in(5, 1, 4) == 1
+    assert idx.lines.count_in(7, 2, 5) == 0
+
+
+def test_last_and_first_in():
+    idx = index_for([5, 7, 5, 9, 5])
+    assert idx.lines.last_in(5, 0, 4) == 2
+    assert idx.lines.last_in(5, 0, 5) == 4
+    assert idx.lines.last_in(9, 0, 3) == -1
+    assert idx.lines.first_in(5, 1, 5) == 2
+
+
+def test_last_access_before_and_next_after():
+    idx = index_for([5, 7, 5, 9, 5])
+    assert idx.last_access_before(5, 4) == 2
+    assert idx.last_access_before(5, 0) == -1
+    assert idx.next_access_after(5, 0) == 2
+    assert idx.next_access_after(5, 4) == -1
+
+
+def test_page_stops():
+    # Lines 0 and 1 share page 0; line 64 is page 1.
+    idx = index_for([0, 1, 64, 0, 64])
+    assert idx.page_stops_in([0], 0, 5) == 3
+    assert idx.page_stops_in([0, 1], 0, 5) == 5
+    assert idx.pages_of_lines([0, 1, 64]).tolist() == [0, 1]
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(0, 20), min_size=1, max_size=120),
+       st.integers(0, 20), st.data())
+def test_count_in_matches_brute_force(lines, key, data):
+    lo = data.draw(st.integers(0, len(lines)))
+    hi = data.draw(st.integers(lo, len(lines)))
+    idx = index_for(lines)
+    expected = sum(1 for p in range(lo, hi) if lines[p] == key)
+    assert idx.lines.count_in(key, lo, hi) == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(0, 10), min_size=1, max_size=80))
+def test_last_in_matches_brute_force(lines):
+    idx = index_for(lines)
+    for key in range(11):
+        expected = -1
+        for p, line in enumerate(lines):
+            if line == key:
+                expected = p
+        assert idx.lines.last_in(key, 0, len(lines)) == expected

@@ -1,0 +1,107 @@
+"""Cross-module integration tests: the invariants the paper's story
+rests on, exercised on small workloads."""
+
+import numpy as np
+import pytest
+
+from tests.conftest import make_small_workload
+from repro.caches.hierarchy import paper_hierarchy
+from repro.core.delorean import DeLorean
+from repro.sampling.coolsim import CoolSim
+from repro.sampling.plan import SamplingPlan
+from repro.sampling.smarts import Smarts
+from repro.vff.index import TraceIndex
+
+
+@pytest.fixture(scope="module")
+def setup():
+    workload = make_small_workload(seed=11, n_instructions=180_000,
+                                   hot_lines=64, cold_lines=512,
+                                   cold_weight=0.12)
+    plan = SamplingPlan(n_instructions=180_000, n_regions=3)
+    index = TraceIndex(workload.trace)
+    hierarchy = paper_hierarchy(8 << 20)
+    return workload, plan, index, hierarchy
+
+
+@pytest.fixture(scope="module")
+def results(setup):
+    workload, plan, index, hierarchy = setup
+    return {
+        "smarts": Smarts().run(workload, plan, hierarchy, index=index),
+        "coolsim": CoolSim().run(workload, plan, hierarchy, index=index,
+                                 seed=3),
+        "delorean": DeLorean().run(workload, plan, hierarchy, index=index,
+                                   seed=3),
+    }
+
+
+def test_all_strategies_see_same_accesses(results):
+    totals = {name: sum(r.stats.total for r in res.regions)
+              for name, res in results.items()}
+    assert len(set(totals.values())) == 1
+
+
+def test_speed_ordering(results):
+    assert (results["smarts"].total_seconds
+            > results["coolsim"].total_seconds
+            > results["delorean"].total_seconds)
+
+
+def test_mips_ordering_matches_paper(results):
+    assert results["smarts"].mips < 5
+    assert results["coolsim"].mips > results["smarts"].mips
+    assert results["delorean"].mips > results["coolsim"].mips
+
+
+def test_statistical_strategies_track_reference(results):
+    reference = results["smarts"]
+    assert results["delorean"].cpi_error(reference) < 0.3
+    assert results["coolsim"].cpi_error(reference) < 0.6
+
+
+def test_delorean_collects_fewer_reuses_than_coolsim(results):
+    delorean = results["delorean"].extras["collected_reuse_distances"]
+    coolsim = results["coolsim"].extras["collected_reuse_distances"]
+    assert delorean < coolsim
+
+
+def test_delorean_wall_clock_benefits_from_pipelining(results):
+    delorean = results["delorean"]
+    core_seconds = delorean.meter.ledger.total_seconds
+    assert delorean.wall_seconds < core_seconds
+
+
+def test_branch_behaviour_identical_across_strategies(setup, results):
+    workload, plan, _, _ = setup
+    trace = workload.trace
+    totals = []
+    for res in results.values():
+        branch_cycles = sum(r.timing.branch_cycles for r in res.regions)
+        totals.append(branch_cycles)
+    assert len(set(totals)) == 1
+
+
+def test_region_count_consistency(setup, results):
+    _, plan, _, _ = setup
+    for res in results.values():
+        assert len(res.regions) == plan.n_regions
+        for k, region in enumerate(res.regions):
+            assert region.index == k
+
+
+def test_bigger_cache_never_hurts_delorean(setup):
+    workload, plan, index, _ = setup
+    small = DeLorean().run(workload, plan, paper_hierarchy(1 << 20),
+                           index=index, seed=3)
+    large = DeLorean().run(workload, plan, paper_hierarchy(512 << 20),
+                           index=index, seed=3)
+    assert large.mpki <= small.mpki + 0.5
+
+
+def test_seed_stability_of_delorean(setup):
+    workload, plan, index, hierarchy = setup
+    a = DeLorean().run(workload, plan, hierarchy, index=index, seed=3)
+    b = DeLorean().run(workload, plan, hierarchy, index=index, seed=3)
+    assert a.cpi == b.cpi
+    assert a.wall_seconds == b.wall_seconds

@@ -1,0 +1,50 @@
+"""Tests for the MSHR file."""
+
+import pytest
+
+from repro.caches.mshr import MSHRFile
+
+
+def test_lookup_miss_then_hit_within_window():
+    mshr = MSHRFile(4, window=10)
+    assert not mshr.lookup(7, now=0)
+    assert mshr.allocate(7, now=0)
+    assert mshr.lookup(7, now=5)
+    assert mshr.mshr_hits == 1
+
+
+def test_entry_expires_after_window():
+    mshr = MSHRFile(4, window=10)
+    mshr.allocate(7, now=0)
+    assert not mshr.lookup(7, now=10)
+
+
+def test_capacity_limit():
+    mshr = MSHRFile(2, window=100)
+    assert mshr.allocate(1, now=0)
+    assert mshr.allocate(2, now=0)
+    assert not mshr.allocate(3, now=0)
+    assert mshr.allocation_failures == 1
+
+
+def test_capacity_frees_after_expiry():
+    mshr = MSHRFile(1, window=5)
+    mshr.allocate(1, now=0)
+    assert mshr.allocate(2, now=6)
+
+
+def test_occupancy_and_reset():
+    mshr = MSHRFile(4, window=10)
+    mshr.allocate(1, now=0)
+    mshr.allocate(2, now=0)
+    assert mshr.occupancy == 2
+    mshr.reset()
+    assert mshr.occupancy == 0
+    assert mshr.mshr_hits == 0
+
+
+def test_invalid_parameters():
+    with pytest.raises(ValueError):
+        MSHRFile(0)
+    with pytest.raises(ValueError):
+        MSHRFile(4, window=0)

@@ -1,0 +1,40 @@
+"""Tests for the naive (single-pass) DSW ablation strategy."""
+
+import pytest
+
+from repro.caches.hierarchy import paper_hierarchy
+from repro.core.delorean import DeLorean
+from repro.core.naive import NaiveDirectedWarming
+
+
+@pytest.fixture
+def hierarchy():
+    return paper_hierarchy(8 << 20)
+
+
+def test_naive_dsw_runs(small_workload, small_plan, small_index, hierarchy):
+    result = NaiveDirectedWarming().run(
+        small_workload, small_plan, hierarchy, index=small_index, seed=2)
+    assert result.strategy == "NaiveDSW"
+    assert len(result.regions) == small_plan.n_regions
+    assert result.extras["watchpoint_stops_model"] > 0
+
+
+def test_naive_matches_delorean_accuracy(small_workload, small_plan,
+                                         small_index, hierarchy):
+    """Same DSW classification, so MPKI should agree closely."""
+    naive = NaiveDirectedWarming().run(
+        small_workload, small_plan, hierarchy, index=small_index, seed=2)
+    delorean = DeLorean().run(
+        small_workload, small_plan, hierarchy, index=small_index, seed=2)
+    assert naive.mpki == pytest.approx(delorean.mpki, abs=1.0)
+
+
+def test_time_traveling_is_faster(small_workload, small_plan, small_index,
+                                  hierarchy):
+    """The Section 3.3 claim: naive full-gap watchpoints are too slow."""
+    naive = NaiveDirectedWarming().run(
+        small_workload, small_plan, hierarchy, index=small_index, seed=2)
+    delorean = DeLorean().run(
+        small_workload, small_plan, hierarchy, index=small_index, seed=2)
+    assert delorean.total_seconds < naive.total_seconds

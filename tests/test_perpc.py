@@ -1,0 +1,73 @@
+"""Tests for per-PC reuse statistics (the CoolSim substrate)."""
+
+import pytest
+
+from repro.statmodel.perpc import PerPCReuseStats
+
+
+def test_fallback_until_min_samples():
+    stats = PerPCReuseStats(min_samples=4)
+    for _ in range(3):
+        stats.add(1, 10)
+    assert stats.used_fallback(1)
+    stats.add(1, 10)
+    assert not stats.used_fallback(1)
+    assert stats.used_fallback(999)
+
+
+def test_counts():
+    stats = PerPCReuseStats()
+    stats.add(1, 5)
+    stats.add(2, 7)
+    stats.add(2, -1)      # cold
+    assert stats.n_pcs == 2
+    assert stats.n_samples == 3
+    assert stats.samples_for(2) == 2
+
+
+def test_short_reuse_pc_predicts_hit():
+    stats = PerPCReuseStats(min_samples=2)
+    for _ in range(50):
+        stats.add(1, 5)       # very short reuses
+    assert stats.miss_probability(1, cache_lines=100) < 0.05
+
+
+def test_long_reuse_pc_predicts_miss():
+    stats = PerPCReuseStats(min_samples=2)
+    # Global distribution: mostly short reuses (the conversion model),
+    # plus one PC with reuses far beyond the cache size.
+    for _ in range(200):
+        stats.add(1, 4)
+    for _ in range(50):
+        stats.add(2, 5000)
+    assert stats.miss_probability(2, cache_lines=50) > 0.9
+    assert stats.miss_probability(1, cache_lines=50) < 0.1
+
+
+def test_conversion_uses_global_distribution():
+    """The reuse->stack conversion must use the *global* histogram.
+
+    A long-reuse PC surrounded by short-reuse traffic: the window of its
+    reuse contains mostly short-reuse accesses, so its stack distance is
+    far below its reuse distance, and a large cache still hits.
+    """
+    stats = PerPCReuseStats(min_samples=2)
+    for _ in range(400):
+        stats.add(1, 10)                 # dense hot traffic
+    for _ in range(20):
+        stats.add(2, 2000)               # sparse long-reuse PC
+    # Expected stack distance of a 2000-access window is roughly
+    # 11 + 2000 * P(rd > small) ~ 11 + 2000 * (20/420) << 2000.
+    assert stats.miss_probability(2, cache_lines=1000) < 0.2
+    assert stats.miss_probability(2, cache_lines=50) > 0.8
+
+
+def test_cold_only_pc():
+    stats = PerPCReuseStats(min_samples=1)
+    stats.add(7, -1)
+    assert stats.miss_probability(7, cache_lines=10) == pytest.approx(1.0)
+
+
+def test_empty_stats():
+    stats = PerPCReuseStats()
+    assert stats.miss_probability(1, cache_lines=10) == 0.0

@@ -1,0 +1,90 @@
+"""Tests for phase composition and trace building."""
+
+import numpy as np
+import pytest
+
+from repro.trace.engines import UniformWorkingSetEngine
+from repro.trace.phases import PhaseSpec, build_trace
+from repro.trace.record import Kind
+
+
+def engine(n=32):
+    return UniformWorkingSetEngine(np.arange(100, 100 + n, dtype=np.int64),
+                                   n_pcs=3)
+
+
+def test_build_trace_lengths():
+    trace = build_trace(
+        [PhaseSpec("a", 10_000, engine()), PhaseSpec("b", 5_000, engine())],
+        seed=1)
+    assert trace.n_instructions == 15_000
+    trace.validate()
+
+
+def test_kind_fractions_approximate_spec():
+    trace = build_trace(
+        [PhaseSpec("a", 60_000, engine(), mem_fraction=0.4,
+                   branch_fraction=0.15)], seed=1)
+    mem = trace.n_accesses / trace.n_instructions
+    branches = trace.branch_instr.size / trace.n_instructions
+    assert abs(mem - 0.4) < 0.02
+    assert abs(branches - 0.15) < 0.02
+
+
+def test_store_fraction():
+    trace = build_trace(
+        [PhaseSpec("a", 60_000, engine(), store_fraction=0.3)], seed=1)
+    stores = trace.mem_store.sum() / trace.n_accesses
+    assert abs(stores - 0.3) < 0.03
+    assert np.all(trace.kind[trace.mem_instr[trace.mem_store]] == Kind.STORE)
+
+
+def test_mispredict_rate():
+    trace = build_trace(
+        [PhaseSpec("a", 80_000, engine(), branch_fraction=0.2,
+                   mispredict_rate=0.1)], seed=1)
+    rate = trace.branch_mispred.sum() / trace.branch_instr.size
+    assert abs(rate - 0.1) < 0.02
+
+
+def test_determinism():
+    phases = lambda: [PhaseSpec("a", 20_000, engine())]
+    t1 = build_trace(phases(), seed=5)
+    t2 = build_trace(phases(), seed=5)
+    assert np.array_equal(t1.mem_line, t2.mem_line)
+    assert np.array_equal(t1.kind, t2.kind)
+
+
+def test_seed_changes_trace():
+    phases = lambda: [PhaseSpec("a", 20_000, engine())]
+    t1 = build_trace(phases(), seed=5)
+    t2 = build_trace(phases(), seed=6)
+    assert not np.array_equal(t1.mem_line, t2.mem_line)
+
+
+def test_phase_boundaries_respected():
+    a = UniformWorkingSetEngine(np.arange(0, 8, dtype=np.int64))
+    b = UniformWorkingSetEngine(np.arange(1000, 1008, dtype=np.int64))
+    trace = build_trace(
+        [PhaseSpec("a", 10_000, a), PhaseSpec("b", 10_000, b)], seed=1)
+    lo, hi = trace.access_range(0, 10_000)
+    assert trace.mem_line[lo:hi].max() < 1000
+    lo, hi = trace.access_range(10_000, 20_000)
+    assert trace.mem_line[lo:hi].min() >= 1000
+
+
+def test_empty_phase_skipped():
+    trace = build_trace(
+        [PhaseSpec("a", 0, engine()), PhaseSpec("b", 1000, engine())], seed=1)
+    assert trace.n_instructions == 1000
+
+
+def test_invalid_fractions_rejected():
+    with pytest.raises(ValueError):
+        PhaseSpec("a", 10, engine(), mem_fraction=0.7, branch_fraction=0.5)
+    with pytest.raises(ValueError):
+        PhaseSpec("a", 10, engine(), mem_fraction=-0.1)
+    with pytest.raises(ValueError):
+        PhaseSpec("a", 10, engine(), mispredict_rate=1.5)
+    with pytest.raises(ValueError):
+        PhaseSpec("a", -5, engine())

@@ -1,0 +1,41 @@
+"""Property-based tests for the pipeline schedule (Figure 4)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.pipeline import bottleneck_stage, pipeline_schedule
+
+stage_matrix = st.integers(1, 4).flatmap(
+    lambda n_stages: st.integers(1, 6).flatmap(
+        lambda n_regions: st.lists(
+            st.lists(st.floats(0.0, 10.0), min_size=n_regions,
+                     max_size=n_regions),
+            min_size=n_stages, max_size=n_stages)))
+
+
+@settings(max_examples=60, deadline=None)
+@given(stage_matrix)
+def test_wall_bounded_by_sum_and_bottleneck(times):
+    finish, wall = pipeline_schedule(times)
+    total = float(np.sum(times))
+    _, bottleneck = bottleneck_stage(times)
+    assert wall <= total + 1e-9          # pipelining never slows down
+    assert wall >= bottleneck - 1e-9     # the slowest stage is a floor
+
+
+@settings(max_examples=60, deadline=None)
+@given(stage_matrix)
+def test_finish_times_monotone(times):
+    finish, _ = pipeline_schedule(times)
+    # Along a stage, finishes are non-decreasing over regions; within a
+    # region, each downstream stage finishes no earlier than upstream.
+    assert np.all(np.diff(finish, axis=1) >= -1e-9)
+    assert np.all(np.diff(finish, axis=0) >= -1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(stage_matrix)
+def test_single_region_is_sequential(times):
+    times = [[row[0]] for row in times]
+    _, wall = pipeline_schedule(times)
+    assert wall == sum(row[0] for row in times)

@@ -1,0 +1,60 @@
+"""Tests for the sampling plan geometry."""
+
+import pytest
+
+from repro.sampling.plan import SamplingPlan
+
+
+def test_region_geometry():
+    plan = SamplingPlan(n_instructions=1_000_000, n_regions=4)
+    regions = plan.regions()
+    assert len(regions) == 4
+    assert regions[0].region_end == 250_000
+    assert regions[0].region_start == 240_000
+    assert regions[1].warmup_start == 250_000
+    for spec in regions:
+        assert (spec.warmup_start <= spec.warming_start
+                < spec.region_start < spec.region_end)
+
+
+def test_paper_scale_projection():
+    plan = SamplingPlan(n_instructions=1_000_000, n_regions=4)
+    assert plan.gap_instructions == 250_000
+    assert plan.scale == pytest.approx(1e9 / 250_000)
+    assert plan.paper_equivalent_instructions == 4_000_000_000
+
+
+def test_warming_window_scales_with_footprint():
+    plan = SamplingPlan(n_instructions=1_000_000, n_regions=2,
+                        footprint_scale=1 / 64)
+    assert plan.model_warming_instructions == round(30_000 / 64)
+    full = SamplingPlan(n_instructions=1_000_000, n_regions=2,
+                        footprint_scale=1.0)
+    assert full.model_warming_instructions == 30_000
+
+
+def test_l1_window_is_paper_sized():
+    plan = SamplingPlan(n_instructions=1_000_000, n_regions=2)
+    spec = plan.regions()[0]
+    assert spec.region_start - spec.l1_warming_start == 30_000
+    assert spec.region_start - spec.warming_start == (
+        plan.model_warming_instructions)
+    assert spec.paper_warming_instructions == 30_000
+
+
+def test_l1_window_clamped_to_gap():
+    plan = SamplingPlan(n_instructions=80_000, n_regions=2,
+                        warming_instructions=30_000)
+    second = plan.regions()[1]
+    assert second.l1_warming_start >= second.warmup_start
+
+
+def test_too_small_gap_rejected():
+    with pytest.raises(ValueError):
+        SamplingPlan(n_instructions=40_000, n_regions=4,
+                     footprint_scale=1.0)
+
+
+def test_zero_regions_rejected():
+    with pytest.raises(ValueError):
+        SamplingPlan(n_instructions=1000, n_regions=0)

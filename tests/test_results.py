@@ -1,0 +1,102 @@
+"""Tests for result containers and error metrics."""
+
+import math
+
+import pytest
+
+from repro.caches.stats import AccessStats, HIT_LUKEWARM, MISS_CAPACITY
+from repro.cpu.config import ProcessorConfig
+from repro.cpu.interval import IntervalCoreModel
+from repro.sampling.results import RegionResult, StrategyResult
+from repro.vff.costmodel import CostMeter
+
+
+def region(index=0, n_instructions=10_000, misses=5, hits=100):
+    stats = AccessStats()
+    for _ in range(hits):
+        stats.record(HIT_LUKEWARM)
+    for _ in range(misses):
+        stats.record(MISS_CAPACITY)
+    timing = IntervalCoreModel(ProcessorConfig()).region_timing(
+        n_instructions,
+        outcomes=[MISS_CAPACITY] * misses,
+        outcome_instr=list(range(0, misses * 500, 500)),
+        llc_hit_instr=[],
+        n_mispredicts=0,
+    )
+    return RegionResult(index=index, n_instructions=n_instructions,
+                        stats=stats, timing=timing)
+
+
+def strategy_result(regions, seconds=10.0, wall=None):
+    meter = CostMeter()
+    meter.ledger.add("vff", seconds)
+    return StrategyResult(
+        strategy="X", workload="w", regions=regions, meter=meter,
+        paper_equivalent_instructions=1_000_000_000, wall_seconds=wall)
+
+
+def test_region_mpki():
+    r = region(misses=5, n_instructions=10_000)
+    assert r.mpki == pytest.approx(0.5)
+    assert r.misses == 5
+    assert r.cpi > 0
+
+
+def test_strategy_cpi_weighted():
+    result = strategy_result([region(0), region(1)])
+    assert result.cpi == pytest.approx(result.regions[0].cpi)
+
+
+def test_wall_seconds_override():
+    result = strategy_result([region()], seconds=10.0, wall=2.0)
+    assert result.total_seconds == 2.0
+    no_wall = strategy_result([region()], seconds=10.0)
+    assert no_wall.total_seconds == 10.0
+
+
+def test_mips():
+    result = strategy_result([region()], seconds=10.0)
+    assert result.mips == pytest.approx(100.0)
+
+
+def test_cpi_error_and_speedup():
+    a = strategy_result([region(misses=5)], seconds=10.0)
+    b = strategy_result([region(misses=10)], seconds=2.0)
+    assert a.cpi_error(a) == 0.0
+    assert b.cpi_error(a) > 0.0
+    assert b.speedup_over(a) == pytest.approx(5.0)
+
+
+def test_mpki_error():
+    a = strategy_result([region(misses=5)])
+    b = strategy_result([region(misses=8)])
+    assert b.mpki_error(a) == pytest.approx(0.3)
+
+
+def test_empty_regions_nan_cpi():
+    result = strategy_result([])
+    assert math.isnan(result.cpi)
+    assert result.mpki == 0.0
+
+
+def test_access_stats_invariants():
+    stats = AccessStats()
+    stats.record(HIT_LUKEWARM)
+    stats.record(MISS_CAPACITY)
+    assert stats.total == 2
+    assert stats.hits == 1
+    assert stats.misses == 1
+    assert stats.miss_ratio() == pytest.approx(0.5)
+    with pytest.raises(ValueError):
+        stats.record("bogus")
+
+
+def test_access_stats_merge():
+    a = AccessStats()
+    a.record(HIT_LUKEWARM)
+    b = AccessStats()
+    b.record(MISS_CAPACITY)
+    a.merge(b)
+    assert a.total == 2
+    assert a.as_dict()[MISS_CAPACITY] == 1

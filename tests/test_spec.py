@@ -1,0 +1,95 @@
+"""Tests for the SPEC CPU2006-like benchmark suite."""
+
+import numpy as np
+import pytest
+
+from repro.trace.spec import (
+    SPEC2006_NAMES,
+    benchmark_spec,
+    spec2006_suite,
+)
+from repro.util.units import LINES_PER_PAGE
+
+
+def test_suite_has_24_benchmarks():
+    assert len(SPEC2006_NAMES) == 24
+    assert SPEC2006_NAMES[0] == "perlbench"
+    assert SPEC2006_NAMES[-1] == "xalancbmk"
+
+
+def test_component_weights_sum_to_one():
+    for name in SPEC2006_NAMES:
+        spec = benchmark_spec(name)
+        total = sum(c.weight for c in spec.components)
+        assert total == pytest.approx(1.0, abs=1e-6), name
+
+
+def test_phase_plan_fractions_sum_to_one():
+    for name in SPEC2006_NAMES:
+        spec = benchmark_spec(name)
+        if spec.phase_plan:
+            assert sum(f for f, _ in spec.phase_plan) == pytest.approx(1.0)
+
+
+def test_workloads_build_and_validate():
+    for workload in spec2006_suite(n_instructions=60_000, seed=2,
+                                   names=("bwaves", "mcf", "povray")):
+        trace = workload.trace
+        trace.validate()
+        assert trace.n_instructions == 60_000
+        assert trace.n_accesses > 0
+
+
+def test_unknown_benchmark_rejected():
+    with pytest.raises(KeyError):
+        benchmark_spec("nonesuch")
+
+
+def test_workload_determinism_and_release():
+    w1 = spec2006_suite(n_instructions=50_000, seed=4, names=("lbm",))[0]
+    lines = w1.trace.mem_line.copy()
+    w1.release()
+    assert np.array_equal(w1.trace.mem_line, lines)
+
+
+def test_povray_cold_lines_share_hot_pages():
+    spec = benchmark_spec("povray")
+    workload = spec.workload(n_instructions=400_000, seed=2)
+    trace = workload.trace
+    # The cold component is only active in the middle phase; its lines
+    # must share pages with hot lines (the false-positive mechanism).
+    lo, hi = trace.access_range(0, 240_000)
+    early_lines = set(trace.mem_line[lo:hi].tolist())
+    lo, hi = trace.access_range(240_000, 300_000)
+    mid_lines = set(trace.mem_line[lo:hi].tolist())
+    cold_lines = mid_lines - early_lines
+    assert cold_lines, "middle phase must touch new (cold) lines"
+    early_pages = {l // LINES_PER_PAGE for l in early_lines}
+    cold_pages = {l // LINES_PER_PAGE for l in cold_lines}
+    assert cold_pages <= early_pages
+
+
+def test_calculix_big_component_only_in_middle_phase():
+    spec = benchmark_spec("calculix")
+    workload = spec.workload(n_instructions=400_000, seed=2)
+    trace = workload.trace
+    footprint_early = trace.unique_lines(
+        *trace.access_range(0, 200_000))
+    lo, hi = trace.access_range(220_000, 260_000)
+    footprint_mid = np.unique(trace.mem_line[lo:hi]).size
+    assert footprint_mid > footprint_early * 2
+
+
+def test_scale_shrinks_footprint():
+    big = benchmark_spec("mcf").workload(
+        n_instructions=120_000, seed=2, scale=1 / 32)
+    small = benchmark_spec("mcf").workload(
+        n_instructions=120_000, seed=2, scale=1 / 128)
+    assert small.trace.unique_lines() < big.trace.unique_lines()
+
+
+def test_mem_fraction_matches_spec():
+    spec = benchmark_spec("GemsFDTD")
+    workload = spec.workload(n_instructions=100_000, seed=2)
+    measured = workload.trace.mem_fraction()
+    assert abs(measured - spec.mem_fraction) < 0.02

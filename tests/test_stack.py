@@ -1,0 +1,136 @@
+"""Tests for exact reuse/stack distance analysis and the Fenwick tree."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from tests.conftest import brute_force_prev
+from repro.caches.stack import (
+    FenwickTree,
+    StackDistanceProfiler,
+    miss_count_for_sizes,
+    next_access_index,
+    previous_access_index,
+    reuse_and_stack_distances,
+)
+
+
+def test_known_sequence():
+    lines = np.array([1, 2, 3, 1, 2, 3, 4, 1])
+    reuse, stack = reuse_and_stack_distances(lines)
+    assert reuse.tolist() == [-1, -1, -1, 2, 2, 2, -1, 3]
+    assert stack.tolist() == [-1, -1, -1, 2, 2, 2, -1, 3]
+
+
+def test_stack_counts_unique_only():
+    lines = np.array([5, 7, 7, 7, 5])
+    reuse, stack = reuse_and_stack_distances(lines)
+    assert reuse[-1] == 3          # three accesses in between
+    assert stack[-1] == 1          # but only one distinct line
+
+
+def test_immediate_rereference():
+    reuse, stack = reuse_and_stack_distances(np.array([9, 9]))
+    assert reuse[1] == 0 and stack[1] == 0
+
+
+def test_empty_input():
+    reuse, stack = reuse_and_stack_distances(np.empty(0, dtype=np.int64))
+    assert reuse.size == 0 and stack.size == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(0, 30), min_size=1, max_size=200))
+def test_previous_access_index_matches_brute_force(lines):
+    lines = np.asarray(lines)
+    assert np.array_equal(previous_access_index(lines),
+                          brute_force_prev(lines))
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(0, 30), min_size=1, max_size=200))
+def test_next_is_reverse_of_previous(lines):
+    lines = np.asarray(lines)
+    nxt = next_access_index(lines)
+    prev = previous_access_index(lines)
+    for i, j in enumerate(nxt.tolist()):
+        if j >= 0:
+            assert prev[j] == i
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(0, 20), min_size=1, max_size=150))
+def test_stack_distance_vs_brute_force(lines):
+    lines = np.asarray(lines)
+    _, stack = reuse_and_stack_distances(lines)
+    last = {}
+    for i, line in enumerate(lines.tolist()):
+        if line in last:
+            distinct = len(set(lines[last[line] + 1:i].tolist()))
+            assert stack[i] == distinct
+        else:
+            assert stack[i] == -1
+        last[line] = i
+
+
+def test_stack_never_exceeds_reuse():
+    rng = np.random.default_rng(0)
+    lines = rng.integers(0, 64, size=3000)
+    reuse, stack = reuse_and_stack_distances(lines)
+    warm = reuse >= 0
+    assert np.all(stack[warm] <= reuse[warm])
+
+
+def test_miss_count_for_sizes_monotone():
+    rng = np.random.default_rng(1)
+    lines = rng.integers(0, 256, size=5000)
+    _, stack = reuse_and_stack_distances(lines)
+    sizes = [8, 32, 128, 512]
+    misses = miss_count_for_sizes(stack, sizes)
+    assert all(a >= b for a, b in zip(misses, misses[1:]))
+    # At infinite size only cold misses remain.
+    assert miss_count_for_sizes(stack, [10**9])[0] == np.count_nonzero(
+        stack < 0)
+
+
+def test_profiler_miss_ratio_curve():
+    rng = np.random.default_rng(2)
+    lines = rng.integers(0, 128, size=4000)
+    profiler = StackDistanceProfiler(lines)
+    curve = profiler.miss_ratio_curve([16, 64, 256])
+    assert np.all(np.diff(curve) <= 0)
+    assert profiler.miss_ratio(64) == pytest.approx(curve[1])
+
+
+def test_fenwick_tree_point_and_prefix():
+    tree = FenwickTree(10)
+    tree.add(3, 5)
+    tree.add(7, 2)
+    assert tree.prefix_sum(2) == 0
+    assert tree.prefix_sum(3) == 5
+    assert tree.prefix_sum(10) == 7
+    assert tree.range_sum(4, 7) == 2
+    assert tree.range_sum(8, 3) == 0
+
+
+def test_fenwick_bounds():
+    tree = FenwickTree(4)
+    with pytest.raises(IndexError):
+        tree.add(0, 1)
+    with pytest.raises(IndexError):
+        tree.add(5, 1)
+    with pytest.raises(ValueError):
+        FenwickTree(0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.tuples(st.integers(1, 20), st.integers(-5, 5)),
+                min_size=1, max_size=50))
+def test_fenwick_matches_array(updates):
+    tree = FenwickTree(20)
+    reference = np.zeros(21, dtype=np.int64)
+    for index, value in updates:
+        tree.add(index, value)
+        reference[index] += value
+    for k in range(21):
+        assert tree.prefix_sum(k) == reference[:k + 1].sum()

@@ -1,0 +1,71 @@
+"""Tests for the StatCache random-replacement model."""
+
+import numpy as np
+import pytest
+
+from repro.caches.cache import CacheConfig, SetAssocCache
+from repro.statmodel.histogram import ReuseHistogram
+from repro.statmodel.statcache import StatCache
+
+
+def model_from(distances, cold=0):
+    h = ReuseHistogram()
+    h.add_many(distances)
+    if cold:
+        h.add_cold(weight=cold)
+    return StatCache(h)
+
+
+def test_miss_ratio_bounds():
+    rng = np.random.default_rng(0)
+    model = model_from(rng.geometric(0.01, size=400))
+    for size in (1, 10, 100, 10_000):
+        assert 0.0 <= model.miss_ratio(size) <= 1.0
+
+
+def test_monotone_in_cache_size():
+    rng = np.random.default_rng(1)
+    model = model_from(rng.geometric(0.005, size=600))
+    sizes = [8, 32, 128, 512, 2048]
+    ratios = [model.miss_ratio(s) for s in sizes]
+    assert all(a >= b - 1e-9 for a, b in zip(ratios, ratios[1:]))
+
+
+def test_cold_fraction_is_floor():
+    model = model_from([1, 1], cold=2)
+    assert model.miss_ratio(10_000) >= 0.5 - 1e-6
+
+
+def test_zero_size_cache_always_misses():
+    model = model_from([5, 5])
+    assert model.miss_ratio(0) == 1.0
+
+
+def test_hit_probability():
+    model = model_from([10] * 50)
+    assert model.hit_probability(0, 100) == pytest.approx(1.0)
+    assert model.hit_probability(-1, 100) == 0.0
+    assert 0.0 < model.hit_probability(50, 100) < 1.0
+
+
+def test_against_random_replacement_simulation():
+    rng = np.random.default_rng(2)
+    lines = np.where(rng.random(40_000) < 0.7,
+                     rng.integers(0, 64, size=40_000),
+                     rng.integers(1000, 1768, size=40_000))
+    from repro.caches.stack import reuse_and_stack_distances
+    reuse, _ = reuse_and_stack_distances(lines)
+    h = ReuseHistogram()
+    h.add_many(reuse)
+    model = StatCache(h)
+    for n_lines in (128, 512):
+        cache = SetAssocCache(
+            CacheConfig(n_lines * 64, assoc=8, policy="random"), seed=4)
+        cache.warm(lines)
+        simulated = cache.misses / len(lines)
+        assert model.miss_ratio(n_lines) == pytest.approx(simulated,
+                                                          abs=0.06)
+
+
+def test_empty_histogram():
+    assert StatCache(ReuseHistogram()).miss_ratio(64) == 0.0

@@ -1,0 +1,67 @@
+"""Tests for the StatCC shared-cache contention model."""
+
+import numpy as np
+import pytest
+
+from repro.statmodel.histogram import ReuseHistogram
+from repro.statmodel.statcc import CoRunner, StatCC
+
+
+def app(name, mean_distance, n=400, mem_fraction=0.4, base_cpi=0.4,
+        miss_penalty=60.0, seed=0):
+    rng = np.random.default_rng(seed)
+    histogram = ReuseHistogram()
+    histogram.add_many(rng.geometric(1.0 / mean_distance, size=n))
+    return CoRunner(name=name, histogram=histogram,
+                    mem_fraction=mem_fraction, base_cpi=base_cpi,
+                    miss_penalty=miss_penalty)
+
+
+def test_single_app_equals_solo():
+    solver = StatCC()
+    a = app("a", 50)
+    result = solver.solve([a], cache_lines=64)
+    assert result.miss_ratio[0] == pytest.approx(
+        result.solo_miss_ratio[0], abs=1e-9)
+    assert result.slowdown[0] == pytest.approx(1.0, abs=1e-6)
+
+
+def test_sharing_never_helps():
+    solver = StatCC()
+    mix = [app("a", 60, seed=1), app("b", 60, seed=2)]
+    result = solver.solve(mix, cache_lines=96)
+    assert np.all(result.miss_ratio >= result.solo_miss_ratio - 1e-9)
+    assert np.all(result.slowdown >= 1.0 - 1e-9)
+
+
+def test_contention_grows_with_corunner_intensity():
+    solver = StatCC()
+    light = [app("a", 60, seed=1), app("light", 60, mem_fraction=0.1,
+                                       seed=3)]
+    heavy = [app("a", 60, seed=1), app("heavy", 60, mem_fraction=0.6,
+                                       seed=3)]
+    mr_light = solver.solve(light, cache_lines=96).miss_ratio[0]
+    mr_heavy = solver.solve(heavy, cache_lines=96).miss_ratio[0]
+    assert mr_heavy >= mr_light - 1e-9
+
+
+def test_big_cache_absorbs_contention():
+    solver = StatCC()
+    mix = [app("a", 40, seed=1), app("b", 40, seed=2)]
+    small = solver.solve(mix, cache_lines=64)
+    large = solver.solve(mix, cache_lines=100_000)
+    assert large.miss_ratio.max() <= small.miss_ratio.max() + 1e-9
+    assert large.slowdown.max() == pytest.approx(1.0, abs=1e-3)
+
+
+def test_converges():
+    solver = StatCC(max_iterations=50)
+    mix = [app(chr(97 + k), 30 + 20 * k, seed=k) for k in range(4)]
+    result = solver.solve(mix, cache_lines=128)
+    assert result.iterations < 50
+    assert np.all(np.isfinite(result.cpi))
+
+
+def test_empty_mix_rejected():
+    with pytest.raises(ValueError):
+        StatCC().solve([], cache_lines=64)

@@ -1,0 +1,102 @@
+"""Tests for the StatStack reuse-to-stack-distance model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.caches.stack import miss_count_for_sizes, reuse_and_stack_distances
+from repro.statmodel.histogram import ReuseHistogram
+from repro.statmodel.statstack import StatStack
+
+
+def model_from(distances, cold=0):
+    h = ReuseHistogram()
+    h.add_many(distances)
+    if cold:
+        h.add_cold(weight=cold)
+    return StatStack(h)
+
+
+def test_stack_distance_formula_small_case():
+    # Two observed distances 1 and 3: ccdf(0)=1, ccdf(1)=.5, ccdf(2)=.5,
+    # ccdf(3)=0 -> sd(1)=1, sd(2)=1.5, sd(3)=2, sd(4)=2, sd(10)=2.
+    model = model_from([1, 3])
+    assert model.stack_distance(0) == pytest.approx(0.0)
+    assert model.stack_distance(1) == pytest.approx(1.0)
+    assert model.stack_distance(2) == pytest.approx(1.5)
+    assert model.stack_distance(3) == pytest.approx(2.0)
+    assert model.stack_distance(10) == pytest.approx(2.0)
+
+
+def test_cold_marker_maps_to_infinity():
+    model = model_from([1, 2, 3])
+    assert model.stack_distance(-1) == np.inf
+
+
+def test_stack_distance_monotone_and_bounded():
+    rng = np.random.default_rng(0)
+    model = model_from(rng.geometric(0.01, size=500))
+    rs = np.arange(0, 2000, 7)
+    sds = model.stack_distance(rs)
+    assert np.all(np.diff(sds) >= -1e-9)
+    assert np.all(sds <= rs + 1e-9)      # never more unique than accesses
+
+
+def test_reuse_for_stack_inverts():
+    rng = np.random.default_rng(1)
+    model = model_from(rng.geometric(0.02, size=800))
+    for target in (5, 20, 40):
+        r_star = model.reuse_for_stack(target)
+        assert model.stack_distance(r_star) >= target - 1e-6
+        assert model.stack_distance(max(r_star - 1, 0)) < target + 1e-6
+
+
+def test_reuse_for_stack_unreachable_without_cold():
+    model = model_from([2, 2, 2])
+    # sd saturates at ~2 distinct lines; 100 is unreachable.
+    assert model.reuse_for_stack(100) is None
+    assert model.miss_ratio(100) == 0.0
+
+
+def test_cold_mass_keeps_targets_reachable():
+    model = model_from([2, 2], cold=2)
+    assert model.reuse_for_stack(100) is not None
+
+
+def test_miss_ratio_against_exact_trace():
+    rng = np.random.default_rng(2)
+    # Mixture workload: hot + colder lines.
+    lines = np.where(rng.random(30_000) < 0.8,
+                     rng.integers(0, 32, size=30_000),
+                     rng.integers(1000, 1512, size=30_000))
+    reuse, stack = reuse_and_stack_distances(lines)
+    h = ReuseHistogram()
+    h.add_many(reuse)
+    model = StatStack(h)
+    for size in (16, 64, 256, 1024):
+        exact = miss_count_for_sizes(stack, [size])[0] / len(lines)
+        assert model.miss_ratio(size) == pytest.approx(exact, abs=0.03)
+
+
+def test_miss_ratio_curve_monotone():
+    rng = np.random.default_rng(3)
+    model = model_from(rng.geometric(0.005, size=1000))
+    curve = model.miss_ratio_curve([4, 16, 64, 256])
+    assert np.all(np.diff(curve) <= 1e-12)
+
+
+def test_degenerate_empty_histogram():
+    model = StatStack(ReuseHistogram())
+    # With no information, sd(r) = r (every access assumed distinct).
+    assert model.stack_distance(7) == pytest.approx(7.0)
+    assert model.miss_ratio(100) == 0.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.integers(0, 200), min_size=2, max_size=200))
+def test_is_miss_consistent_with_stack_distance(distances):
+    model = model_from(distances)
+    rs = np.asarray([0, 1, 10, 100])
+    misses = model.is_miss(rs, 5.0)
+    sds = model.stack_distance(rs)
+    assert np.array_equal(misses, sds >= 5.0)

@@ -1,0 +1,51 @@
+"""Smoke tests for the size-sweep harnesses (Figures 13/14 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import SuiteRunner
+from repro.experiments import figures
+from repro.util.units import MIB
+
+
+TINY_SWEEP = ExperimentConfig(
+    n_instructions=360_000,
+    n_regions=3,
+    names=("bwaves", "lbm"),
+    sweep_llc_paper_bytes=(1 * MIB, 8 * MIB, 64 * MIB),
+)
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return SuiteRunner(TINY_SWEEP)
+
+
+def test_run_dse_memoized(runner):
+    first = runner.run_dse("lbm")
+    second = runner.run_dse("lbm")
+    assert first is second
+    assert first.n_configs == 3
+
+
+def test_figure13_tiny(runner):
+    out = figures.figure13(runner, names=("lbm",))
+    series = out["data"]["lbm"]
+    assert len(series["smarts"]) == 3
+    assert len(series["delorean"]) == 3
+    # Miss curves decline with size for both.
+    assert series["smarts"][0] >= series["smarts"][-1]
+    assert series["delorean"][0] >= series["delorean"][-1] - 0.5
+
+
+def test_figure14_tiny(runner):
+    out = figures.figure14(runner, names=("lbm",))
+    assert out["marginal_cost"] < 3.0
+    cpis = out["data"]["lbm"]["smarts"]
+    assert np.all(np.isfinite(cpis))
+
+
+def test_sweep_sizes_reported_in_mb(runner):
+    out = figures.figure13(runner, names=("bwaves",))
+    assert out["sizes_mb"] == [1, 8, 64]

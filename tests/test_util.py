@@ -1,0 +1,54 @@
+"""Tests for repro.util: units and deterministic RNG streams."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import child_rng, stream_seed
+from repro.util.units import (
+    CACHELINE_BYTES,
+    CACHELINE_SHIFT,
+    KIB,
+    LINES_PER_PAGE,
+    MIB,
+    PAGE_BYTES,
+    format_size,
+)
+
+
+def test_geometry_constants_consistent():
+    assert 1 << CACHELINE_SHIFT == CACHELINE_BYTES
+    assert PAGE_BYTES // CACHELINE_BYTES == LINES_PER_PAGE
+    assert MIB == 1024 * KIB
+
+
+def test_format_size_round_units():
+    assert format_size(8 * MIB) == "8 MiB"
+    assert format_size(64 * KIB) == "64 KiB"
+    assert format_size(3 * 1024 * MIB) == "3 GiB"
+    assert format_size(17) == "17 B"
+
+
+def test_format_size_fractional_kib():
+    assert format_size(1536) == "1.5 KiB"
+
+
+def test_stream_seed_depends_on_labels():
+    assert stream_seed(1, "a") != stream_seed(1, "b")
+    assert stream_seed(1, "a") != stream_seed(2, "a")
+    assert stream_seed(5, "x", "y") == stream_seed(5, "x", "y")
+
+
+def test_stream_seed_not_order_invariant():
+    assert stream_seed(1, "a", "b") != stream_seed(1, "b", "a")
+
+
+def test_child_rng_reproducible():
+    a = child_rng(9, "trace").integers(0, 1 << 30, size=8)
+    b = child_rng(9, "trace").integers(0, 1 << 30, size=8)
+    assert np.array_equal(a, b)
+
+
+def test_child_rng_independent_streams():
+    a = child_rng(9, "trace").integers(0, 1 << 30, size=8)
+    b = child_rng(9, "other").integers(0, 1 << 30, size=8)
+    assert not np.array_equal(a, b)

@@ -1,0 +1,84 @@
+"""Tests for the page-protection watchpoint engine."""
+
+import numpy as np
+
+from repro.vff.index import TraceIndex
+from repro.vff.watchpoint import WatchpointEngine
+from tests.test_record import make_trace
+
+
+def engine_for(lines):
+    lines = np.asarray(lines, dtype=np.int64)
+    trace = make_trace(list(range(len(lines))), lines,
+                       n_instructions=len(lines))
+    return WatchpointEngine(TraceIndex(trace))
+
+
+def test_profile_finds_last_access():
+    engine = engine_for([100, 200, 100, 300, 100, 200])
+    profile = engine.profile_window([100, 200], 0, 5)
+    assert profile.last_access == {100: 4, 200: 1}
+    assert profile.unresolved == ()
+
+
+def test_profile_unresolved_lines():
+    engine = engine_for([100, 200, 100])
+    profile = engine.profile_window([100, 999], 0, 3)
+    assert profile.last_access == {100: 2}
+    assert profile.unresolved == (999,)
+
+
+def test_true_stop_count():
+    engine = engine_for([100, 200, 100, 100])
+    profile = engine.profile_window([100], 0, 4)
+    assert profile.true_stops == 3          # every access to the line stops
+
+
+def test_false_positives_from_page_sharing():
+    # Lines 0 and 1 share a page; watching 0 gets stops from 1's traffic.
+    engine = engine_for([0, 1, 1, 1, 0])
+    profile = engine.profile_window([0], 0, 5)
+    assert profile.true_stops == 2
+    assert profile.false_stops == 3
+    assert profile.total_stops == 5
+
+
+def test_distinct_pages_no_false_positives():
+    # Lines 0 and 64 are on different pages.
+    engine = engine_for([0, 64, 64, 0])
+    profile = engine.profile_window([0], 0, 4)
+    assert profile.false_stops == 0
+
+
+def test_empty_watch_set():
+    engine = engine_for([1, 2, 3])
+    profile = engine.profile_window([], 0, 3)
+    assert profile.total_stops == 0
+    assert profile.unresolved == ()
+
+
+def test_empty_window():
+    engine = engine_for([1, 2, 3])
+    profile = engine.profile_window([1], 2, 2)
+    assert profile.unresolved == (1,)
+
+
+def test_await_next_reuse_found():
+    engine = engine_for([0, 1, 0, 1, 0])
+    reuse, stops = engine.await_next_reuse(0, 0, 5)
+    assert reuse == 2
+    # Stops while waiting: accesses to page 0 in (0, 2] -> positions 1,2.
+    assert stops == 2
+
+
+def test_await_next_reuse_not_found():
+    engine = engine_for([0, 1, 1, 1])
+    reuse, stops = engine.await_next_reuse(0, 0, 4)
+    assert reuse == -1
+    assert stops == 3          # page traffic until the limit
+
+
+def test_await_respects_limit():
+    engine = engine_for([0, 1, 0])
+    reuse, _ = engine.await_next_reuse(0, 0, 2)
+    assert reuse == -1         # the reuse at position 2 is past the limit

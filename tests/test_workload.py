@@ -1,0 +1,46 @@
+"""Tests for the Workload wrapper."""
+
+import numpy as np
+
+from repro.trace.engines import UniformWorkingSetEngine
+from repro.trace.phases import PhaseSpec
+from repro.trace.workload import Workload
+
+
+def factory():
+    engine = UniformWorkingSetEngine(
+        np.arange(100, 164, dtype=np.int64), n_pcs=2)
+    return [PhaseSpec("main", 5000, engine)]
+
+
+def test_lazy_build():
+    workload = Workload("w", factory, seed=1)
+    assert "lazy" in repr(workload)
+    trace = workload.trace
+    assert trace.n_instructions == 5000
+    assert "built" in repr(workload)
+
+
+def test_trace_cached():
+    workload = Workload("w", factory, seed=1)
+    assert workload.trace is workload.trace
+
+
+def test_release_and_rebuild_deterministic():
+    workload = Workload("w", factory, seed=1)
+    lines = workload.trace.mem_line.copy()
+    workload.release()
+    assert np.array_equal(workload.trace.mem_line, lines)
+
+
+def test_metadata_copied():
+    meta = {"k": 1}
+    workload = Workload("w", factory, seed=1, metadata=meta)
+    meta["k"] = 2
+    assert workload.metadata["k"] == 1
+
+
+def test_seed_in_trace_name():
+    workload = Workload("named", factory, seed=9)
+    assert workload.trace.name == "named"
+    assert workload.seed == 9

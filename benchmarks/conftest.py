@@ -7,8 +7,11 @@ same SMARTS/CoolSim/DeLorean matrix) cheap.
 
 Set ``REPRO_BENCH_PROFILE=quick`` for a reduced 6-benchmark sweep (for
 smoke-testing the harness); the default regenerates the full 24-benchmark
-evaluation.  Rendered exhibits are written to ``results/`` next to this
-directory and echoed to stdout.
+evaluation.  Set ``REPRO_BENCH_PARALLEL=<n>`` to pre-compute the shared
+SMARTS/CoolSim/DeLorean matrix with ``n`` worker processes (``0`` = one
+per CPU) before the figures render — every later exhibit then reads the
+memoized results.  Rendered exhibits are written to ``results/`` next to
+this directory and echoed to stdout.
 """
 
 import os
@@ -27,7 +30,11 @@ QUICK_NAMES = ("perlbench", "bwaves", "mcf", "povray", "GemsFDTD", "lbm")
 def suite_runner():
     profile = os.environ.get("REPRO_BENCH_PROFILE", "full")
     names = QUICK_NAMES if profile == "quick" else None
-    return SuiteRunner(ExperimentConfig(names=names))
+    runner = SuiteRunner(ExperimentConfig(names=names))
+    parallel = os.environ.get("REPRO_BENCH_PARALLEL")
+    if parallel is not None and parallel != "":
+        runner.run_matrix(max_workers=int(parallel))
+    return runner
 
 
 @pytest.fixture(scope="session")

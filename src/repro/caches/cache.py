@@ -3,18 +3,28 @@
 Two internal representations are used, chosen at construction:
 
 * LRU (the paper's Table 1 policy) keeps each set as a Python list in
-  recency order (LRU at index 0).  This allows a tight bulk ``warm`` loop,
-  which matters because functional warming — simulating every access in
-  the warm-up interval — is the very overhead the paper is attacking, and
-  our SMARTS baseline has to do exactly that.
+  recency order (LRU at index 0).  Bulk warming — simulating every access
+  of a warm-up interval, the very overhead the paper attacks — dispatches
+  through the kernel backend (:mod:`repro.kernels`): the vector backend
+  computes hits from per-set stack distances in numpy and falls back to
+  the scalar loop for thrash-heavy batches where the loop is
+  competitive; the scalar backend is the per-access reference.
 * Other policies (random, tree-PLRU, NMRU) use a way-table plus a
   pluggable :mod:`~repro.caches.replacement` policy object.
 """
 
 from dataclasses import dataclass
 
+import numpy as np
+
+from repro import kernels
 from repro.caches.replacement import make_policy
+from repro.kernels.lru import warm_lru_sets
 from repro.util.units import CACHELINE_BYTES, format_size
+
+#: Long-window batch fraction beyond which the vector warm kernel defers
+#: to the scalar loop (see ``warm_lru_sets(max_long_window_fraction=...)``).
+VECTOR_BAILOUT_FRACTION = 0.05
 
 
 @dataclass(frozen=True)
@@ -81,17 +91,19 @@ class SetAssocCache:
 
     def _access_lru(self, line):
         entries = self._sets[line & self._mask]
-        if line in entries:
-            if entries[-1] != line:
-                entries.remove(line)
-                entries.append(line)
-            self.hits += 1
-            return True
-        if len(entries) >= self.assoc:
-            entries.pop(0)
-        entries.append(line)
-        self.misses += 1
-        return False
+        try:
+            index = entries.index(line)      # one scan for both in + find
+        except ValueError:
+            if len(entries) >= self.assoc:
+                entries.pop(0)
+            entries.append(line)
+            self.misses += 1
+            return False
+        if index != len(entries) - 1:
+            del entries[index]
+            entries.append(line)
+        self.hits += 1
+        return True
 
     def _access_policy(self, line):
         set_idx = line & self._mask
@@ -118,9 +130,26 @@ class SetAssocCache:
     def warm(self, lines):
         """Access every line of a numpy array; return (hits, misses).
 
-        This is the functional-warming hot loop; for LRU it avoids all
-        attribute lookups inside the loop.
+        This is the functional-warming hot loop.  For LRU caches the
+        vector backend resolves the batch in numpy (bit-identical to the
+        scalar loop); the scalar backend — and thrash-heavy batches the
+        kernel bails out of — run the per-access reference loop.
         """
+        if (self._is_lru and len(lines)
+                and kernels.get_backend() == "vector"):
+            result = warm_lru_sets(
+                self._sets, lines, self._mask, self.assoc,
+                max_long_window_fraction=VECTOR_BAILOUT_FRACTION)
+            if result is not None:
+                hits = result[0]
+                misses = len(lines) - hits
+                self.hits += hits
+                self.misses += misses
+                return hits, misses
+        return self.warm_scalar(lines)
+
+    def warm_scalar(self, lines):
+        """Per-access reference implementation of :meth:`warm`."""
         if not self._is_lru:
             hits = 0
             for line in lines.tolist():
@@ -147,6 +176,32 @@ class SetAssocCache:
         self.hits += hits
         self.misses += misses
         return hits, misses
+
+    def warm_profile(self, lines):
+        """Bulk warm that also reports per-access outcomes.
+
+        Returns ``(hits, hit_mask, occupancy_before)``: the boolean hit
+        mask and the number of valid ways in the referenced set *before*
+        each access (what :meth:`set_occupancy` would have returned), in
+        batch order.  LRU only — the vectorized classification path in
+        :mod:`repro.sampling.classify` is built on it.
+        """
+        if not self._is_lru:
+            raise ValueError("warm_profile requires an LRU cache")
+        n = len(lines)
+        if n and kernels.get_backend() == "vector":
+            hits, hit_mask, occupancy = warm_lru_sets(
+                self._sets, lines, self._mask, self.assoc,
+                want_access_info=True)
+            self.hits += hits
+            self.misses += n - hits
+            return hits, hit_mask, occupancy
+        hit_mask = np.zeros(n, dtype=bool)
+        occupancy = np.zeros(n, dtype=np.int64)
+        for i, line in enumerate(lines.tolist()):
+            occupancy[i] = len(self._sets[line & self._mask])
+            hit_mask[i] = self._access_lru(line)
+        return int(np.count_nonzero(hit_mask)), hit_mask, occupancy
 
     def insert(self, line):
         """Fill ``line`` without counting a hit or miss (prefetch path).

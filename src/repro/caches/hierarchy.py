@@ -12,7 +12,13 @@ LRU updates into one loop.
 
 from dataclasses import dataclass, field
 
-from repro.caches.cache import CacheConfig, SetAssocCache
+from repro import kernels
+from repro.caches.cache import (
+    CacheConfig,
+    SetAssocCache,
+    VECTOR_BAILOUT_FRACTION,
+)
+from repro.kernels.lru import warm_lru_sets
 from repro.util.units import KIB, MIB
 
 
@@ -69,6 +75,12 @@ class CacheHierarchy:
         Returns ``(l1_hits, llc_hits, mem_misses)`` for the batch.  Only
         valid for LRU caches (the Table 1 configuration); other policies
         fall back to per-access calls.
+
+        Under the vector kernel backend the two levels run as separate
+        batch kernels: the L1 kernel yields the per-access hit mask, and
+        the LLC kernel consumes the L1-miss substream — exactly the
+        stream the interleaved scalar loop feeds it, since L1 hits never
+        reach the LLC.
         """
         if not (self.l1d._is_lru and self.llc._is_lru):
             l1_hits = llc_hits = mem = 0
@@ -81,6 +93,23 @@ class CacheHierarchy:
                 else:
                     mem += 1
             return l1_hits, llc_hits, mem
+
+        if len(lines) and kernels.get_backend() == "vector":
+            result = warm_lru_sets(
+                self.l1d._sets, lines, self.l1d._mask, self.l1d.assoc,
+                want_access_info=True,
+                max_long_window_fraction=VECTOR_BAILOUT_FRACTION)
+            if result is not None:
+                l1_hits, l1_mask, _ = result
+                self.l1d.hits += l1_hits
+                self.l1d.misses += len(lines) - l1_hits
+                miss_lines = lines[~l1_mask]
+                llc_hits, _ = self.llc.warm(miss_lines)
+                mem = len(lines) - l1_hits - llc_hits
+                self.l1_hits += l1_hits
+                self.llc_hits += llc_hits
+                self.mem_misses += mem
+                return l1_hits, llc_hits, mem
 
         l1_sets = self.l1d._sets
         l1_mask = self.l1d._mask

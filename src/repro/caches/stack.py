@@ -20,6 +20,8 @@ These routines serve three roles:
 
 import numpy as np
 
+from repro import kernels
+
 
 def previous_access_index(lines):
     """For each access, the index of the previous access to the same line.
@@ -63,7 +65,19 @@ def reuse_and_stack_distances(lines):
     is the number of *distinct* lines strictly between them, so an
     immediate re-reference has reuse == stack == 0 and a fully-associative
     LRU cache of ``C`` lines hits iff ``stack < C``.
+
+    Dispatches on the kernel backend: the vector backend uses the
+    merge-count kernel (:mod:`repro.kernels.stackdist`), the scalar
+    backend the Fenwick-tree reference below; results are bit-identical.
     """
+    if kernels.get_backend() == "vector":
+        from repro.kernels.stackdist import reuse_and_stack_distances_vector
+        return reuse_and_stack_distances_vector(lines)
+    return reuse_and_stack_distances_scalar(lines)
+
+
+def reuse_and_stack_distances_scalar(lines):
+    """Fenwick-tree reference implementation (Bennett-Kruskal)."""
     lines = np.asarray(lines)
     n = lines.shape[0]
     prev = previous_access_index(lines)

@@ -5,7 +5,19 @@ one SMARTS/CoolSim/DeLorean sweep at the 8 MiB-equivalent LLC), so the
 runner memoizes ``(benchmark, strategy, llc, options)`` results for the
 lifetime of the process and keeps at most one workload's trace and index
 in memory at a time.
+
+The benchmark matrix is embarrassingly parallel across workloads — every
+(benchmark, strategy) run is independent, traces are rebuilt
+deterministically from specs, and results are plain picklable
+dataclasses.  ``run_all`` / ``run_matrix`` therefore accept
+``max_workers``: a process pool fans out one task per *benchmark* (so
+each worker process builds a trace and its index exactly once and runs
+every requested strategy against it), while already-memoized results are
+served from cache and never resubmitted.
 """
+
+import os
+from concurrent.futures import ProcessPoolExecutor
 
 from repro.caches.hierarchy import paper_hierarchy
 from repro.core.delorean import DeLorean
@@ -20,6 +32,25 @@ STRATEGIES = {
     "CoolSim": CoolSim,
     "DeLorean": DeLorean,
 }
+
+
+def _run_benchmark_worker(config, name, strategies, llc, options, backend):
+    """Run the requested strategies for one benchmark (worker process).
+
+    Module-level so it pickles; builds the workload/index once and
+    reuses it across strategies, mirroring the sequential
+    benchmark-major order.  The parent's kernel backend is applied
+    explicitly — under spawn/forkserver start methods a fresh
+    interpreter would otherwise fall back to the environment default.
+    """
+    from repro import kernels
+
+    kernels.set_backend(backend)
+    runner = SuiteRunner(config)
+    results = {strategy: runner.run(name, strategy, llc, **options)
+               for strategy in strategies}
+    runner.release()
+    return name, results
 
 
 class SuiteRunner:
@@ -79,12 +110,19 @@ class SuiteRunner:
         self._results[key] = result
         return result
 
-    def run_all(self, strategy, llc_paper_bytes=None, **strategy_options):
+    def run_all(self, strategy, llc_paper_bytes=None, max_workers=None,
+                **strategy_options):
         """Run one strategy over the whole suite; returns {name: result}.
 
         Iterates benchmark-major so each trace is built once and released
-        before the next (memoized reruns are free).
+        before the next (memoized reruns are free).  With ``max_workers``
+        the missing benchmarks fan out over a process pool.
         """
+        if max_workers is not None:
+            matrix = self.run_matrix((strategy,), llc_paper_bytes,
+                                     max_workers=max_workers,
+                                     **strategy_options)
+            return matrix[strategy]
         return {
             name: self.run(name, strategy, llc_paper_bytes,
                            **strategy_options)
@@ -92,9 +130,44 @@ class SuiteRunner:
         }
 
     def run_matrix(self, strategies=("SMARTS", "CoolSim", "DeLorean"),
-                   llc_paper_bytes=None, **strategy_options):
-        """All strategies over the suite, benchmark-major for cache reuse."""
+                   llc_paper_bytes=None, max_workers=None,
+                   **strategy_options):
+        """All strategies over the suite, benchmark-major for cache reuse.
+
+        ``max_workers`` switches to a per-benchmark process fan-out
+        (``0`` means one worker per CPU).  Memoized results are reused;
+        only benchmarks with at least one missing (strategy, llc,
+        options) combination are dispatched, and their results land in
+        the memo table so later sequential calls stay free.
+        """
         llc = llc_paper_bytes or self.config.llc_paper_bytes
+        opts_key = tuple(sorted(strategy_options.items()))
+        if max_workers is not None:
+            missing = {}                     # name -> strategies to compute
+            for name in self.names:
+                todo = tuple(
+                    strategy for strategy in strategies
+                    if (name, strategy, llc, opts_key) not in self._results)
+                if todo:
+                    missing[name] = todo
+            if missing:
+                from repro import kernels
+
+                backend = kernels.get_backend()
+                workers = max_workers or os.cpu_count() or 1
+                workers = min(workers, len(missing))
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    futures = [
+                        pool.submit(_run_benchmark_worker, self.config,
+                                    name, todo, llc, strategy_options,
+                                    backend)
+                        for name, todo in missing.items()
+                    ]
+                    for future in futures:
+                        name, results = future.result()
+                        for strategy, result in results.items():
+                            self._results[
+                                (name, strategy, llc, opts_key)] = result
         matrix = {strategy: {} for strategy in strategies}
         for name in self.names:
             for strategy in strategies:

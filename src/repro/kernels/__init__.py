@@ -1,0 +1,52 @@
+"""Vectorized simulation kernels and backend selection.
+
+The hot paths of the reproduction — bulk LRU warming, stack-distance
+profiling, warming classification and watchpoint resolution — exist in
+two equivalent implementations:
+
+* ``scalar`` — the original per-access Python loops, kept as the
+  reference semantics;
+* ``vector`` — numpy batch kernels (this package) that produce
+  bit-identical hits, misses, distances and final cache state.
+
+The active backend is chosen per process: the ``REPRO_KERNEL_BACKEND``
+environment variable seeds the default, :func:`set_backend` switches it,
+and :func:`use_backend` scopes a switch.  Call sites dispatch through
+:func:`get_backend`, so the scalar reference stays one flag away for
+equivalence testing and for platforms where numpy batching misbehaves.
+"""
+
+import contextlib
+import os
+
+BACKENDS = ("scalar", "vector")
+
+_backend = os.environ.get("REPRO_KERNEL_BACKEND", "vector")
+if _backend not in BACKENDS:
+    raise ValueError(
+        f"REPRO_KERNEL_BACKEND must be one of {BACKENDS}, got {_backend!r}")
+
+
+def get_backend():
+    """The active kernel backend (``"scalar"`` or ``"vector"``)."""
+    return _backend
+
+
+def set_backend(name):
+    """Select the kernel backend process-wide; returns the previous one."""
+    global _backend
+    if name not in BACKENDS:
+        raise ValueError(f"backend must be one of {BACKENDS}, got {name!r}")
+    previous = _backend
+    _backend = name
+    return previous
+
+
+@contextlib.contextmanager
+def use_backend(name):
+    """Context manager scoping a backend switch."""
+    previous = set_backend(name)
+    try:
+        yield
+    finally:
+        set_backend(previous)

@@ -1,0 +1,249 @@
+"""Batch LRU set-associative warm kernel.
+
+An access to an LRU set-associative cache hits iff the number of
+*distinct* lines referenced in its set since the previous access to the
+same line (the set-local stack distance) is smaller than the
+associativity.  That property turns bulk warming — the functional-warming
+loop the paper attacks — into array computations:
+
+1. The resident lines (LRU->MRU per set) are prepended as a synthetic
+   prefix stream: warming an empty cache with that prefix reproduces the
+   starting state exactly, so batch hits/misses and the final state match
+   the access-by-access reference bit for bit.
+2. Accesses are grouped by set in time order, making each set's substream
+   contiguous, so a reuse window ``(prev, g)`` is a contiguous slice and
+   position ``q`` inside it starts a *distinct* line iff ``q``'s own
+   previous occurrence precedes the window (``gprev[q] < prev``).
+3. Reuses with fewer than ``assoc`` intervening same-set accesses hit
+   outright.  The rest are resolved by counting distinct-starts over a
+   window *tail* that doubles each round: a tail that covers the window
+   yields the exact distinct count, and a partial tail holding ``assoc``
+   or more distinct-starts already proves a miss (the count can only
+   grow), so almost everything resolves in the first round.
+
+Sorting uses packed unique keys with ``np.sort`` — the set-grouping key
+packs ``(set, time, line)``, so the sorted low bits carry the grouped
+line stream for free, and time's uniqueness makes the fast unstable sort
+deterministic.  A stable-argsort path covers line numbers too large to
+pack.
+"""
+
+import numpy as np
+
+#: First-round tail length for the distinct-start counting rounds.
+WINDOW_BASE = 64
+
+#: Upper bound on gathered window-matrix cells per chunk (memory cap).
+_CHUNK_CELLS = 1 << 22
+
+
+def _group_by_set(combined, mask, set_bits):
+    """Group accesses by set in time order.
+
+    Returns ``(gt, grouped_lines)``: for each grouped position, the
+    original time index and the line accessed.
+    """
+    n = combined.shape[0]
+    t_bits = max(1, int(n).bit_length())
+    line_max = int(combined.max())
+    line_bits = max(1, line_max.bit_length())
+    t_mask = (1 << t_bits) - 1
+    if line_max >= 0 and set_bits + t_bits + line_bits <= 63:
+        packed = np.sort(
+            (((combined & mask) << (t_bits + line_bits))
+             | (np.arange(n, dtype=np.int64) << line_bits)
+             | combined))
+        grouped_lines = packed & ((1 << line_bits) - 1)
+        gt = (packed >> line_bits) & t_mask
+        return gt, grouped_lines
+    gt = np.argsort(combined & mask, kind="stable")
+    return gt, combined[gt]
+
+
+def _link_reuses(grouped_lines):
+    """Previous same-line position per grouped position (``-1`` if none,
+    int32) plus each line's *final* occurrence (ascending positions)."""
+    n = grouped_lines.shape[0]
+    gprev = np.full(n, -1, dtype=np.int32)
+    t_bits = max(1, int(n).bit_length())
+    if int(grouped_lines.max()) < (1 << (63 - t_bits)):
+        packed = np.sort(
+            (grouped_lines << t_bits) | np.arange(n, dtype=np.int64))
+        pos = (packed & ((1 << t_bits) - 1)).astype(np.int32)
+        packed >>= t_bits                    # in place: line per sorted slot
+        same = packed[1:] == packed[:-1]
+    else:
+        pos = np.argsort(grouped_lines, kind="stable").astype(np.int32)
+        sorted_lines = grouped_lines[pos]
+        same = sorted_lines[1:] == sorted_lines[:-1]
+    gprev[pos[1:][same]] = pos[:-1][same]
+    survivors = np.sort(pos[np.concatenate((~same, [True]))])
+    return gprev, survivors
+
+
+def _count_window_starts(gprev, lo, hi, bound):
+    """``#{q in [lo, hi) : gprev[q] < bound}`` per row, chunked.
+
+    All operands are int32 (grouped positions stay far below 2**31) to
+    halve gather traffic; rows whose window fills the maximum length
+    skip the validity mask and index clipping entirely.
+    """
+    length = int((hi - lo).max()) if lo.size else 0
+    out = np.zeros(lo.shape[0], dtype=np.int64)
+    if length == 0:
+        return out
+    n = gprev.shape[0]
+    offsets = np.arange(length, dtype=np.int32)
+    rows = max(1, _CHUNK_CELLS // length)
+    for r0 in range(0, lo.shape[0], rows):
+        base = lo[r0:r0 + rows, None]
+        cols = base + offsets[None, :]
+        window_hi = hi[r0:r0 + rows, None]
+        if int((window_hi - base).min()) < length:   # partial windows
+            np.minimum(cols, n - 1, out=cols)
+            fresh = gprev[cols] < bound[r0:r0 + rows, None]
+            fresh &= cols < window_hi
+        else:
+            fresh = gprev[cols] < bound[r0:r0 + rows, None]
+        out[r0:r0 + rows] = np.count_nonzero(fresh, axis=1)
+    return out
+
+
+def _resolve_long_windows(gprev, hit_g, sel, assoc):
+    """Decide hit/miss for reuses whose windows exceed the associativity,
+    by distinct-start counting over doubling window tails."""
+    total = np.int32(gprev.shape[0])
+    a = gprev[sel]
+    g = sel.astype(np.int32)
+    inter = g - a - np.int32(1)
+
+    # Windows no longer than WINDOW_BASE resolve exactly in one pass;
+    # bucket them by power-of-two length so short windows do not pay for
+    # the longest row in the batch.
+    cap = np.int32(WINDOW_BASE)
+    done = inter > cap
+    while True:
+        cap >>= np.int32(1)
+        bucket = ~done & (inter > cap)
+        if np.any(bucket):
+            counts = _count_window_starts(
+                gprev, a[bucket] + 1, g[bucket], a[bucket])
+            hit_g[sel[bucket][counts < assoc]] = True
+            done |= bucket
+        if cap < assoc:
+            break
+    keep = inter > np.int32(WINDOW_BASE)     # only long windows remain
+    sel, a, g = sel[keep], a[keep], g[keep]
+
+    tail = np.int32(WINDOW_BASE)
+    while sel.size:
+        lo = np.maximum(a + 1, g - tail)
+        counts = _count_window_starts(gprev, lo, g, a)
+        exact = lo == a + 1                  # tail covers the whole window
+        miss = counts >= assoc               # lower bound already too big
+        hit_g[sel[exact & ~miss]] = True
+        keep = ~(exact | miss)
+        sel, a, g = sel[keep], a[keep], g[keep]
+        tail = min(np.int32(2) * tail, total)
+
+
+def warm_lru_sets(state_sets, lines, mask, assoc, want_access_info=False,
+                  max_long_window_fraction=None):
+    """Batch-access an LRU set-associative cache; mutate ``state_sets``.
+
+    Parameters
+    ----------
+    state_sets:
+        Per-set resident lines in LRU->MRU order (the representation of
+        :class:`~repro.caches.cache.SetAssocCache`); updated in place to
+        the post-batch state.
+    lines:
+        ``int64`` array of cacheline numbers.
+    mask / assoc:
+        Set-index mask (``n_sets - 1``) and associativity.
+    want_access_info:
+        When true, also return the per-access hit mask and per-access
+        set occupancy *before* the access (both in batch order).
+    max_long_window_fraction:
+        Optional adaptive bailout: when more than this fraction of the
+        batch consists of reuses with set-local windows longer than
+        :data:`WINDOW_BASE` — the thrash-heavy regime where the scalar
+        loop is competitive — return ``None`` *before* touching
+        ``state_sets`` so the caller can run its scalar path instead.
+
+    Returns
+    -------
+    (hits, hit_mask, occupancy_before) or None
+        ``hit_mask`` and ``occupancy_before`` are ``None`` unless
+        requested; the whole result is ``None`` only on bailout.
+    """
+    lines = np.ascontiguousarray(lines, dtype=np.int64)
+    n = lines.shape[0]
+    if n == 0:
+        if want_access_info:
+            return 0, np.zeros(0, dtype=bool), np.zeros(0, dtype=np.int64)
+        return 0, None, None
+
+    prefix = [line for entries in state_sets for line in entries]
+    n_prefix = len(prefix)
+    if n_prefix:
+        combined = np.concatenate(
+            (np.asarray(prefix, dtype=np.int64), lines))
+    else:
+        combined = lines
+    total = combined.shape[0]
+
+    set_bits = max(1, int(mask).bit_length())
+    gt, grouped_lines = _group_by_set(combined, mask, set_bits)
+    gprev, survivors = _link_reuses(grouped_lines)
+
+    positions = np.arange(total, dtype=np.int32)
+    warm = gprev >= 0
+    reach = positions - np.int32(assoc)      # gprev >= reach => short reuse
+    hit_g = warm & (gprev >= reach)
+    pending = np.flatnonzero(warm & (gprev < reach))
+    if max_long_window_fraction is not None and pending.size:
+        long_windows = int(np.count_nonzero(
+            positions[pending] - gprev[pending] - 1 > WINDOW_BASE))
+        if long_windows > max_long_window_fraction * n:
+            return None
+    if pending.size:
+        _resolve_long_windows(gprev, hit_g, pending, assoc)
+
+    if n_prefix:
+        in_batch = gt >= n_prefix
+        hits = int(np.count_nonzero(hit_g & in_batch))
+    else:
+        hits = int(np.count_nonzero(hit_g))
+
+    hit_mask = occupancy = None
+    if want_access_info:
+        grouped_sets = grouped_lines & mask
+        first = ~warm
+        distinct_so_far = np.cumsum(first) - first   # exclusive prefix count
+        seg_change = np.flatnonzero(grouped_sets[1:] != grouped_sets[:-1]) + 1
+        starts = np.concatenate(([0], seg_change))
+        seg_lengths = np.diff(np.concatenate((starts, [total])))
+        base = np.repeat(distinct_so_far[starts], seg_lengths)
+        occ_g = np.minimum(assoc, distinct_so_far - base)
+        hit_mask = np.empty(n, dtype=bool)
+        occupancy = np.empty(n, dtype=np.int64)
+        if n_prefix:
+            batch_positions = gt[in_batch] - n_prefix
+            hit_mask[batch_positions] = hit_g[in_batch]
+            occupancy[batch_positions] = occ_g[in_batch]
+        else:
+            hit_mask[gt] = hit_g
+            occupancy[gt] = occ_g
+
+    # Final state: each line's recency is its last occurrence; a set's
+    # residents are its (up to) ``assoc`` most recent distinct lines.
+    surv_lines = grouped_lines[survivors]
+    surv_sets = surv_lines & mask
+    touched, first_idx = np.unique(surv_sets, return_index=True)
+    bounds = np.concatenate((first_idx, [surv_sets.shape[0]]))
+    for k, set_idx in enumerate(touched.tolist()):
+        lo, hi = int(bounds[k]), int(bounds[k + 1])
+        state_sets[set_idx] = surv_lines[max(lo, hi - assoc):hi].tolist()
+
+    return hits, hit_mask, occupancy

@@ -1,0 +1,143 @@
+"""Vectorized exact stack distances (Bennett-Kruskal, merge-count form).
+
+The Fenwick-tree formulation walks the trace access by access; this
+kernel computes the same distances from a closed form.  With
+``prev[i]`` the previous access to ``i``'s line, every access ``j``
+strictly inside the reuse window ``(prev[i], i)`` references a different
+line, and ``j`` is a *repeat* within the window iff its own previous
+access also falls inside (``prev[j] > prev[i]``, which already implies
+``j > prev[i]``).  Hence
+
+    stack[i] = (i - prev[i] - 1) - #{j < i : prev[j] > prev[i]}
+
+and the correction term is a per-element inversion count of the ``prev``
+array.  It is computed with a bottom-up merge sort: a broadcast base
+case settles all pairs inside 64-element blocks at once, then each
+doubling level merges with one packed-key ``np.sort`` — the key packs
+``(pair, value, slot)``, making every key unique, so the unstable (fast)
+sort realizes exactly the stable left-then-right merge order and its low
+bits *are* the merge permutation.  Cold accesses carry ``prev = -1``;
+they can never count as repeats (no value is smaller than ``-1``) and
+their own distances are reported as ``-1``.
+"""
+
+import numpy as np
+
+#: Merge base case: pairs within blocks of this size are counted by one
+#: broadcast comparison instead of log2(_BASE) merge levels.
+_BASE = 64
+
+_BASE_CHUNK = 2048
+
+
+def _block_counts(blocks):
+    """Within-block inversion counts: for each element, how many earlier
+    elements *of its block* are strictly greater."""
+    n_blocks, width = blocks.shape
+    out = np.empty((n_blocks, width), dtype=np.int64)
+    earlier = np.tri(width, k=-1, dtype=bool)        # [i, j]: j < i
+    for b0 in range(0, n_blocks, _BASE_CHUNK):
+        chunk = blocks[b0:b0 + _BASE_CHUNK]
+        greater = chunk[:, None, :] > chunk[:, :, None]   # [b, i, j]
+        out[b0:b0 + _BASE_CHUNK] = (
+            (greater & earlier).sum(axis=2, dtype=np.int64))
+    return out
+
+
+def _merge_permutation(pair, vals, slots, t_bits, t_mask):
+    """Stable in-pair merge order: sort by ``(pair, value, slot)``.
+
+    Packed keys are unique, so the fast unstable sort is deterministic
+    and carries the permutation in its low bits; oversized inputs fall
+    back to a stable lexsort.
+    """
+    pair_bits = max(1, int(pair[-1]).bit_length())
+    if pair_bits + 2 * t_bits <= 63:
+        key = (((pair << t_bits) | vals) << t_bits) | slots
+        return np.sort(key) & t_mask
+    return np.lexsort((vals, pair))
+
+
+def count_earlier_greater(values):
+    """For each ``i``: ``#{j < i : values[j] > values[i]}`` (int64)."""
+    values = np.ascontiguousarray(values, dtype=np.int64)
+    n = values.shape[0]
+    counts = np.zeros(n, dtype=np.int64)
+    if n < 2:
+        return counts
+
+    # Compress to dense ranks so packed level keys stay within 63 bits;
+    # equal values share a rank, preserving the strict comparison.
+    order = np.argsort(values, kind="stable")
+    sorted_values = values[order]
+    new_group = np.concatenate(
+        ([False], sorted_values[1:] != sorted_values[:-1]))
+    ranks = np.empty(n, dtype=np.int64)
+    ranks[order] = np.cumsum(new_group)
+
+    # Pad with a sentinel above every rank to a multiple of the base
+    # block.  Padding occupies the trailing slots, so inside a block it
+    # is never an *earlier* element of a real one, and at merge levels a
+    # left block containing padding implies an all-padding right block —
+    # real elements never gain from it.  Its own counts are dropped at
+    # the end.
+    n_pad = -(-n // _BASE) * _BASE
+    vals = np.full(n_pad, n, dtype=np.int64)
+    vals[:n] = ranks
+    t_bits = int(n_pad).bit_length()
+    t_mask = (1 << t_bits) - 1
+    slots = np.arange(n_pad, dtype=np.int64)
+
+    # Base case: count within _BASE-blocks by broadcast, then realign
+    # everything to the block-sorted arrangement.
+    counts_arr = _block_counts(vals.reshape(-1, _BASE)).reshape(-1)
+    merge = _merge_permutation(slots >> 6, vals, slots, t_bits, t_mask)
+    counts_arr = counts_arr[merge]
+    vals = vals[merge]
+
+    m = _BASE
+    while m < n_pad:
+        width = 2 * m
+        shift = width.bit_length() - 1       # log2(width)
+        merge = _merge_permutation(slots >> shift, vals, slots,
+                                   t_bits, t_mask)
+        merged_left = (merge & (width - 1)) < m
+
+        # Blocks are slot ranges, so pair p occupies exactly the slots
+        # [p*width, (p+1)*width) before and after the in-pair sort; a
+        # pair with any right element has a full m-element left block.
+        cum_left = np.cumsum(merged_left, dtype=np.int64)
+        bounds = cum_left[width - 1::width]
+        if n_pad % width == 0:
+            bounds = bounds[:-1]
+        pair_base = np.concatenate(([0], bounds))
+        left_at_most = cum_left - pair_base[merge >> shift]
+        gain = np.where(merged_left, 0, m - left_at_most)
+        counts_arr = counts_arr[merge] + gain
+        vals = vals[merge]
+        m = width
+
+    # The bottom-up stable merge ends in the stable sorted order of the
+    # padded array; its first n entries are exactly ``order``.
+    counts[order] = counts_arr[:n]
+    return counts
+
+
+def reuse_and_stack_distances_vector(lines, prev=None):
+    """Exact ``(reuse, stack)`` distances per access, fully vectorized.
+
+    Matches the scalar Fenwick reference bit for bit: ``-1`` marks cold
+    accesses in both outputs.  ``prev`` (the previous-access index array)
+    can be passed in when the caller already computed it.
+    """
+    from repro.caches.stack import previous_access_index
+
+    lines = np.asarray(lines)
+    n = lines.shape[0]
+    if prev is None:
+        prev = previous_access_index(lines)
+    positions = np.arange(n, dtype=np.int64)
+    reuse = np.where(prev >= 0, positions - prev - 1, -1)
+    repeats = count_earlier_greater(prev)
+    stack = np.where(prev >= 0, positions - prev - 1 - repeats, -1)
+    return reuse, stack

@@ -16,10 +16,24 @@ For every memory request of a detailed region:
 The capacity predictor is the only piece that differs between CoolSim
 (per-PC reuse distributions, probabilistic) and DeLorean (exact key reuse
 distance + vicinity StatStack); it is injected as a callable.
+
+Classification dispatches on the kernel backend.  The vector path
+pre-computes the L1 hit mask and the LLC hit/occupancy stream with the
+batch LRU kernel and drops to per-access Python only for the residual
+accesses that reach MSHR / stride-detector / predictor state.  The one
+sequential wrinkle is an MSHR hit, which *skips* the LLC fetch the
+kernel assumed: the kernel run is valid up to that access, so the LLC
+state is rolled back, the accepted prefix replayed, and the stream
+resumed after the skipped access.  MSHR hits require a line to be
+evicted within its own miss window, so in practice this costs nothing —
+and the scalar path remains bit-identical and selectable by flag.
 """
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
+from repro import kernels
 from repro.caches.hierarchy import CacheHierarchy
 from repro.caches.mshr import MSHRFile
 from repro.caches.stats import (
@@ -92,10 +106,7 @@ class WarmingClassifier:
             self.lukewarm.warm(l1_window_lines)
             return
         n_tail = llc_window_lines.shape[0]
-        if n_tail:
-            head = l1_window_lines[:-n_tail] if n_tail else l1_window_lines
-        else:
-            head = l1_window_lines
+        head = l1_window_lines[:-n_tail] if n_tail else l1_window_lines
         if head.shape[0]:
             self.lukewarm.l1d.warm(head)
         self.lukewarm.warm(llc_window_lines)
@@ -108,6 +119,16 @@ class WarmingClassifier:
         access updates the lukewarm cache and MSHRs (Figure 3's "fetch
         block" arrow).
         """
+        if (kernels.get_backend() == "vector"
+                and self.prefetcher is None
+                and self.lukewarm.l1d._is_lru
+                and self.lukewarm.llc._is_lru):
+            return self._classify_region_vector(lines, pcs, instr_offsets)
+        return self._classify_region_scalar(lines, pcs, instr_offsets)
+
+    # -- scalar reference --------------------------------------------------
+
+    def _classify_region_scalar(self, lines, pcs, instr_offsets):
         result = ClassifiedRegion(stats=AccessStats())
         llc = self.lukewarm.llc
         llc_lines = llc.config.n_lines
@@ -152,9 +173,105 @@ class WarmingClassifier:
             llc.access(line)                # fetch block into lukewarm state
         return result
 
-    def _beyond_lukewarm(self, line, pc, llc_lines, n_sets):
+    # -- vectorized two-phase path -----------------------------------------
+
+    def _classify_region_vector(self, lines, pcs, instr_offsets):
+        result = ClassifiedRegion(stats=AccessStats())
+        llc = self.lukewarm.llc
+        llc_lines_total = llc.config.n_lines
+        llc_assoc = llc.assoc
+        n_sets = llc.config.n_sets
+        detector = self.stride_detector
+        n = lines.shape[0]
+        if n == 0:
+            return result
+
+        # Phase 1: the L1 sees every access unconditionally.
+        _, l1_mask, _ = self.lukewarm.l1d.warm_profile(lines)
+
+        # Phase 2: the LLC sees the L1-miss substream (hits update
+        # recency, classified misses fetch) *except* MSHR hits.
+        candidates = np.flatnonzero(~l1_mask)
+        llc_hit_positions = []
+        warming_positions = []
+        observed_upto = 0                   # stride observations fed so far
+        lines_list = lines.tolist()
+        pcs_list = pcs.tolist()
+        instr_list = instr_offsets.tolist()
+
+        start = 0
+        while start < candidates.shape[0]:
+            block = candidates[start:]
+            saved_sets = [list(s) for s in llc._sets]
+            saved_hits, saved_misses = llc.hits, llc.misses
+            _, block_mask, block_occ = llc.warm_profile(lines[block])
+
+            # Walk the residual (non-resident) accesses in order,
+            # validating the no-MSHR-hit assumption the kernel made.
+            mshr_break = None
+            for k in np.flatnonzero(~block_mask).tolist():
+                position = int(block[k])
+                line = lines_list[position]
+                pc = pcs_list[position]
+                instr = instr_list[position]
+                if detector is not None:
+                    detector.observe_many(
+                        pcs[observed_upto:position + 1],
+                        lines[observed_upto:position + 1])
+                    observed_upto = position + 1
+                if self.mshr.lookup(line, position):
+                    result.stats.record(HIT_MSHR)
+                    result.outcomes.append(HIT_MSHR)
+                    result.outcome_instr.append(instr)
+                    mshr_break = k
+                    break
+                outcome = self._beyond_lukewarm(
+                    line, pc, llc_lines_total, n_sets,
+                    set_full=block_occ[k] >= llc_assoc)
+                result.stats.record(outcome)
+                result.outcomes.append(outcome)
+                result.outcome_instr.append(instr)
+                if outcome == HIT_WARMING:
+                    warming_positions.append(position)
+                else:
+                    self.mshr.allocate(line, position)
+
+            if mshr_break is None:
+                llc_hit_positions.append(block[block_mask])
+                start = candidates.shape[0]
+            else:
+                # The access at the break skipped the LLC; everything
+                # before it went through as assumed.  Roll back, replay
+                # the accepted prefix, resume after the skipped access.
+                for idx, entries in enumerate(saved_sets):
+                    llc._sets[idx] = entries
+                llc.hits, llc.misses = saved_hits, saved_misses
+                accepted = block[:mshr_break]
+                _, accepted_mask, _ = llc.warm_profile(lines[accepted])
+                llc_hit_positions.append(accepted[accepted_mask])
+                start += mshr_break + 1
+
+        if detector is not None and observed_upto < n:
+            detector.observe_many(pcs[observed_upto:], lines[observed_upto:])
+
+        # Lukewarm hits: every L1 hit plus every LLC-resident access.
+        llc_hit_positions = (np.concatenate(llc_hit_positions)
+                             if llc_hit_positions
+                             else np.empty(0, dtype=np.int64))
+        n_beyond = len(result.outcomes)
+        result.stats.counts[HIT_LUKEWARM] += n - n_beyond
+        hit_instr = np.sort(np.concatenate(
+            (llc_hit_positions,
+             np.asarray(warming_positions, dtype=np.int64))))
+        result.llc_hit_instr.extend(
+            instr_offsets[hit_instr].tolist())
+        return result
+
+    def _beyond_lukewarm(self, line, pc, llc_lines, n_sets, set_full=None):
         # Conflict: the referenced set is full in the lukewarm cache.
-        if self.lukewarm.llc.set_is_full(line):
+        if set_full is None:
+            set_full = self.lukewarm.llc.set_is_full(line)
+        if set_full:
             return MISS_CONFLICT
 
         effective_lines = llc_lines

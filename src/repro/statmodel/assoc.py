@@ -62,11 +62,46 @@ class StrideDetector:
         if len(history) > self.max_history:
             del history[0]
 
+    #: Below this many observations the per-access loop beats numpy setup.
+    _VECTOR_MIN = 64
+
     def observe_many(self, pcs, lines):
-        """Vector version of :meth:`observe` (processes in order)."""
-        for pc, line in zip(np.asarray(pcs).tolist(),
-                            np.asarray(lines).tolist()):
-            self.observe(pc, line)
+        """Vector version of :meth:`observe` (same result, batched).
+
+        Groups the batch by PC and computes each PC's line deltas in one
+        shot.  Because only the most recent ``max_history`` non-zero
+        deltas survive, trimming once at the end is equivalent to the
+        per-access update.
+        """
+        pcs = np.asarray(pcs)
+        lines = np.asarray(lines)
+        if pcs.shape[0] < self._VECTOR_MIN:
+            for pc, line in zip(pcs.tolist(), lines.tolist()):
+                self.observe(pc, line)
+            return
+        order = np.argsort(pcs, kind="stable")
+        sorted_pcs = pcs[order]
+        sorted_lines = lines[order]
+        group_starts = np.concatenate(
+            ([0], np.flatnonzero(sorted_pcs[1:] != sorted_pcs[:-1]) + 1,
+             [sorted_pcs.shape[0]]))
+        for g in range(group_starts.shape[0] - 1):
+            lo, hi = int(group_starts[g]), int(group_starts[g + 1])
+            pc = int(sorted_pcs[lo])
+            seg = sorted_lines[lo:hi]
+            last = self._last_line.get(pc)
+            if last is None:
+                deltas = np.diff(seg)
+            else:
+                deltas = np.diff(np.concatenate(([last], seg)))
+            self._last_line[pc] = int(seg[-1])
+            deltas = deltas[deltas != 0]
+            if deltas.shape[0] == 0:
+                continue
+            history = self._deltas.setdefault(pc, [])
+            history.extend(deltas[-self.max_history:].tolist())
+            if len(history) > self.max_history:
+                del history[:len(history) - self.max_history]
 
     def dominant_stride(self, pc):
         """Dominant line stride of ``pc``, or None.

@@ -10,6 +10,7 @@ query is a binary search.
 
 import numpy as np
 
+from repro import kernels
 from repro.util.units import CACHELINE_SHIFT, PAGE_SHIFT
 
 
@@ -55,6 +56,53 @@ class _PositionIndex:
             return -1
         return int(positions[idx])
 
+    def batch_counts_and_last(self, keys, lo, hi):
+        """Window counts and last positions for many keys at once.
+
+        Equivalent to per-key ``count_in`` / ``last_in`` over ``[lo,
+        hi)`` but batched: every key's position run is gathered with
+        one grouped-arange, masked against the window, and reduced.
+        Gathering is window-independent (it touches every occurrence of
+        every key), so when the runs dwarf the per-key binary-search
+        cost the loop is used instead — results are identical either
+        way.  Returns ``(counts, last)`` aligned with ``keys`` (``-1``
+        marks a key unseen in the window).
+        """
+        keys = np.asarray(keys, dtype=np.int64)
+        n_keys = keys.shape[0]
+        counts = np.zeros(n_keys, dtype=np.int64)
+        last = np.full(n_keys, -1, dtype=np.int64)
+        if n_keys == 0 or hi <= lo or self._keys.shape[0] == 0:
+            return counts, last
+        slot = np.minimum(np.searchsorted(self._keys, keys),
+                          self._keys.shape[0] - 1)
+        present = self._keys[slot] == keys
+        starts = np.where(present, self._starts[slot], 0)
+        lengths = np.where(present, self._starts[slot + 1] - starts, 0)
+        total = int(lengths.sum())
+        if total == 0:
+            return counts, last
+        if total > 256 * n_keys:
+            for k in np.flatnonzero(present).tolist():
+                run = self._positions[starts[k]:starts[k] + lengths[k]]
+                at_hi = int(np.searchsorted(run, hi, side="left"))
+                at_lo = int(np.searchsorted(run, lo, side="left"))
+                counts[k] = at_hi - at_lo
+                if at_hi > at_lo:
+                    last[k] = int(run[at_hi - 1])
+            return counts, last
+        key_of = np.repeat(np.arange(n_keys, dtype=np.int64), lengths)
+        cum = np.cumsum(lengths) - lengths
+        flat = (np.repeat(starts - cum, lengths)
+                + np.arange(total, dtype=np.int64))
+        positions = self._positions[flat]
+        in_window = (positions >= lo) & (positions < hi)
+        matched_key = key_of[in_window]
+        matched_pos = positions[in_window]
+        counts += np.bincount(matched_key, minlength=n_keys)
+        np.maximum.at(last, matched_key, matched_pos)
+        return counts, last
+
 
 class TraceIndex:
     """Line- and page-granularity position indices for one trace."""
@@ -87,5 +135,19 @@ class TraceIndex:
         This is exactly the number of watchpoint stops a run with those
         pages protected would take over the window.
         """
+        pages = np.asarray(pages)
+        if kernels.get_backend() == "vector" and pages.size > 1:
+            counts, _ = self.pages.batch_counts_and_last(pages, lo, hi)
+            return int(counts.sum())
         return sum(self.pages.count_in(int(page), lo, hi)
-                   for page in np.asarray(pages).tolist())
+                   for page in pages.tolist())
+
+    def window_access_counts(self, lines, lo, hi):
+        """Per-line access counts and last access position in a window.
+
+        Batched equivalent of per-line ``count_in`` / ``last_in`` over
+        ``[lo, hi)``; lines absent from the window carry a last position
+        of ``-1``.
+        """
+        return self.lines.batch_counts_and_last(
+            np.asarray(lines, dtype=np.int64), lo, hi)

@@ -18,6 +18,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import kernels
+
 
 @dataclass
 class WatchpointProfile:
@@ -57,16 +59,28 @@ class WatchpointEngine:
             profile.unresolved = tuple(int(l) for l in watched)
             return profile
 
-        true_stops = 0
-        unresolved = []
-        for line in watched.tolist():
-            count = self.index.lines.count_in(line, access_lo, access_hi)
-            if count:
-                true_stops += count
-                profile.last_access[line] = self.index.lines.last_in(
-                    line, access_lo, access_hi)
-            else:
-                unresolved.append(line)
+        if kernels.get_backend() == "vector":
+            # One vectorized pass over the window resolves every watched
+            # line at once (identical counts/positions to the per-line
+            # binary searches below).
+            counts, last = self.index.window_access_counts(
+                watched, access_lo, access_hi)
+            true_stops = int(counts.sum())
+            resolved = counts > 0
+            profile.last_access = dict(
+                zip(watched[resolved].tolist(), last[resolved].tolist()))
+            unresolved = watched[~resolved].tolist()
+        else:
+            true_stops = 0
+            unresolved = []
+            for line in watched.tolist():
+                count = self.index.lines.count_in(line, access_lo, access_hi)
+                if count:
+                    true_stops += count
+                    profile.last_access[line] = self.index.lines.last_in(
+                        line, access_lo, access_hi)
+                else:
+                    unresolved.append(line)
 
         pages = self.index.pages_of_lines(watched)
         page_stops = self.index.page_stops_in(pages, access_lo, access_hi)

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro import kernels
 from repro.sampling.plan import SamplingPlan
 from repro.trace.address_space import AddressSpace
 from repro.trace.engines import (
@@ -13,6 +14,24 @@ from repro.trace.engines import (
 from repro.trace.phases import PhaseSpec, build_trace
 from repro.trace.workload import Workload
 from repro.vff.index import TraceIndex
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--backend", choices=kernels.BACKENDS, default=None,
+        help="Kernel backend for the whole session (scalar|vector); "
+             "defaults to REPRO_KERNEL_BACKEND or 'vector'.  The "
+             "kernel-equivalence tests exercise both regardless.")
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _session_kernel_backend(request):
+    choice = request.config.getoption("--backend")
+    if choice is None:
+        yield
+        return
+    with kernels.use_backend(choice):
+        yield
 
 
 def make_small_workload(seed=3, n_instructions=120_000, hot_lines=48,

@@ -1,0 +1,376 @@
+"""Kernel-equivalence property tests: vector backends vs. scalar reference.
+
+Every vectorized kernel must be *bit-identical* to the per-access scalar
+implementation it replaces: hits, misses, distances, per-access masks,
+final cache state, classifier outcomes and side-band state (MSHR, stride
+detector, predictor call sequence).  Randomized traces come from all the
+address engines in :mod:`repro.trace.engines`, and caches cover LRU and
+the non-LRU policies (which share one code path — the dispatch must hand
+them to it unchanged under either backend).
+"""
+
+import numpy as np
+import pytest
+
+from repro import kernels
+from repro.caches.cache import CacheConfig, SetAssocCache
+from repro.caches.hierarchy import CacheHierarchy, HierarchyConfig
+from repro.caches.stack import (
+    reuse_and_stack_distances,
+    reuse_and_stack_distances_scalar,
+)
+from repro.caches.stats import HIT_WARMING, MISS_CAPACITY
+from repro.kernels.lru import warm_lru_sets
+from repro.kernels.stackdist import (
+    count_earlier_greater,
+    reuse_and_stack_distances_vector,
+)
+from repro.sampling.classify import WarmingClassifier
+from repro.statmodel.assoc import StrideDetector
+from repro.trace.engines import (
+    MultiWorkingSetEngine,
+    PointerChaseEngine,
+    SequentialEngine,
+    StridedEngine,
+    UniformWorkingSetEngine,
+    WorkingSetComponent,
+)
+from repro.vff.index import TraceIndex
+from repro.vff.watchpoint import WatchpointEngine
+from tests.conftest import make_small_workload
+
+
+def engine_traces(seed, n):
+    """One line stream per address-engine family, ``n`` accesses each."""
+    rng = np.random.default_rng(seed)
+    arena = np.arange(400, dtype=np.int64) + (1 << 20)
+    uniform = UniformWorkingSetEngine(arena[:96], n_pcs=4)
+    zipf = UniformWorkingSetEngine(arena[:200], n_pcs=4, zipf_a=0.8)
+    sequential = SequentialEngine(arena[:128])
+    strided = StridedEngine(arena[:256], stride_lines=8)
+    chase = PointerChaseEngine(arena[:160], np.random.default_rng(seed + 1))
+    mixture = MultiWorkingSetEngine([
+        WorkingSetComponent(UniformWorkingSetEngine(arena[:64]), 0.6),
+        WorkingSetComponent(SequentialEngine(arena[64:320]), 0.4,
+                            pc_base=8),
+    ])
+    for engine in (uniform, zipf, sequential, strided, chase, mixture):
+        lines, pcs = engine.generate(rng, n)
+        yield type(engine).__name__, lines, pcs
+
+
+def scalar_reference_warm(config, pre, lines):
+    """Per-access reference run returning (cache, hits, mask, occupancy)."""
+    cache = SetAssocCache(config)
+    cache.warm_scalar(pre)
+    cache.hits = cache.misses = 0
+    mask = np.zeros(len(lines), dtype=bool)
+    occupancy = np.zeros(len(lines), dtype=np.int64)
+    for i, line in enumerate(lines.tolist()):
+        occupancy[i] = cache.set_occupancy(line)
+        mask[i] = cache.access(line)
+    return cache, cache.hits, mask, occupancy
+
+
+class TestWarmKernel:
+    @pytest.mark.parametrize("assoc,n_sets", [(1, 4), (2, 8), (4, 4),
+                                              (8, 16), (16, 2)])
+    def test_bit_identical_across_engines(self, assoc, n_sets):
+        config = CacheConfig(n_sets * assoc * 64, assoc=assoc)
+        for name, lines, _ in engine_traces(seed=assoc * 97 + n_sets, n=600):
+            pre = lines[:150]
+            batch = lines[150:]
+            ref, ref_hits, ref_mask, ref_occ = scalar_reference_warm(
+                config, pre, batch)
+            vec = SetAssocCache(config)
+            vec.warm_scalar(pre)
+            hits, mask, occ = warm_lru_sets(
+                vec._sets, batch, vec._mask, assoc, want_access_info=True)
+            assert hits == ref_hits, name
+            assert np.array_equal(mask, ref_mask), name
+            assert np.array_equal(occ, ref_occ), name
+            assert vec._sets == ref._sets, name
+
+    def test_randomized_small_cases(self):
+        rng = np.random.default_rng(11)
+        for _ in range(150):
+            n_sets = int(rng.choice([1, 2, 4, 8]))
+            assoc = int(rng.choice([1, 2, 3, 5, 8]))
+            pool = n_sets * assoc * int(rng.integers(1, 5))
+            config = CacheConfig(n_sets * assoc * 64, assoc=assoc)
+            pre = rng.integers(0, pool, int(rng.integers(0, 80)))
+            batch = rng.integers(0, pool, int(rng.integers(0, 300)))
+            ref, ref_hits, ref_mask, ref_occ = scalar_reference_warm(
+                config, pre, batch)
+            vec = SetAssocCache(config)
+            vec.warm_scalar(pre)
+            hits, mask, occ = warm_lru_sets(
+                vec._sets, batch, vec._mask, assoc, want_access_info=True)
+            assert (hits, vec._sets) == (ref_hits, ref._sets)
+            assert np.array_equal(mask, ref_mask)
+            assert np.array_equal(occ, ref_occ)
+
+    def test_dispatch_equivalence_all_policies(self):
+        rng = np.random.default_rng(5)
+        lines = rng.integers(0, 256, 4000)
+        for policy in ("lru", "random", "tree-plru", "nmru"):
+            config = CacheConfig(16 * 1024, assoc=4, policy=policy)
+            results = {}
+            for backend in kernels.BACKENDS:
+                with kernels.use_backend(backend):
+                    cache = SetAssocCache(config, seed=3)
+                    results[backend] = (cache.warm(lines),
+                                        sorted(cache.resident_lines()))
+            assert results["scalar"] == results["vector"], policy
+
+    def test_empty_and_tiny_batches(self):
+        config = CacheConfig(1024, assoc=2)
+        cache = SetAssocCache(config)
+        assert warm_lru_sets(cache._sets, np.empty(0, dtype=np.int64),
+                             cache._mask, 2) == (0, None, None)
+        hits, mask, occ = warm_lru_sets(
+            cache._sets, np.asarray([7]), cache._mask, 2,
+            want_access_info=True)
+        assert hits == 0 and not mask[0] and occ[0] == 0
+        assert cache._sets[7 & cache._mask] == [7]
+
+    def test_bailout_leaves_state_untouched(self):
+        rng = np.random.default_rng(9)
+        config = CacheConfig(2048, assoc=2)
+        cache = SetAssocCache(config)
+        # Thrash pattern: every reuse has a long set-local window.
+        lines = np.tile(np.arange(2048, dtype=np.int64), 5)
+        before = [list(s) for s in cache._sets]
+        result = warm_lru_sets(cache._sets, lines, cache._mask, 2,
+                               max_long_window_fraction=0.01)
+        assert result is None
+        assert cache._sets == before
+        # The dispatcher falls back to the scalar loop and still matches.
+        with kernels.use_backend("vector"):
+            a = SetAssocCache(config)
+            a_counts = a.warm(lines)
+        with kernels.use_backend("scalar"):
+            b = SetAssocCache(config)
+            b_counts = b.warm(lines)
+        assert a_counts == b_counts and a._sets == b._sets
+
+
+class TestHierarchyKernel:
+    def test_two_phase_matches_interleaved_loop(self):
+        config = HierarchyConfig(
+            l1d=CacheConfig(2 * 1024, assoc=2),
+            l1i=CacheConfig(2 * 1024, assoc=2),
+            llc=CacheConfig(16 * 1024, assoc=8),
+        )
+        for name, lines, _ in engine_traces(seed=23, n=3000):
+            counts = {}
+            for backend in kernels.BACKENDS:
+                with kernels.use_backend(backend):
+                    hierarchy = CacheHierarchy(config)
+                    counts[backend] = (
+                        hierarchy.warm(lines),
+                        hierarchy.l1d._sets, hierarchy.llc._sets,
+                        hierarchy.l1d.hits, hierarchy.llc.hits,
+                    )
+            assert counts["scalar"][0] == counts["vector"][0], name
+            assert counts["scalar"][1:] == counts["vector"][1:], name
+
+
+class TestStackKernel:
+    def test_bit_identical_across_engines(self):
+        for name, lines, _ in engine_traces(seed=31, n=1200):
+            r_ref, s_ref = reuse_and_stack_distances_scalar(lines)
+            r_vec, s_vec = reuse_and_stack_distances_vector(lines)
+            assert np.array_equal(r_ref, r_vec), name
+            assert np.array_equal(s_ref, s_vec), name
+
+    def test_randomized_and_edges(self):
+        rng = np.random.default_rng(17)
+        cases = [np.empty(0, dtype=np.int64), np.asarray([5]),
+                 np.asarray([5, 5, 5]), np.arange(130)[::-1].copy()]
+        for _ in range(80):
+            n = int(rng.integers(0, 400))
+            cases.append(rng.integers(0, max(1, int(rng.integers(1, 60))), n))
+        for lines in cases:
+            r_ref, s_ref = reuse_and_stack_distances_scalar(lines)
+            r_vec, s_vec = reuse_and_stack_distances_vector(lines)
+            assert np.array_equal(r_ref, r_vec)
+            assert np.array_equal(s_ref, s_vec)
+
+    def test_count_earlier_greater_brute_force(self):
+        rng = np.random.default_rng(3)
+        for _ in range(60):
+            n = int(rng.integers(0, 300))
+            values = rng.integers(-1, 40, n)
+            expected = np.asarray(
+                [int(np.count_nonzero(values[:i] > values[i]))
+                 for i in range(n)], dtype=np.int64)
+            assert np.array_equal(count_earlier_greater(values), expected)
+
+    def test_dispatch_honours_backend(self):
+        lines = np.random.default_rng(0).integers(0, 30, 500)
+        with kernels.use_backend("scalar"):
+            scalar = reuse_and_stack_distances(lines)
+        with kernels.use_backend("vector"):
+            vector = reuse_and_stack_distances(lines)
+        assert np.array_equal(scalar[1], vector[1])
+
+
+def bernoulli_predictor(seed):
+    """A stateful RNG predictor: any divergence in the *sequence* of
+    predictor calls between backends changes every later draw."""
+    rng = np.random.default_rng(seed)
+
+    def predict(pc, line, effective_llc_lines):
+        return MISS_CAPACITY if rng.random() < 0.35 else HIT_WARMING
+
+    return predict
+
+
+def classify_once(lines, pcs, instr, hierarchy_config, mshrs=4,
+                  mshr_window=24, seed=0):
+    classifier = WarmingClassifier(
+        hierarchy_config,
+        capacity_predictor=bernoulli_predictor(seed + 1),
+        stride_detector=StrideDetector(),
+        mshrs=mshrs, mshr_window=mshr_window, seed=seed)
+    classifier.warm_detailed(lines[:400], lines[250:400])
+    region = classifier.classify_region(lines[400:], pcs[400:], instr[400:])
+    return classifier, region
+
+
+class TestClassifyKernel:
+    HIERARCHY = HierarchyConfig(
+        l1d=CacheConfig(1024, assoc=2),
+        l1i=CacheConfig(1024, assoc=2),
+        llc=CacheConfig(4 * 1024, assoc=4),
+    )
+
+    def test_bit_identical_across_engines(self):
+        for name, lines, pcs in engine_traces(seed=47, n=2400):
+            instr = np.arange(lines.shape[0], dtype=np.int64) * 3
+            outputs = {}
+            for backend in kernels.BACKENDS:
+                with kernels.use_backend(backend):
+                    classifier, region = classify_once(
+                        lines, pcs, instr, self.HIERARCHY, seed=13)
+                    outputs[backend] = (
+                        region.stats.counts, region.outcomes,
+                        region.outcome_instr, region.llc_hit_instr,
+                        classifier.lukewarm.llc._sets,
+                        classifier.lukewarm.l1d._sets,
+                        classifier.mshr._outstanding,
+                        classifier.stride_detector._deltas,
+                        classifier.stride_detector._last_line,
+                    )
+            assert outputs["scalar"] == outputs["vector"], name
+
+    def test_mshr_hit_exercises_block_replay(self):
+        # Engineer a delayed hit: tiny 1-set caches, line 0 misses, its
+        # LLC set is flooded within the MSHR window, then 0 returns —
+        # non-resident but outstanding, so it must skip the LLC fetch.
+        config = HierarchyConfig(
+            l1d=CacheConfig(128, assoc=2),
+            l1i=CacheConfig(128, assoc=2),
+            llc=CacheConfig(256, assoc=4),
+        )
+        lines = np.asarray([0, 4, 8, 12, 16, 0, 4, 20, 0], dtype=np.int64)
+        pcs = np.zeros(len(lines), dtype=np.int64)
+        instr = np.arange(len(lines), dtype=np.int64)
+        outputs = {}
+        for backend in kernels.BACKENDS:
+            with kernels.use_backend(backend):
+                classifier = WarmingClassifier(
+                    config, capacity_predictor=bernoulli_predictor(2),
+                    stride_detector=StrideDetector(), mshrs=8,
+                    mshr_window=24)
+                region = classifier.classify_region(lines, pcs, instr)
+                outputs[backend] = (
+                    region.stats.counts, region.outcomes,
+                    region.outcome_instr, region.llc_hit_instr,
+                    classifier.lukewarm.llc._sets,
+                    classifier.mshr._outstanding,
+                )
+        assert outputs["scalar"][0]["mshr_hit"] >= 1
+        assert outputs["scalar"] == outputs["vector"]
+
+    def test_warm_detailed_tail_split(self):
+        # The former dead-conditional path: an empty LLC tail must warm
+        # the L1 with the whole window and leave the LLC untouched.
+        classifier = WarmingClassifier(
+            self.HIERARCHY, capacity_predictor=bernoulli_predictor(0))
+        window = np.arange(64, dtype=np.int64)
+        classifier.warm_detailed(window, window[:0])
+        assert classifier.lukewarm.l1d.hits + classifier.lukewarm.l1d.misses \
+            == 64
+        assert classifier.lukewarm.llc.hits == 0
+        assert classifier.lukewarm.llc.misses == 0
+
+
+class TestWatchpointKernel:
+    def test_profile_window_matches_scalar(self):
+        workload = make_small_workload(seed=8, n_instructions=40_000)
+        index = TraceIndex(workload.trace)
+        engine = WatchpointEngine(index)
+        rng = np.random.default_rng(2)
+        n_accesses = workload.trace.n_accesses
+        for _ in range(20):
+            lo = int(rng.integers(0, n_accesses - 1))
+            hi = int(rng.integers(lo, n_accesses))
+            watched = rng.choice(workload.trace.mem_line, size=40)
+            watched = np.concatenate((watched, [10**9]))   # never accessed
+            profiles = {}
+            for backend in kernels.BACKENDS:
+                with kernels.use_backend(backend):
+                    p = engine.profile_window(watched, lo, hi)
+                    profiles[backend] = (p.last_access, p.unresolved,
+                                        p.true_stops, p.false_stops)
+            assert profiles["scalar"] == profiles["vector"]
+
+
+class TestStrideDetectorBatch:
+    def test_observe_many_matches_scalar(self):
+        rng = np.random.default_rng(21)
+        for n in (0, 1, 63, 64, 500):
+            pcs = rng.integers(0, 6, n)
+            lines = rng.integers(0, 50, n)
+            one = StrideDetector(max_history=16)
+            for pc, line in zip(pcs.tolist(), lines.tolist()):
+                one.observe(pc, line)
+            many = StrideDetector(max_history=16)
+            many.observe_many(pcs, lines)
+            assert one._deltas == many._deltas
+            assert one._last_line == many._last_line
+            for pc in range(6):
+                assert one.dominant_stride(pc) == many.dominant_stride(pc)
+
+    def test_observe_many_carries_prior_state(self):
+        rng = np.random.default_rng(22)
+        pcs = rng.integers(0, 3, 300)
+        lines = rng.integers(0, 40, 300)
+        one = StrideDetector()
+        many = StrideDetector()
+        for pc, line in zip(pcs[:50].tolist(), lines[:50].tolist()):
+            one.observe(pc, line)
+            many.observe(pc, line)
+        for pc, line in zip(pcs[50:].tolist(), lines[50:].tolist()):
+            one.observe(pc, line)
+        many.observe_many(pcs[50:], lines[50:])
+        assert one._deltas == many._deltas
+        assert one._last_line == many._last_line
+
+
+class TestBackendRegistry:
+    def test_set_and_restore(self):
+        original = kernels.get_backend()
+        previous = kernels.set_backend("scalar")
+        assert previous == original
+        assert kernels.get_backend() == "scalar"
+        with kernels.use_backend("vector"):
+            assert kernels.get_backend() == "vector"
+        assert kernels.get_backend() == "scalar"
+        kernels.set_backend(original)
+
+    def test_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            kernels.set_backend("cuda")

@@ -1,0 +1,197 @@
+"""Cold-vs-warm artifact-store benchmark: the warm-start trajectory.
+
+Extends the perf record started by ``BENCH_kernels.json`` with the
+store's wall-clock wins, written to ``BENCH_store.json``:
+
+* ``exhibit`` — a representative exhibit (``python -m repro fig5
+  --quick``) run twice against a fresh store: the cold run simulates and
+  publishes, the warm run must replay every strategy result from disk
+  with **zero re-simulations** (asserted by poisoning the strategy
+  table) and at least a 3x wall-clock reduction (gate).
+* ``dse_sweep`` — a 4-point design-space sweep, cold vs warm (report
+  replay).
+* ``warmup_replay`` — DeLorean at a new LLC size after a run at another
+  size: the LLC-independent warm-up bundle replays, only the Analyst
+  executes.
+
+Run standalone (``python benchmarks/bench_store.py``) or through pytest
+(``python -m pytest benchmarks/bench_store.py``).  Set
+``REPRO_BENCH_PROFILE=quick`` for a reduced exhibit size (smoke-testing
+the harness); the committed JSON is generated with the default profile,
+i.e. the real ``fig5 --quick`` geometry.
+"""
+
+import json
+import os
+import pathlib
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+SRC_DIR = REPO_ROOT / "src"
+RESULT_PATH = REPO_ROOT / "BENCH_store.json"
+
+if str(SRC_DIR) not in sys.path:
+    sys.path.insert(0, str(SRC_DIR))
+
+QUICK_PROFILE = os.environ.get("REPRO_BENCH_PROFILE") == "quick"
+#: CLI geometry of the measured exhibit run.
+EXHIBIT_ARGS = (["fig5", "--quick", "--instructions", "1200000",
+                 "--regions", "4"] if QUICK_PROFILE
+                else ["fig5", "--quick"])
+DSE_SIZES_MB = (1, 8, 64, 512)
+
+
+def run_cli(cache_dir, args):
+    """Time one ``python -m repro`` invocation against ``cache_dir``."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC_DIR) + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    env["REPRO_CACHE"] = "on"
+    env["REPRO_CACHE_DIR"] = str(cache_dir)
+    start = time.perf_counter()
+    subprocess.run([sys.executable, "-m", "repro", *args], env=env,
+                   check=True, stdout=subprocess.DEVNULL)
+    return time.perf_counter() - start
+
+
+def exhibit_config():
+    from repro.__main__ import QUICK_NAMES
+    from repro.experiments import ExperimentConfig
+
+    overrides = {"names": QUICK_NAMES}
+    if QUICK_PROFILE:
+        overrides.update(n_instructions=1_200_000, n_regions=4)
+    return ExperimentConfig(**overrides)
+
+
+def assert_zero_resimulations(cache_dir):
+    """Rebuild the warm exhibit in-process with the strategy table
+    poisoned: any cache miss would raise ``KeyError``."""
+    import repro.experiments.runner as runner_module
+    from repro.experiments import SuiteRunner, figures
+    from repro.store import ArtifactStore
+
+    runner = SuiteRunner(exhibit_config(),
+                         store=ArtifactStore(root=cache_dir, enabled=True))
+    saved = runner_module.STRATEGIES
+    runner_module.STRATEGIES = {}
+    try:
+        figures.figure5(runner)
+    finally:
+        runner_module.STRATEGIES = saved
+    return runner.store.disk_hits
+
+
+def bench_exhibit(cache_dir):
+    cold = run_cli(cache_dir, EXHIBIT_ARGS)
+    warm = run_cli(cache_dir, EXHIBIT_ARGS)
+    disk_hits = assert_zero_resimulations(cache_dir)
+    return {
+        "command": "python -m repro " + " ".join(EXHIBIT_ARGS),
+        "cold_seconds": round(cold, 2),
+        "warm_seconds": round(warm, 2),
+        "speedup": round(cold / warm, 2),
+        "warm_simulations": 0,
+        "warm_disk_hits": disk_hits,
+    }
+
+
+def bench_dse(cache_dir):
+    from repro.experiments import SuiteRunner
+    from repro.store import ArtifactStore
+    from repro.util.units import MIB
+
+    sizes = tuple(size * MIB for size in DSE_SIZES_MB)
+    cold_runner = SuiteRunner(exhibit_config(),
+                              store=ArtifactStore(root=cache_dir,
+                                                  enabled=True))
+    start = time.perf_counter()
+    cold_runner.run_dse("lbm", sizes)
+    cold = time.perf_counter() - start
+    cold_runner.release()
+
+    warm_runner = SuiteRunner(exhibit_config(),
+                              store=ArtifactStore(root=cache_dir,
+                                                  enabled=True))
+    start = time.perf_counter()
+    warm_runner.run_dse("lbm", sizes)
+    warm = time.perf_counter() - start
+    warm_runner.release()
+    return {
+        "benchmark": "lbm",
+        "sizes_mb": list(DSE_SIZES_MB),
+        "cold_seconds": round(cold, 3),
+        "warm_seconds": round(warm, 4),
+        "speedup": round(cold / max(warm, 1e-9), 1),
+    }
+
+
+def bench_warmup_replay(cache_dir):
+    from repro.experiments import SuiteRunner
+    from repro.store import ArtifactStore
+    from repro.util.units import MIB
+
+    config = exhibit_config()
+    baseline = SuiteRunner(config, store=ArtifactStore(enabled=False))
+    start = time.perf_counter()
+    baseline.run("lbm", "DeLorean", llc_paper_bytes=512 * MIB)
+    cold = time.perf_counter() - start
+    baseline.release()
+
+    seeded = SuiteRunner(config, store=ArtifactStore(root=cache_dir,
+                                                     enabled=True))
+    seeded.run("lbm", "DeLorean", llc_paper_bytes=8 * MIB)   # publishes bundle
+    start = time.perf_counter()
+    seeded.run("lbm", "DeLorean", llc_paper_bytes=512 * MIB)
+    replay = time.perf_counter() - start
+    seeded.release()
+    return {
+        "benchmark": "lbm",
+        "cold_512mb_seconds": round(cold, 3),
+        "replay_512mb_seconds": round(replay, 3),
+        "speedup": round(cold / max(replay, 1e-9), 2),
+    }
+
+
+def main():
+    report = {"profile": "quick" if QUICK_PROFILE else "full"}
+    cache_dir = tempfile.mkdtemp(prefix="repro-bench-store-")
+    try:
+        report["exhibit"] = bench_exhibit(cache_dir)
+        print(f"exhibit: cold {report['exhibit']['cold_seconds']}s "
+              f"warm {report['exhibit']['warm_seconds']}s "
+              f"-> {report['exhibit']['speedup']}x, zero re-simulations")
+        dse_dir = pathlib.Path(cache_dir) / "dse"
+        report["dse_sweep"] = bench_dse(dse_dir)
+        print(f"dse_sweep: cold {report['dse_sweep']['cold_seconds']}s "
+              f"warm {report['dse_sweep']['warm_seconds']}s "
+              f"-> {report['dse_sweep']['speedup']}x")
+        replay_dir = pathlib.Path(cache_dir) / "replay"
+        replay = bench_warmup_replay(replay_dir)
+        report["warmup_replay"] = replay
+        print(f"warmup_replay: cold {replay['cold_512mb_seconds']}s "
+              f"replay {replay['replay_512mb_seconds']}s "
+              f"-> {replay['speedup']}x")
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+    assert report["exhibit"]["speedup"] >= 3.0, (
+        "warm exhibit run must be at least 3x faster than cold")
+    assert report["dse_sweep"]["speedup"] >= 3.0, (
+        "warm DSE sweep must be at least 3x faster than cold")
+    RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {RESULT_PATH}")
+    return report
+
+
+def test_store_benchmark():
+    report = main()
+    assert report["exhibit"]["warm_simulations"] == 0
+    assert report["exhibit"]["speedup"] >= 3.0
+
+
+if __name__ == "__main__":
+    main()

@@ -8,6 +8,8 @@ simulated set-associative cache — the generality argument of the paper's
 Section 4.1.
 """
 
+import os
+
 import numpy as np
 
 from repro import ReuseHistogram, StatCache, StatStack
@@ -25,6 +27,12 @@ from repro.trace import (
 from repro.util.rng import child_rng
 from repro.util.units import KIB
 
+#: REPRO_EXAMPLES_QUICK=1 shrinks the run for smoke tests / CI.
+QUICK = os.environ.get("REPRO_EXAMPLES_QUICK", "") not in ("", "0")
+N_INSTRUCTIONS = 120_000 if QUICK else 400_000
+CACHE_LINES = (128, 512, 2048) if QUICK else (128, 256, 512, 1024,
+                                              2048, 4096)
+
 
 def main():
     space = AddressSpace(seed=11)
@@ -36,7 +44,7 @@ def main():
         WorkingSetComponent(heap, weight=0.2, pc_base=6),
     ])
     trace = build_trace(
-        [PhaseSpec("main", 400_000, engine, mem_fraction=0.42)],
+        [PhaseSpec("main", N_INSTRUCTIONS, engine, mem_fraction=0.42)],
         seed=11, name="custom")
     print(f"custom workload: {trace.n_accesses:,} accesses, "
           f"{trace.unique_lines():,} unique lines "
@@ -51,7 +59,7 @@ def main():
 
     print(f"{'lines':>7s} {'LRU sim':>9s} {'StatStack':>10s} "
           f"{'rand sim':>9s} {'StatCache':>10s}")
-    for lines in (128, 256, 512, 1024, 2048, 4096):
+    for lines in CACHE_LINES:
         lru = SetAssocCache(CacheConfig(lines * 64, assoc=8, policy="lru"))
         rnd = SetAssocCache(CacheConfig(lines * 64, assoc=8, policy="random"),
                             seed=3)

@@ -8,15 +8,20 @@ and shared — the marginal cost per extra configuration is just its
 Analyst.
 """
 
+import os
+
 from repro import SamplingPlan, spec2006_suite
 from repro.caches.hierarchy import paper_hierarchy
 from repro.core.dse import DesignSpaceExploration
 from repro.vff.index import TraceIndex
 from repro.util.units import MIB
 
-N_INSTRUCTIONS = 3_000_000
-N_REGIONS = 5
-SIZES_MB = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512]
+#: REPRO_EXAMPLES_QUICK=1 shrinks the run for smoke tests / CI.
+QUICK = os.environ.get("REPRO_EXAMPLES_QUICK", "") not in ("", "0")
+N_INSTRUCTIONS = 600_000 if QUICK else 3_000_000
+N_REGIONS = 3 if QUICK else 5
+SIZES_MB = ([1, 8, 64, 512] if QUICK
+            else [1, 2, 4, 8, 16, 32, 64, 128, 256, 512])
 
 
 def main():

@@ -8,6 +8,8 @@ DeLorean (directed statistical warming through time traveling), then
 compares predicted CPI, MPKI and modeled simulation speed.
 """
 
+import os
+
 from repro import (
     CoolSim,
     DeLorean,
@@ -18,8 +20,10 @@ from repro import (
     spec2006_suite,
 )
 
-N_INSTRUCTIONS = 3_000_000
-N_REGIONS = 5
+#: REPRO_EXAMPLES_QUICK=1 shrinks the run for smoke tests / CI.
+QUICK = os.environ.get("REPRO_EXAMPLES_QUICK", "") not in ("", "0")
+N_INSTRUCTIONS = 600_000 if QUICK else 3_000_000
+N_REGIONS = 3 if QUICK else 5
 
 
 def main():

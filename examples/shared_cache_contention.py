@@ -7,6 +7,8 @@ ratios and CPIs when co-running on a shared LLC of varying size —
 without ever simulating the mix.
 """
 
+import os
+
 import numpy as np
 
 from repro import spec2006_suite
@@ -14,13 +16,16 @@ from repro.caches.stack import reuse_and_stack_distances
 from repro.statmodel import CoRunner, ReuseHistogram, StatCC
 from repro.util.units import MIB
 
+#: REPRO_EXAMPLES_QUICK=1 shrinks the run for smoke tests / CI.
+QUICK = os.environ.get("REPRO_EXAMPLES_QUICK", "") not in ("", "0")
 PAIR = ("mcf", "hmmer")
-SIZES_MB = [1, 4, 16, 64, 256]
+SIZES_MB = [1, 16, 256] if QUICK else [1, 4, 16, 64, 256]
 SCALE = 1.0 / 64.0
+N_INSTRUCTIONS = 200_000 if QUICK else 600_000
 
 
 def profile(name):
-    workload = spec2006_suite(n_instructions=600_000, seed=5,
+    workload = spec2006_suite(n_instructions=N_INSTRUCTIONS, seed=5,
                               names=[name])[0]
     trace = workload.trace
     reuse, _ = reuse_and_stack_distances(trace.mem_line)

@@ -10,6 +10,8 @@ per detailed region:
   distances plus a sparse vicinity distribution.
 """
 
+import os
+
 from repro import (
     CoolSim,
     DeLorean,
@@ -20,8 +22,10 @@ from repro import (
     spec2006_suite,
 )
 
-N_INSTRUCTIONS = 2_400_000
-N_REGIONS = 4
+#: REPRO_EXAMPLES_QUICK=1 shrinks the run for smoke tests / CI.
+QUICK = os.environ.get("REPRO_EXAMPLES_QUICK", "") not in ("", "0")
+N_INSTRUCTIONS = 600_000 if QUICK else 2_400_000
+N_REGIONS = 3 if QUICK else 4
 
 
 def main():

@@ -7,6 +7,8 @@ SMARTS reference against DeLorean, whose ten cache sizes all come from a
 Analysts).
 """
 
+import os
+
 from repro import SamplingPlan, spec2006_suite
 from repro.experiments.report import ascii_chart
 from repro.caches.hierarchy import paper_hierarchy
@@ -15,10 +17,13 @@ from repro.sampling.smarts import Smarts
 from repro.vff.index import TraceIndex
 from repro.util.units import MIB
 
-N_INSTRUCTIONS = 4_000_000
-N_REGIONS = 6
-SIZES_MB = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512]
-BENCHMARKS = ("cactusADM", "leslie3d", "lbm")
+#: REPRO_EXAMPLES_QUICK=1 shrinks the run for smoke tests / CI.
+QUICK = os.environ.get("REPRO_EXAMPLES_QUICK", "") not in ("", "0")
+N_INSTRUCTIONS = 600_000 if QUICK else 4_000_000
+N_REGIONS = 3 if QUICK else 6
+SIZES_MB = ([1, 8, 64, 512] if QUICK
+            else [1, 2, 4, 8, 16, 32, 64, 128, 256, 512])
+BENCHMARKS = ("lbm",) if QUICK else ("cactusADM", "leslie3d", "lbm")
 
 
 def main():

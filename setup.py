@@ -1,5 +1,6 @@
 """Legacy setup shim: enables `pip install -e .` on hosts without the
-`wheel` package (offline PEP 517 editable installs need bdist_wheel)."""
+`wheel` package (offline PEP 517 editable installs need bdist_wheel).
+All metadata lives in pyproject.toml (PEP 621); setuptools reads it."""
 from setuptools import setup
 
 setup()

@@ -6,12 +6,18 @@ Usage::
     python -m repro table1
     python -m repro fig5 [--quick] [--benchmarks mcf,lbm] [--out FILE]
     python -m repro all --quick
+    python -m repro cache stats|ls|gc|clear [--dir DIR]
 
 Each exhibit command runs the corresponding harness from
 :mod:`repro.experiments.figures` and prints the rendered table/chart
 (optionally writing it to a file).  ``--quick`` uses a reduced
 six-benchmark sweep; the default regenerates the full 24-benchmark
 evaluation (several minutes for the figure matrix).
+
+Exhibit runs warm-start from the persistent artifact store
+(``REPRO_CACHE_DIR``, default ``~/.cache/repro``; ``REPRO_CACHE=off``
+disables): a repeated exhibit replays stored results instead of
+re-simulating.  ``cache`` inspects and maintains that store.
 """
 
 import argparse
@@ -68,9 +74,68 @@ def list_exhibits():
         doc = (EXHIBITS[name].__doc__ or "").strip().splitlines()
         summary = doc[0] if doc else ""
         print(f"{name:<{width}}  {summary}")
+    print(f"{'cache':<{width}}  Inspect/maintain the artifact store "
+          "(stats, ls, gc, clear)")
+
+
+def build_cache_parser():
+    parser = argparse.ArgumentParser(
+        prog="python -m repro cache",
+        description="Inspect and maintain the persistent artifact store "
+                    "(REPRO_CACHE_DIR, default ~/.cache/repro).")
+    parser.add_argument("action", choices=("stats", "ls", "gc", "clear"),
+                        help="stats: tier summary; ls: list entries; "
+                             "gc: drop stale-schema blobs and temp litter; "
+                             "clear: remove everything")
+    parser.add_argument("--dir", default=None,
+                        help="store root (overrides REPRO_CACHE_DIR)")
+    return parser
+
+
+def cache_main(argv):
+    from repro.store import ArtifactStore
+    from repro.util.units import format_size
+
+    args = build_cache_parser().parse_args(argv)
+    store = ArtifactStore(root=args.dir, enabled=True)
+    if args.action == "stats":
+        stats = store.stats()
+        disk = stats["disk"]
+        print(f"store root:   {disk['root']}")
+        print(f"schema:       v{disk['schema']}")
+        print(f"entries:      {disk['entries']} "
+              f"({format_size(disk['bytes'])})")
+        if disk["stale_entries"]:
+            print(f"stale:        {disk['stale_entries']} "
+                  "(reclaim with 'cache gc')")
+        for label, entry in sorted(disk["by_label"].items()):
+            print(f"  {label:<18s} {entry['entries']:>5d} entries  "
+                  f"{format_size(entry['bytes'])}")
+    elif args.action == "ls":
+        n = 0
+        for digest, header, size in store.disk.entries():
+            label = header.get("label") or header.get("kind", "?")
+            stale = ("" if header.get("schema") == store.schema_version
+                     else "  (stale)")
+            print(f"{digest[:16]}  {label:<18s} {header.get('kind', '?'):<4s}"
+                  f"  {format_size(size)}{stale}")
+            n += 1
+        print(f"{n} entries in {store.root}")
+    elif args.action == "gc":
+        removed, reclaimed = store.disk.gc()
+        print(f"removed {removed} entries, "
+              f"reclaimed {format_size(reclaimed)}")
+    elif args.action == "clear":
+        removed = store.disk.clear()
+        print(f"removed {removed} entries from {store.root}")
+    return 0
 
 
 def main(argv=None):
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "cache":
+        return cache_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.exhibit == "list":
         list_exhibits()
@@ -105,4 +170,10 @@ def main(argv=None):
 
 
 if __name__ == "__main__":
-    raise SystemExit(main())
+    try:
+        raise SystemExit(main())
+    except BrokenPipeError:
+        # Output piped into a pager/head that exited early; not an error.
+        import os
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        raise SystemExit(141)

@@ -14,21 +14,25 @@ wall-clock follows the pipeline recurrence of
 :func:`~repro.core.pipeline.pipeline_schedule` rather than the sum of all
 passes — this is how the reduction in profiling work becomes the 5.7x
 speedup over CoolSim and the 126 MIPS headline.
+
+The Scout/Explorer work is delegated to
+:class:`~repro.core.warmup.WarmupPipeline`: with an artifact ``store``
+attached, the warm-up products (which are microarchitecture-independent)
+are persisted on first computation and replayed bit-identically for any
+later run of the same workload/plan/seed at a different LLC
+configuration — only the Analyst re-executes.
 """
 
 import numpy as np
 
 from repro.core.analyst import AnalystPass
-from repro.core.explorer import DEFAULT_EXPLORERS, ExplorerChain
+from repro.core.explorer import DEFAULT_EXPLORERS
 from repro.core.pipeline import pipeline_schedule
-from repro.core.scout import ScoutPass
-from repro.core.vicinity import DEFAULT_DENSITY, VicinitySampler
-from repro.core.warming import DirectedCapacityPredictor
+from repro.core.vicinity import DEFAULT_DENSITY
+from repro.core.warmup import WarmupPipeline
 from repro.cpu.prefetch import StridePrefetcher
 from repro.sampling.base import StrategyBase
 from repro.sampling.results import StrategyResult
-from repro.statmodel.histogram import ReuseHistogram
-from repro.util.rng import child_rng
 from repro.vff.costmodel import CostMeter, TimeLedger
 from repro.vff.index import TraceIndex
 from repro.vff.machine import VirtualMachine
@@ -38,6 +42,8 @@ class DeLorean(StrategyBase):
     """Directed statistical warming through time traveling."""
 
     name = "DeLorean"
+    #: The suite runner forwards its artifact store to ``run(store=...)``.
+    supports_store = True
 
     def __init__(self, processor_config=None, explorer_specs=DEFAULT_EXPLORERS,
                  vicinity_density=DEFAULT_DENSITY, vicinity_boost=200.0,
@@ -49,30 +55,21 @@ class DeLorean(StrategyBase):
         self.prefetcher_enabled = prefetcher
         self.mshr_window = mshr_window
 
-    def run(self, workload, plan, hierarchy_config, index=None, seed=0):
+    def run(self, workload, plan, hierarchy_config, index=None, seed=0,
+            store=None):
         trace = workload.trace
         if index is None:
             index = TraceIndex(trace)
         base_meter = CostMeter(scale=plan.scale)
 
-        scout_machine = VirtualMachine(
-            trace, meter=base_meter.fork(), index=index)
-        explorer_machines = [
-            VirtualMachine(trace, meter=base_meter.fork(), index=index)
-            for _ in self.explorer_specs]
+        warmup = WarmupPipeline(
+            "delorean-vicinity", workload, plan, self.explorer_specs,
+            self.vicinity_density, self.vicinity_boost, base_meter, index,
+            seed=seed, store=store)
+        warm_regions = warmup.run_all()
+
         analyst_machine = VirtualMachine(
             trace, meter=base_meter.fork(), index=index)
-
-        rng = child_rng(seed, "delorean-vicinity", workload.name)
-        samplers = [VicinitySampler(machine, density=self.vicinity_density,
-                                    density_boost=self.vicinity_boost,
-                                    rng=rng,
-                                    footprint_scale=plan.footprint_scale)
-                    for machine in explorer_machines]
-        scout = ScoutPass(scout_machine)
-        chain = ExplorerChain(explorer_machines, self.explorer_specs,
-                              vicinity_samplers=samplers,
-                              footprint_scale=plan.footprint_scale)
         analyst = AnalystPass(
             analyst_machine, hierarchy_config,
             processor_config=self.processor_config,
@@ -82,8 +79,7 @@ class DeLorean(StrategyBase):
             seed=seed,
         )
 
-        passes = [scout_machine] + explorer_machines + [analyst_machine]
-        stage_times = [[] for _ in passes]
+        analyst_times = []
         regions = []
         key_counts = []
         engaged = []
@@ -94,44 +90,38 @@ class DeLorean(StrategyBase):
         stops_true = 0
         stops_false = 0
 
-        for spec in plan.regions():
-            marks = [m.meter.ledger.total_seconds for m in passes]
+        for spec, warm in zip(plan.regions(), warm_regions):
+            mark = analyst_machine.meter.ledger.total_seconds
+            regions.append(analyst.run_region(spec, warm.predictor()))
+            analyst_times.append(
+                analyst_machine.meter.ledger.total_seconds - mark)
 
-            report = scout.run_region(spec)
-            vicinity = ReuseHistogram()
-            exploration = chain.run_region(spec, report, vicinity)
-            key_distances = chain.key_reuse_distances(report, exploration)
-            predictor = DirectedCapacityPredictor(key_distances, vicinity)
-            regions.append(analyst.run_region(spec, predictor))
+            key_counts.append(warm.n_key_lines)
+            engaged.append(warm.engaged)
+            resolved_by_totals += np.asarray(warm.resolved_by)
+            warming_resolved_total += warm.n_warming_resolved
+            cold_total += warm.n_unresolved
+            key_collected_total += warm.n_key_collected
+            stops_true += warm.true_stops
+            stops_false += warm.false_stops
 
-            for k, machine in enumerate(passes):
-                stage_times[k].append(
-                    machine.meter.ledger.total_seconds - marks[k])
-
-            key_counts.append(report.n_key_lines)
-            engaged.append(exploration.engaged)
-            resolved_by_totals += np.asarray(exploration.resolved_by)
-            warming_resolved_total += len(report.warming_resolved)
-            cold_total += len(exploration.unresolved)
-            key_collected_total += sum(
-                1 for d in key_distances.values() if d >= 0)
-            stops_true += exploration.true_stops
-            stops_false += exploration.false_stops
-
+        stage_times = warmup.stage_times() + [analyst_times]
         _, wall_seconds = pipeline_schedule(stage_times)
 
         merged = CostMeter(params=base_meter.params, scale=plan.scale,
                            ledger=TimeLedger())
-        for machine in passes:
-            merged.ledger.merge(machine.meter.ledger)
+        warm_ledgers = warmup.pass_ledgers()
+        for ledger in warm_ledgers:
+            merged.ledger.merge(ledger)
+        merged.ledger.merge(analyst_machine.meter.ledger)
 
-        vicinity_paper = sum(s.collected_paper_equivalent for s in samplers)
-        vicinity_model = sum(s.collected_model for s in samplers)
+        vicinity_paper = warmup.vicinity_paper
+        vicinity_model = warmup.vicinity_model
         analyst_detailed = analyst_machine.meter.ledger.seconds_by_category.get(
             "detailed", 0.0)
         warming_seconds = (
-            scout_machine.meter.ledger.total_seconds
-            + sum(m.meter.ledger.total_seconds for m in explorer_machines))
+            warm_ledgers[0].total_seconds
+            + sum(ledger.total_seconds for ledger in warm_ledgers[1:]))
 
         return StrategyResult(
             strategy=self.name,

@@ -7,6 +7,12 @@ marginal cost of an extra configuration is just its Analyst — tiny next
 to the warm-up work (the paper reports warm-up : detailed time of ~235x
 and a marginal cost below 1.05x for 10 parallel Analysts, versus 10x for
 rerunning the whole simulation per configuration).
+
+With an artifact ``store`` attached the amortization extends across
+*calls*: the warm-up products are persisted by
+:class:`~repro.core.warmup.WarmupPipeline` on first computation, so a
+later sweep over different LLC sizes (or an added configuration point)
+replays the recorded warm-up and only its Analysts execute.
 """
 
 from dataclasses import dataclass, field
@@ -14,15 +20,12 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.analyst import AnalystPass
-from repro.core.explorer import DEFAULT_EXPLORERS, ExplorerChain
+from repro.core.explorer import DEFAULT_EXPLORERS
 from repro.core.pipeline import pipeline_schedule
-from repro.core.scout import ScoutPass
-from repro.core.vicinity import DEFAULT_DENSITY, VicinitySampler
-from repro.core.warming import DirectedCapacityPredictor
+from repro.core.vicinity import DEFAULT_DENSITY
+from repro.core.warmup import WarmupPipeline
 from repro.sampling.base import StrategyBase
 from repro.sampling.results import StrategyResult
-from repro.statmodel.histogram import ReuseHistogram
-from repro.util.rng import child_rng
 from repro.vff.costmodel import CostMeter, TimeLedger
 from repro.vff.index import TraceIndex
 from repro.vff.machine import VirtualMachine
@@ -64,6 +67,8 @@ class DesignSpaceExploration(StrategyBase):
     """One Scout + one Explorer set feeding N parallel Analysts."""
 
     name = "DeLorean-DSE"
+    #: The suite runner forwards its artifact store to ``run(store=...)``.
+    supports_store = True
 
     def __init__(self, processor_config=None, explorer_specs=DEFAULT_EXPLORERS,
                  vicinity_density=DEFAULT_DENSITY, vicinity_boost=200.0,
@@ -74,7 +79,8 @@ class DesignSpaceExploration(StrategyBase):
         self.vicinity_boost = float(vicinity_boost)
         self.mshr_window = mshr_window
 
-    def run(self, workload, plan, hierarchy_configs, index=None, seed=0):
+    def run(self, workload, plan, hierarchy_configs, index=None, seed=0,
+            store=None):
         """Sweep ``hierarchy_configs`` from one shared warm-up."""
         if not hierarchy_configs:
             raise ValueError("need at least one configuration")
@@ -83,49 +89,28 @@ class DesignSpaceExploration(StrategyBase):
             index = TraceIndex(trace)
         base_meter = CostMeter(scale=plan.scale)
 
-        scout_machine = VirtualMachine(
-            trace, meter=base_meter.fork(), index=index)
-        explorer_machines = [
-            VirtualMachine(trace, meter=base_meter.fork(), index=index)
-            for _ in self.explorer_specs]
+        warmup = WarmupPipeline(
+            "dse-vicinity", workload, plan, self.explorer_specs,
+            self.vicinity_density, self.vicinity_boost, base_meter, index,
+            seed=seed, store=store)
+        warm_regions = warmup.run_all()
+
         analyst_machines = [
             VirtualMachine(trace, meter=base_meter.fork(), index=index)
             for _ in hierarchy_configs]
-
-        rng = child_rng(seed, "dse-vicinity", workload.name)
-        samplers = [VicinitySampler(machine, density=self.vicinity_density,
-                                    density_boost=self.vicinity_boost,
-                                    rng=rng,
-                                    footprint_scale=plan.footprint_scale)
-                    for machine in explorer_machines]
-        scout = ScoutPass(scout_machine)
-        chain = ExplorerChain(explorer_machines, self.explorer_specs,
-                              vicinity_samplers=samplers,
-                              footprint_scale=plan.footprint_scale)
         analysts = [
             AnalystPass(machine, config,
                         processor_config=self.processor_config,
                         mshr_window=self.mshr_window, seed=seed)
             for machine, config in zip(analyst_machines, hierarchy_configs)]
 
-        warmup_passes = [scout_machine] + explorer_machines
-        warmup_stage_times = [[] for _ in warmup_passes]
         analyst_stage_times = [[] for _ in analysts]
         per_config_regions = [[] for _ in analysts]
 
-        for spec in plan.regions():
-            warm_marks = [m.meter.ledger.total_seconds for m in warmup_passes]
-            report = scout.run_region(spec)
-            vicinity = ReuseHistogram()
-            exploration = chain.run_region(spec, report, vicinity)
-            key_distances = chain.key_reuse_distances(report, exploration)
+        for spec, warm in zip(plan.regions(), warm_regions):
             # One predictor serves every configuration: reuse distance is
             # microarchitecture-independent (Section 3.3).
-            predictor = DirectedCapacityPredictor(key_distances, vicinity)
-            for k, machine in enumerate(warmup_passes):
-                warmup_stage_times[k].append(
-                    machine.meter.ledger.total_seconds - warm_marks[k])
-
+            predictor = warm.predictor()
             for k, analyst in enumerate(analysts):
                 mark = analyst_machines[k].meter.ledger.total_seconds
                 per_config_regions[k].append(
@@ -135,13 +120,14 @@ class DesignSpaceExploration(StrategyBase):
 
         # Analysts run concurrently: the pipeline sees one analyst stage
         # whose per-region time is the slowest configuration's.
+        warmup_stage_times = warmup.stage_times()
         analyst_parallel = np.max(
             np.asarray(analyst_stage_times), axis=0).tolist()
         _, wall_seconds = pipeline_schedule(
             [*warmup_stage_times, analyst_parallel])
 
-        warmup_core = sum(m.meter.ledger.total_seconds
-                          for m in warmup_passes)
+        warm_ledgers = warmup.pass_ledgers()
+        warmup_core = sum(ledger.total_seconds for ledger in warm_ledgers)
         analyst_cores = [m.meter.ledger.total_seconds
                          for m in analyst_machines]
         core_seconds = warmup_core + sum(analyst_cores)
@@ -151,8 +137,8 @@ class DesignSpaceExploration(StrategyBase):
         for k, config in enumerate(hierarchy_configs):
             merged = CostMeter(params=base_meter.params, scale=plan.scale,
                                ledger=TimeLedger())
-            for machine in warmup_passes:
-                merged.ledger.merge(machine.meter.ledger)
+            for ledger in warm_ledgers:
+                merged.ledger.merge(ledger)
             merged.ledger.merge(analyst_machines[k].meter.ledger)
             results.append(StrategyResult(
                 strategy=self.name,

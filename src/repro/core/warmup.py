@@ -1,0 +1,234 @@
+"""The shared Scout + Explorer warm-up pipeline, with record/replay.
+
+Both :class:`~repro.core.delorean.DeLorean` and
+:class:`~repro.core.dse.DesignSpaceExploration` spend most of their work
+in the same place: per detailed region, a Scout collects the key
+cachelines and an Explorer chain collects their reuse distances plus the
+vicinity distribution.  Everything those passes produce is
+*microarchitecture-independent* (Section 3.3) — the cache hierarchy only
+enters at the Analyst — so the warm-up products for a workload/plan/seed
+are reusable across every LLC configuration of a sweep.
+
+:class:`WarmupPipeline` makes that reuse concrete.  In **live** mode it
+runs the actual passes and records, per region, the key reuse distances,
+the vicinity histogram state, the per-pass stage times and the summary
+statistics; at the end it publishes the whole
+:class:`WarmupBundle` (including each pass's cost-ledger breakdown) to
+the artifact store.  In **replay** mode — a store hit on the bundle's
+fingerprint, which deliberately excludes the hierarchy — it never builds
+a machine at all: regions are served from the bundle and the consumer's
+results are bit-identical to a live run's, because every float the live
+run would have produced (stage times, ledger categories, sampler
+totals) was recorded rather than remodeled.
+"""
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.explorer import ExplorerChain
+from repro.core.scout import ScoutPass
+from repro.core.vicinity import VicinitySampler
+from repro.core.warming import DirectedCapacityPredictor
+from repro.statmodel.histogram import ReuseHistogram
+from repro.util.rng import child_rng
+from repro.vff.costmodel import TimeLedger
+from repro.vff.machine import VirtualMachine
+
+
+@dataclass
+class RegionWarmup:
+    """Everything one region's warm-up passes produced.
+
+    Arrays are stored in the Scout's key order (ascending line id), so a
+    replayed predictor iterates identically to a live one.
+    """
+
+    #: Key cachelines (Scout order) and their backward reuse distances
+    #: (-1 marks a cold line never found in the warm-up interval).
+    key_lines: np.ndarray
+    key_distances: np.ndarray
+    #: Vicinity histogram state (sorted distances, weights, cold mass).
+    vicinity_distances: np.ndarray
+    vicinity_weights: np.ndarray
+    vicinity_cold: float
+    #: Summary statistics the strategies aggregate into result extras.
+    n_warming_resolved: int
+    n_unresolved: int
+    engaged: int
+    resolved_by: list
+    true_stops: int
+    false_stops: int
+    #: Modeled seconds each warm-up pass (Scout, Explorer-1..N) spent on
+    #: this region — the pipeline-schedule stage times.
+    stage_seconds: list = field(default_factory=list)
+
+    @property
+    def n_key_lines(self):
+        return int(self.key_lines.shape[0])
+
+    @property
+    def n_key_collected(self):
+        """Key lines whose reuse distance was actually found."""
+        return int((np.asarray(self.key_distances) >= 0).sum())
+
+    def vicinity_histogram(self):
+        return ReuseHistogram.from_state(
+            self.vicinity_distances, self.vicinity_weights,
+            self.vicinity_cold)
+
+    def predictor(self):
+        """The region's DSW capacity predictor, rebuilt from the record.
+
+        Both live and replayed runs construct the predictor from the
+        recorded arrays, so the two paths cannot diverge.
+        """
+        distances = {
+            int(line): int(distance)
+            for line, distance in zip(self.key_lines.tolist(),
+                                      np.asarray(self.key_distances).tolist())
+        }
+        return DirectedCapacityPredictor(distances,
+                                         self.vicinity_histogram())
+
+
+@dataclass
+class WarmupBundle:
+    """A full warm-up record: every region plus per-pass cost ledgers."""
+
+    regions: list
+    #: Final ``{category: seconds}`` ledger of each warm-up pass, in pass
+    #: order (Scout first).
+    pass_categories: list
+    #: Per-Explorer vicinity sampler totals (sampler order).
+    sampler_paper: list
+    sampler_model: list
+
+
+class WarmupPipeline:
+    """Run — or replay — the Scout/Explorer warm-up for a whole plan."""
+
+    def __init__(self, rng_label, workload, plan, explorer_specs,
+                 vicinity_density, vicinity_boost, base_meter, index,
+                 seed=0, store=None):
+        self.rng_label = rng_label
+        self.workload = workload
+        self.plan = plan
+        self.explorer_specs = tuple(explorer_specs)
+        self.vicinity_density = float(vicinity_density)
+        self.vicinity_boost = float(vicinity_boost)
+        self.base_meter = base_meter
+        self.index = index
+        self.seed = seed
+        self.store = store
+        self.n_passes = 1 + len(self.explorer_specs)
+        # The address excludes the cache hierarchy on purpose: warm-up
+        # products are microarchitecture-independent, so every LLC
+        # configuration of a sweep shares one bundle.
+        self.key = {
+            "artifact": "warmup-bundle",
+            "pipeline": rng_label,
+            "workload": workload.name,
+            "workload_seed": workload.seed,
+            "plan": plan,
+            "explorers": list(self.explorer_specs),
+            "vicinity_density": self.vicinity_density,
+            "vicinity_boost": self.vicinity_boost,
+            "seed": seed,
+        }
+        self.bundle = store.load(self.key) if store is not None else None
+        self.replayed = self.bundle is not None
+
+    # -- execution -----------------------------------------------------------
+
+    def run_all(self):
+        """The per-region warm-up products, live or replayed."""
+        if self.bundle is None:
+            self._run_live()
+        return self.bundle.regions
+
+    def _run_live(self):
+        trace = self.workload.trace
+        scout_machine = VirtualMachine(
+            trace, meter=self.base_meter.fork(), index=self.index)
+        explorer_machines = [
+            VirtualMachine(trace, meter=self.base_meter.fork(),
+                           index=self.index)
+            for _ in self.explorer_specs]
+        machines = [scout_machine] + explorer_machines
+
+        rng = child_rng(self.seed, self.rng_label, self.workload.name)
+        samplers = [
+            VicinitySampler(machine, density=self.vicinity_density,
+                            density_boost=self.vicinity_boost, rng=rng,
+                            footprint_scale=self.plan.footprint_scale)
+            for machine in explorer_machines]
+        scout = ScoutPass(scout_machine)
+        chain = ExplorerChain(explorer_machines, self.explorer_specs,
+                              vicinity_samplers=samplers,
+                              footprint_scale=self.plan.footprint_scale)
+
+        regions = []
+        for spec in self.plan.regions():
+            marks = [m.meter.ledger.total_seconds for m in machines]
+            report = scout.run_region(spec)
+            vicinity = ReuseHistogram()
+            exploration = chain.run_region(spec, report, vicinity)
+            key_distances = chain.key_reuse_distances(report, exploration)
+            stage_seconds = [
+                machine.meter.ledger.total_seconds - marks[k]
+                for k, machine in enumerate(machines)]
+
+            n_keys = len(key_distances)
+            vicinity_distances, vicinity_weights, vicinity_cold = \
+                vicinity.state()
+            regions.append(RegionWarmup(
+                key_lines=np.fromiter(
+                    key_distances.keys(), np.int64, count=n_keys),
+                key_distances=np.fromiter(
+                    key_distances.values(), np.int64, count=n_keys),
+                vicinity_distances=vicinity_distances,
+                vicinity_weights=vicinity_weights,
+                vicinity_cold=vicinity_cold,
+                n_warming_resolved=len(report.warming_resolved),
+                n_unresolved=len(exploration.unresolved),
+                engaged=exploration.engaged,
+                resolved_by=list(exploration.resolved_by),
+                true_stops=exploration.true_stops,
+                false_stops=exploration.false_stops,
+                stage_seconds=stage_seconds,
+            ))
+
+        self.bundle = WarmupBundle(
+            regions=regions,
+            pass_categories=[dict(m.meter.ledger.seconds_by_category)
+                             for m in machines],
+            sampler_paper=[s.collected_paper_equivalent for s in samplers],
+            sampler_model=[s.collected_model for s in samplers],
+        )
+        if self.store is not None:
+            self.store.save(self.key, self.bundle, label="warmup")
+
+    # -- post-run accessors ---------------------------------------------------
+
+    def stage_times(self):
+        """Per-pass lists of per-region stage seconds (Scout first)."""
+        return [[region.stage_seconds[k] for region in self.bundle.regions]
+                for k in range(self.n_passes)]
+
+    def pass_ledgers(self):
+        """One :class:`TimeLedger` per warm-up pass, in pass order."""
+        ledgers = []
+        for categories in self.bundle.pass_categories:
+            ledger = TimeLedger()
+            ledger.seconds_by_category = dict(categories)
+            ledgers.append(ledger)
+        return ledgers
+
+    @property
+    def vicinity_paper(self):
+        return sum(self.bundle.sampler_paper)
+
+    @property
+    def vicinity_model(self):
+        return sum(self.bundle.sampler_model)

@@ -1,4 +1,4 @@
-"""Suite runner: build workloads once, memoize strategy runs.
+"""Suite runner: build workloads once, memoize and persist strategy runs.
 
 Several figures share the same underlying runs (Figures 5-8 all come from
 one SMARTS/CoolSim/DeLorean sweep at the 8 MiB-equivalent LLC), so the
@@ -6,14 +6,23 @@ runner memoizes ``(benchmark, strategy, llc, options)`` results for the
 lifetime of the process and keeps at most one workload's trace and index
 in memory at a time.
 
+Memoization is backed by the persistent artifact store
+(:mod:`repro.store`): results, design-space reports and trace-index
+position tables are addressed by stable fingerprints of (workload spec,
+experiment config, strategy + options), so a second ``python -m repro``
+invocation — or a DSE sweep weeks later — warm-starts from disk instead
+of re-simulating.  ``REPRO_CACHE=off`` restores purely in-process
+memoization.
+
 The benchmark matrix is embarrassingly parallel across workloads — every
 (benchmark, strategy) run is independent, traces are rebuilt
 deterministically from specs, and results are plain picklable
 dataclasses.  ``run_all`` / ``run_matrix`` therefore accept
 ``max_workers``: a process pool fans out one task per *benchmark* (so
 each worker process builds a trace and its index exactly once and runs
-every requested strategy against it), while already-memoized results are
-served from cache and never resubmitted.
+every requested strategy against it).  Workers share the parent's cache
+directory — the disk tier's atomic writes make that safe — and hand back
+store digests rather than pickled results when the store is enabled.
 """
 
 import os
@@ -24,6 +33,7 @@ from repro.core.delorean import DeLorean
 from repro.core.dse import DesignSpaceExploration
 from repro.sampling.coolsim import CoolSim
 from repro.sampling.smarts import Smarts
+from repro.store import ArtifactStore, get_store, memo_key
 from repro.trace.spec import benchmark_spec, SPEC2006_NAMES
 from repro.vff.index import TraceIndex
 
@@ -34,7 +44,8 @@ STRATEGIES = {
 }
 
 
-def _run_benchmark_worker(config, name, strategies, llc, options, backend):
+def _run_benchmark_worker(config, name, strategies, llc, options, backend,
+                          store_root):
     """Run the requested strategies for one benchmark (worker process).
 
     Module-level so it pickles; builds the workload/index once and
@@ -42,13 +53,26 @@ def _run_benchmark_worker(config, name, strategies, llc, options, backend):
     benchmark-major order.  The parent's kernel backend is applied
     explicitly — under spawn/forkserver start methods a fresh
     interpreter would otherwise fall back to the environment default.
+
+    With a shared store (``store_root``), each result is published to
+    disk and only its digest crosses the process boundary; without one,
+    the pickled results travel over the pipe as before.
     """
     from repro import kernels
 
     kernels.set_backend(backend)
-    runner = SuiteRunner(config)
-    results = {strategy: runner.run(name, strategy, llc, **options)
-               for strategy in strategies}
+    store = (ArtifactStore(root=store_root, enabled=True)
+             if store_root else ArtifactStore(enabled=False))
+    runner = SuiteRunner(config, store=store)
+    results = {}
+    for strategy in strategies:
+        result = runner.run(name, strategy, llc, **options)
+        if store.enabled:
+            digest = store.digest(
+                runner._result_store_key(name, strategy, llc, options))
+            results[strategy] = ("digest", digest)
+        else:
+            results[strategy] = ("result", result)
     runner.release()
     return name, results
 
@@ -56,8 +80,9 @@ def _run_benchmark_worker(config, name, strategies, llc, options, backend):
 class SuiteRunner:
     """Runs strategies over the benchmark suite with memoization."""
 
-    def __init__(self, config):
+    def __init__(self, config, store=None):
         self.config = config
+        self.store = store if store is not None else get_store()
         self._results = {}
         self._active_workload = None
         self._active_index = None
@@ -65,6 +90,46 @@ class SuiteRunner:
     @property
     def names(self):
         return self.config.names or SPEC2006_NAMES
+
+    # -- store addressing ----------------------------------------------------
+
+    def _config_key(self):
+        """The config fields that determine simulation outcomes.
+
+        ``names`` (which benchmarks to evaluate) and the default LLC
+        sizes are deliberately excluded: a bwaves/SMARTS run at a given
+        LLC is the same artifact whichever suite subset requested it.
+        """
+        return (self.config.n_instructions, self.config.n_regions,
+                self.config.footprint_scale, self.config.seed)
+
+    def _result_store_key(self, name, strategy, llc, strategy_options):
+        return {
+            "artifact": "strategy-result",
+            "config": self._config_key(),
+            "benchmark": name,
+            "strategy": strategy,
+            "llc_paper_bytes": llc,
+            "options": strategy_options,
+        }
+
+    def _dse_store_key(self, name, sizes, options):
+        return {
+            "artifact": "dse-report",
+            "config": self._config_key(),
+            "benchmark": name,
+            "llc_paper_bytes": tuple(sizes),
+            "options": options,
+        }
+
+    def _index_store_key(self, name):
+        return {
+            "artifact": "trace-index",
+            "benchmark": name,
+            "n_instructions": self.config.n_instructions,
+            "seed": self.config.seed,
+            "footprint_scale": self.config.footprint_scale,
+        }
 
     # -- workload management -------------------------------------------------
 
@@ -83,31 +148,51 @@ class SuiteRunner:
     def _index(self, name):
         workload = self._workload(name)
         if self._active_index is None:
-            self._active_index = TraceIndex(workload.trace)
+            key = self._index_store_key(name)
+            tables = self.store.load(key)
+            if tables is not None:
+                self._active_index = TraceIndex.from_tables(
+                    workload.trace, tables)
+            else:
+                self._active_index = TraceIndex(workload.trace)
+                self.store.save(key, self._active_index.tables(),
+                                label="trace-index")
         return self._active_index
 
     # -- running ---------------------------------------------------------------
 
     def run(self, name, strategy, llc_paper_bytes=None, **strategy_options):
-        """Run one (benchmark, strategy) pair; memoized.
+        """Run one (benchmark, strategy) pair; memoized and persisted.
 
         ``strategy`` is a key of :data:`STRATEGIES`; ``strategy_options``
         are forwarded to the strategy constructor (e.g.
-        ``prefetcher=True`` or ``vicinity_density=1e-4``).
+        ``prefetcher=True`` or ``vicinity_density=1e-4``).  Lookup order
+        is process memo, then the artifact store; a computed result is
+        published to both.
         """
         llc = llc_paper_bytes or self.config.llc_paper_bytes
-        key = (name, strategy, llc, tuple(sorted(strategy_options.items())))
+        key = (name, strategy, llc, memo_key(strategy_options))
         if key in self._results:
             return self._results[key]
+        store_key = self._result_store_key(name, strategy, llc,
+                                           strategy_options)
+        cached = self.store.load(store_key)
+        if cached is not None:
+            self._results[key] = cached
+            return cached
 
         workload = self._workload(name)
         index = self._index(name)
         plan = self.config.plan()
         hierarchy = paper_hierarchy(llc, scale=self.config.footprint_scale)
         strat = STRATEGIES[strategy](**strategy_options)
+        run_options = {}
+        if getattr(strat, "supports_store", False):
+            run_options["store"] = self.store
         result = strat.run(workload, plan, hierarchy, index=index,
-                           seed=self.config.seed)
+                           seed=self.config.seed, **run_options)
         self._results[key] = result
+        self.store.save(store_key, result, label="strategy-result")
         return result
 
     def run_all(self, strategy, llc_paper_bytes=None, max_workers=None,
@@ -135,37 +220,54 @@ class SuiteRunner:
         """All strategies over the suite, benchmark-major for cache reuse.
 
         ``max_workers`` switches to a per-benchmark process fan-out
-        (``0`` means one worker per CPU).  Memoized results are reused;
-        only benchmarks with at least one missing (strategy, llc,
-        options) combination are dispatched, and their results land in
-        the memo table so later sequential calls stay free.
+        (``0`` means one worker per CPU).  Memoized and store-resident
+        results are reused; only benchmarks with at least one missing
+        (strategy, llc, options) combination are dispatched, workers
+        publish into the shared store and return digests, and their
+        results land in the memo table so later sequential calls stay
+        free.
         """
         llc = llc_paper_bytes or self.config.llc_paper_bytes
-        opts_key = tuple(sorted(strategy_options.items()))
+        opts_key = memo_key(strategy_options)
         if max_workers is not None:
             missing = {}                     # name -> strategies to compute
             for name in self.names:
-                todo = tuple(
-                    strategy for strategy in strategies
-                    if (name, strategy, llc, opts_key) not in self._results)
+                todo = []
+                for strategy in strategies:
+                    key = (name, strategy, llc, opts_key)
+                    if key in self._results:
+                        continue
+                    cached = self.store.load(self._result_store_key(
+                        name, strategy, llc, strategy_options))
+                    if cached is not None:
+                        self._results[key] = cached
+                        continue
+                    todo.append(strategy)
                 if todo:
-                    missing[name] = todo
+                    missing[name] = tuple(todo)
             if missing:
                 from repro import kernels
 
                 backend = kernels.get_backend()
+                store_root = self.store.root if self.store.enabled else None
                 workers = max_workers or os.cpu_count() or 1
                 workers = min(workers, len(missing))
                 with ProcessPoolExecutor(max_workers=workers) as pool:
                     futures = [
                         pool.submit(_run_benchmark_worker, self.config,
                                     name, todo, llc, strategy_options,
-                                    backend)
+                                    backend, store_root)
                         for name, todo in missing.items()
                     ]
                     for future in futures:
-                        name, results = future.result()
-                        for strategy, result in results.items():
+                        name, payloads = future.result()
+                        for strategy, (tag, value) in payloads.items():
+                            if tag == "digest":
+                                result = self.store.load_digest(value)
+                                if result is None:
+                                    continue     # gc raced us; recompute below
+                            else:
+                                result = value
                             self._results[
                                 (name, strategy, llc, opts_key)] = result
         matrix = {strategy: {} for strategy in strategies}
@@ -176,19 +278,32 @@ class SuiteRunner:
         return matrix
 
     def run_dse(self, name, llc_paper_bytes_list=None, **options):
-        """Design-space sweep for one benchmark (shared warm-up)."""
+        """Design-space sweep for one benchmark (shared warm-up).
+
+        The report is memoized and persisted like single runs; on a
+        report miss the underlying warm-up bundle may still hit the
+        store (it is LLC-independent), in which case only the Analysts
+        execute.
+        """
         sizes = llc_paper_bytes_list or self.config.sweep_llc_paper_bytes
-        key = (name, "DSE", tuple(sizes), tuple(sorted(options.items())))
+        key = (name, "DSE", tuple(sizes), memo_key(options))
         if key in self._results:
             return self._results[key]
+        store_key = self._dse_store_key(name, sizes, options)
+        cached = self.store.load(store_key)
+        if cached is not None:
+            self._results[key] = cached
+            return cached
         workload = self._workload(name)
         index = self._index(name)
         plan = self.config.plan()
         configs = [paper_hierarchy(size, scale=self.config.footprint_scale)
                    for size in sizes]
         report = DesignSpaceExploration(**options).run(
-            workload, plan, configs, index=index, seed=self.config.seed)
+            workload, plan, configs, index=index, seed=self.config.seed,
+            store=self.store)
         self._results[key] = report
+        self.store.save(store_key, report, label="dse-report")
         return report
 
     def release(self):

@@ -53,6 +53,28 @@ class ReuseHistogram:
         self._dirty = True
         return self
 
+    # -- persistence ---------------------------------------------------------
+
+    def state(self):
+        """Canonical ``(distances, weights, cold)`` snapshot.
+
+        The arrays are the materialized (distance-sorted) form, so two
+        histograms built from the same samples in different orders
+        produce identical states.
+        """
+        distances, weights = self.distances()
+        return distances, weights, float(self.cold)
+
+    @classmethod
+    def from_state(cls, distances, weights, cold):
+        """Rebuild a histogram from a :meth:`state` snapshot."""
+        histogram = cls()
+        for distance, weight in zip(np.asarray(distances).tolist(),
+                                    np.asarray(weights).tolist()):
+            histogram._counts[int(distance)] = float(weight)
+        histogram.cold = float(cold)
+        return histogram
+
     # -- queries -------------------------------------------------------------
 
     def _materialize(self):

@@ -1,0 +1,47 @@
+"""repro.store — persistent artifact store + warm-start result cache.
+
+The paper's premise applied to our own harness: expensive warm-up state
+(trace indices, scout key sets, explorer reuse profiles, full strategy
+results) is *recorded information* that later runs can replay instead of
+recompute.  The store is two-tiered — an in-memory LRU over a
+content-addressed on-disk layer — keyed by stable fingerprints of
+(workload spec, experiment config, strategy + options, schema version),
+with atomic writes so process-parallel suite-runner workers share one
+store safely.
+
+Environment knobs: ``REPRO_CACHE_DIR`` (root, default ``~/.cache/repro``)
+and ``REPRO_CACHE=off`` (disable: exact pre-store behavior).
+"""
+
+from repro.store.fingerprint import canonical_bytes, fingerprint, memo_key
+from repro.store.memory import LRUCache
+from repro.store.disk import DiskStore
+from repro.store.serialize import KIND_NPZ, KIND_PICKLE, decode, encode
+from repro.store.store import (
+    SCHEMA_VERSION,
+    ArtifactStore,
+    cache_enabled_by_env,
+    configure,
+    default_cache_dir,
+    disabled_store,
+    get_store,
+)
+
+__all__ = [
+    "ArtifactStore",
+    "DiskStore",
+    "KIND_NPZ",
+    "KIND_PICKLE",
+    "LRUCache",
+    "SCHEMA_VERSION",
+    "cache_enabled_by_env",
+    "canonical_bytes",
+    "configure",
+    "decode",
+    "default_cache_dir",
+    "disabled_store",
+    "encode",
+    "fingerprint",
+    "get_store",
+    "memo_key",
+]

@@ -1,0 +1,200 @@
+"""Content-addressed on-disk tier with atomic, concurrency-safe writes.
+
+Layout::
+
+    <root>/objects/<digest[:2]>/<digest>.blob
+
+Each blob is self-describing: a magic string, a JSON header (schema
+version, artifact kind, human label), then the encoded payload.  Writes
+go to a unique temp file in the final directory followed by
+``os.replace``, so process-parallel suite-runner workers can publish
+into one shared store without locks: readers only ever see complete
+blobs, and two writers racing on the same digest produce the same
+content anyway.
+
+Entries written under an older schema version are never served — they
+are invisible to ``get`` and reclaimed by ``gc``.
+"""
+
+import json
+import os
+import pathlib
+import struct
+import time
+
+MAGIC = b"REPROSTORE1\n"
+_TMP_SUFFIX = ".tmp"
+#: ``gc`` leaves temp files younger than this alone: they may belong to
+#: a live writer that has not yet issued its ``os.replace``.
+TMP_GRACE_SECONDS = 300.0
+
+
+class DiskStore:
+    """The persistent content-addressed layer of the artifact store."""
+
+    def __init__(self, root, schema_version):
+        self.root = pathlib.Path(root).expanduser()
+        self.schema_version = int(schema_version)
+
+    # -- paths ---------------------------------------------------------------
+
+    @property
+    def objects_dir(self):
+        return self.root / "objects"
+
+    def path_for(self, digest):
+        return self.objects_dir / digest[:2] / f"{digest}.blob"
+
+    # -- read ----------------------------------------------------------------
+
+    def _read_blob(self, path, header_only=False):
+        """``(header, payload)`` of a blob, or None if unreadable.
+
+        ``header_only`` skips the payload read (``payload`` is None):
+        the metadata operations — ``entries``/``stats``/``gc`` — only
+        need the few header bytes, not gigabytes of artifact data.
+        """
+        try:
+            with open(path, "rb") as handle:
+                if handle.read(len(MAGIC)) != MAGIC:
+                    return None
+                (header_len,) = struct.unpack(">I", handle.read(4))
+                header = json.loads(handle.read(header_len).decode("utf-8"))
+                payload = None if header_only else handle.read()
+        except (OSError, ValueError, struct.error,
+                json.JSONDecodeError, UnicodeDecodeError):
+            return None
+        return header, payload
+
+    def get(self, digest):
+        """``(header, payload)`` for ``digest`` or None (missing/stale)."""
+        blob = self._read_blob(self.path_for(digest))
+        if blob is None or blob[0].get("schema") != self.schema_version:
+            return None
+        return blob
+
+    def contains(self, digest):
+        return self.get(digest) is not None
+
+    # -- write ---------------------------------------------------------------
+
+    def put(self, digest, kind, payload, label=""):
+        """Atomically publish a blob; returns its final path."""
+        path = self.path_for(digest)
+        if path.exists():
+            return path
+        path.parent.mkdir(parents=True, exist_ok=True)
+        header = json.dumps({
+            "schema": self.schema_version,
+            "kind": kind,
+            "label": label,
+        }).encode("utf-8")
+        tmp = path.with_name(
+            f"{path.name}.{os.getpid()}.{os.urandom(4).hex()}{_TMP_SUFFIX}")
+        with open(tmp, "wb") as handle:
+            handle.write(MAGIC)
+            handle.write(struct.pack(">I", len(header)))
+            handle.write(header)
+            handle.write(payload)
+        try:
+            os.replace(tmp, path)
+        except FileNotFoundError:
+            # A concurrent `cache clear`/`gc` swept our temp file away.
+            # Every artifact is recomputable, so a lost publish is
+            # harmless — don't abort the experiment run over it.
+            pass
+        return path
+
+    # -- maintenance ---------------------------------------------------------
+
+    @staticmethod
+    def _size_of(path):
+        """File size, or -1 if a concurrent writer/gc removed it."""
+        try:
+            return path.stat().st_size
+        except OSError:
+            return -1
+
+    def entries(self):
+        """Yield ``(digest, header, size_bytes)`` for every readable blob."""
+        if not self.objects_dir.is_dir():
+            return
+        for path in sorted(self.objects_dir.glob("*/*.blob")):
+            blob = self._read_blob(path, header_only=True)
+            if blob is None:
+                continue
+            size = self._size_of(path)
+            if size < 0:
+                continue
+            yield path.stem, blob[0], size
+
+    def stats(self):
+        """Aggregate counts: entries, bytes, per-label breakdown."""
+        n_entries = 0
+        n_bytes = 0
+        n_stale = 0
+        by_label = {}
+        for _, header, size in self.entries():
+            if header.get("schema") != self.schema_version:
+                n_stale += 1
+                continue
+            n_entries += 1
+            n_bytes += size
+            label = header.get("label") or header.get("kind", "?")
+            entry = by_label.setdefault(label, {"entries": 0, "bytes": 0})
+            entry["entries"] += 1
+            entry["bytes"] += size
+        return {
+            "root": str(self.root),
+            "schema": self.schema_version,
+            "entries": n_entries,
+            "bytes": n_bytes,
+            "stale_entries": n_stale,
+            "by_label": by_label,
+        }
+
+    def gc(self):
+        """Remove stale-schema blobs, unreadable blobs and temp litter.
+
+        Temp files younger than :data:`TMP_GRACE_SECONDS` are spared —
+        they may belong to a writer that has not yet renamed them into
+        place.  Returns ``(n_removed, bytes_reclaimed)``.
+        """
+        removed = 0
+        reclaimed = 0
+        if not self.objects_dir.is_dir():
+            return removed, reclaimed
+        now = time.time()
+        for path in self.objects_dir.glob(f"*/*{_TMP_SUFFIX}"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue        # a concurrent writer just renamed it away
+            if now - stat.st_mtime < TMP_GRACE_SECONDS:
+                continue        # possibly a live writer's in-flight file
+            path.unlink(missing_ok=True)
+            reclaimed += stat.st_size
+            removed += 1
+        for path in self.objects_dir.glob("*/*.blob"):
+            blob = self._read_blob(path, header_only=True)
+            if blob is not None and blob[0].get("schema") == \
+                    self.schema_version:
+                continue
+            size = self._size_of(path)
+            if size < 0:
+                continue
+            path.unlink(missing_ok=True)
+            reclaimed += size
+            removed += 1
+        return removed, reclaimed
+
+    def clear(self):
+        """Remove every blob; returns the number removed."""
+        removed = 0
+        if not self.objects_dir.is_dir():
+            return removed
+        for path in self.objects_dir.glob("*/*"):
+            if path.suffix == ".blob" or path.name.endswith(_TMP_SUFFIX):
+                path.unlink(missing_ok=True)
+                removed += 1
+        return removed

@@ -1,0 +1,113 @@
+"""Stable fingerprints for arbitrary experiment keys.
+
+Every artifact in the store is addressed by the SHA-256 of a *canonical
+byte encoding* of its key — a nested structure of workload spec,
+experiment config, strategy options, and schema version.  The encoding
+is deliberately independent of Python hash randomization, dict insertion
+order, and process identity, so two processes (or two runs weeks apart)
+that build the same experiment produce the same address.
+
+The same canonicalization powers :func:`memo_key`, the in-process
+memoization key: unlike ``tuple(sorted(options.items()))`` it accepts
+dict-, list- and array-valued options (sorting mixed value types is what
+used to raise ``TypeError`` in the suite runner).
+"""
+
+import dataclasses
+import hashlib
+import struct
+
+import numpy as np
+
+
+def _encode(value, out):
+    """Append a canonical, self-delimiting encoding of ``value``."""
+    if value is None:
+        out += b"N;"
+    elif value is True:
+        out += b"T;"
+    elif value is False:
+        out += b"F;"
+    elif isinstance(value, int):
+        body = str(value).encode()
+        out += b"i" + str(len(body)).encode() + b":" + body
+    elif isinstance(value, float):
+        # Exact bit pattern: 1.0 and 1.0000000000000002 must differ, and
+        # the encoding must not depend on repr() precision.
+        out += b"f" + struct.pack(">d", value)
+    elif isinstance(value, str):
+        body = value.encode("utf-8")
+        out += b"s" + str(len(body)).encode() + b":" + body
+    elif isinstance(value, bytes):
+        out += b"b" + str(len(value)).encode() + b":" + value
+    elif isinstance(value, (list, tuple)):
+        out += b"l" + str(len(value)).encode() + b":"
+        for item in value:
+            _encode(item, out)
+        out += b";"
+    elif isinstance(value, dict):
+        # Key order must not matter: sort entries by their encoded key.
+        entries = []
+        for key, item in value.items():
+            key_bytes = bytearray()
+            _encode(key, key_bytes)
+            entries.append((bytes(key_bytes), item))
+        entries.sort(key=lambda pair: pair[0])
+        out += b"d" + str(len(entries)).encode() + b":"
+        for key_bytes, item in entries:
+            out += key_bytes
+            _encode(item, out)
+        out += b";"
+    elif isinstance(value, (set, frozenset)):
+        encoded = []
+        for item in value:
+            item_bytes = bytearray()
+            _encode(item, item_bytes)
+            encoded.append(bytes(item_bytes))
+        out += b"S" + str(len(encoded)).encode() + b":"
+        for item_bytes in sorted(encoded):
+            out += item_bytes
+        out += b";"
+    elif isinstance(value, np.ndarray):
+        data = np.ascontiguousarray(value)
+        out += (b"a" + data.dtype.str.encode() + b"|"
+                + repr(data.shape).encode() + b"|")
+        out += data.tobytes()
+        out += b";"
+    elif isinstance(value, np.generic):
+        _encode(value.item(), out)
+    elif dataclasses.is_dataclass(value) and not isinstance(value, type):
+        out += b"D" + type(value).__qualname__.encode() + b":"
+        fields = {f.name: getattr(value, f.name)
+                  for f in dataclasses.fields(value)}
+        _encode(fields, out)
+        out += b";"
+    elif hasattr(value, "cache_key") and callable(value.cache_key):
+        out += b"K"
+        _encode(value.cache_key(), out)
+        out += b";"
+    else:
+        raise TypeError(
+            f"cannot fingerprint {type(value).__name__!r} values; "
+            "add a cache_key() method or pass plain data")
+    return out
+
+
+def canonical_bytes(value):
+    """The canonical byte encoding of ``value`` (order-stable)."""
+    return bytes(_encode(value, bytearray()))
+
+
+def fingerprint(value):
+    """Hex SHA-256 of the canonical encoding — the store address."""
+    return hashlib.sha256(canonical_bytes(value)).hexdigest()
+
+
+def memo_key(value):
+    """A hashable, collision-resistant in-process key for ``value``.
+
+    Fingerprints are stable across processes, so the same digest doubles
+    as the process-local memoization key; unhashable option values
+    (dicts, lists, arrays) are handled uniformly.
+    """
+    return fingerprint(value)

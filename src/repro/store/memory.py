@@ -1,0 +1,71 @@
+"""In-memory LRU tier: decoded artifacts, bounded by bytes and entries.
+
+The memory tier sits above the disk tier and holds *decoded* objects, so
+a repeated lookup inside one process skips both the filesystem and the
+codec.  Eviction is least-recently-used, bounded by an approximate byte
+budget (each entry is charged its on-disk payload size — the decoded
+object is usually the same order of magnitude) and an entry count.
+"""
+
+from collections import OrderedDict
+
+
+class LRUCache:
+    """Byte- and count-bounded LRU over ``digest -> decoded object``."""
+
+    def __init__(self, max_entries=128, max_bytes=256 * 1024 * 1024):
+        self.max_entries = int(max_entries)
+        self.max_bytes = int(max_bytes)
+        self._entries = OrderedDict()          # digest -> (object, size)
+        self._bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self):
+        return len(self._entries)
+
+    def __contains__(self, digest):
+        return digest in self._entries
+
+    @property
+    def total_bytes(self):
+        return self._bytes
+
+    def get(self, digest):
+        """The cached object, refreshed to most-recent (None on miss)."""
+        entry = self._entries.get(digest)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(digest)
+        self.hits += 1
+        return entry[0]
+
+    def put(self, digest, obj, size):
+        """Insert (or refresh) an entry charged ``size`` bytes."""
+        size = int(size)
+        if size > self.max_bytes or self.max_entries <= 0:
+            return                              # would evict everything else
+        if digest in self._entries:
+            self._bytes -= self._entries.pop(digest)[1]
+        self._entries[digest] = (obj, size)
+        self._bytes += size
+        while (len(self._entries) > self.max_entries
+               or self._bytes > self.max_bytes):
+            _, (_, evicted_size) = self._entries.popitem(last=False)
+            self._bytes -= evicted_size
+            self.evictions += 1
+
+    def clear(self):
+        self._entries.clear()
+        self._bytes = 0
+
+    def stats(self):
+        return {
+            "entries": len(self._entries),
+            "bytes": self._bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }

@@ -1,0 +1,53 @@
+"""Artifact codecs: compressed bytes <-> Python objects.
+
+Two wire formats cover every artifact the pipeline persists:
+
+* ``npz`` — a flat mapping of numpy arrays (``numpy.savez_compressed``),
+  used for :class:`~repro.vff.index.TraceIndex` position tables where
+  array round-trips must be exact and pickling overhead matters;
+* ``pkl`` — zlib-compressed pickle for everything else
+  (:class:`~repro.sampling.results.StrategyResult`,
+  :class:`~repro.core.dse.DSEReport`, warm-up bundles): these are the
+  same plain dataclass graphs the process-parallel runner already ships
+  between workers.
+
+Blobs only ever come from the local cache directory this process (or a
+sibling worker) wrote, so pickle is acceptable; treat a cache directory
+like any other writable local state.
+"""
+
+import io
+import pickle
+import zlib
+
+import numpy as np
+
+KIND_NPZ = "npz"
+KIND_PICKLE = "pkl"
+
+
+def is_array_mapping(obj):
+    """True for the non-empty dict-of-ndarrays shapes the npz codec
+    handles (also used by the memory tier's byte accounting)."""
+    return (isinstance(obj, dict) and bool(obj)
+            and all(isinstance(v, np.ndarray) for v in obj.values()))
+
+
+def encode(obj):
+    """Serialize ``obj``; returns ``(kind, payload_bytes)``."""
+    if is_array_mapping(obj):
+        buffer = io.BytesIO()
+        np.savez_compressed(buffer, **obj)
+        return KIND_NPZ, buffer.getvalue()
+    payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    return KIND_PICKLE, zlib.compress(payload, 6)
+
+
+def decode(kind, payload):
+    """Inverse of :func:`encode`."""
+    if kind == KIND_NPZ:
+        with np.load(io.BytesIO(payload), allow_pickle=False) as archive:
+            return {name: archive[name] for name in archive.files}
+    if kind == KIND_PICKLE:
+        return pickle.loads(zlib.decompress(payload))
+    raise ValueError(f"unknown artifact kind {kind!r}")

@@ -1,0 +1,188 @@
+"""The two-tier artifact store: LRU memory over content-addressed disk.
+
+``ArtifactStore`` is the facade the rest of the system talks to:
+
+* ``save(key, obj)`` fingerprints the structured ``key`` (workload spec,
+  config, strategy options, ... — the schema version is mixed in
+  automatically), encodes ``obj`` and publishes it to both tiers;
+* ``load(key)`` consults memory, then disk, promoting on a disk hit;
+* ``get_or_create(key, compute)`` is the memoize-through idiom.
+
+Configuration comes from the environment by default:
+
+* ``REPRO_CACHE`` — ``off``/``0``/``false`` disables everything (every
+  ``load`` misses, every ``save`` is a no-op: exact pre-store behavior);
+* ``REPRO_CACHE_DIR`` — store root (default ``$XDG_CACHE_HOME/repro`` or
+  ``~/.cache/repro``).
+
+Bumping :data:`SCHEMA_VERSION` invalidates every existing entry at once:
+addresses change (the version is part of every fingerprint) and old
+blobs are refused by the disk tier and reclaimed by ``gc``.
+"""
+
+import os
+
+from repro.store.disk import DiskStore
+from repro.store.fingerprint import fingerprint
+from repro.store.memory import LRUCache
+from repro.store.serialize import decode, encode, is_array_mapping
+
+#: Version of every persisted artifact layout.  Bump on any change to
+#: the serialized forms (results, warm-up bundles, index tables) or to
+#: key construction; stale entries are then ignored and garbage-collected.
+SCHEMA_VERSION = 1
+
+_DISABLED_VALUES = ("off", "0", "false", "no")
+
+
+def default_cache_dir():
+    """The store root the environment implies."""
+    explicit = os.environ.get("REPRO_CACHE_DIR")
+    if explicit:
+        return explicit
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = xdg if xdg else os.path.join("~", ".cache")
+    return os.path.join(base, "repro")
+
+
+def cache_enabled_by_env():
+    return os.environ.get(
+        "REPRO_CACHE", "on").strip().lower() not in _DISABLED_VALUES
+
+
+def _resident_size(obj, payload_size):
+    """Bytes an entry is charged in the memory tier.
+
+    Array mappings (npz artifacts) decompress far beyond their payload,
+    so charge their true buffer size; everything else is approximated by
+    its encoded size.
+    """
+    if is_array_mapping(obj):
+        return sum(v.nbytes for v in obj.values())
+    return payload_size
+
+
+class ArtifactStore:
+    """Two-tier (memory LRU + content-addressed disk) artifact store."""
+
+    def __init__(self, root=None, enabled=None, memory_entries=128,
+                 memory_bytes=256 * 1024 * 1024,
+                 schema_version=SCHEMA_VERSION):
+        if enabled is None:
+            enabled = cache_enabled_by_env()
+        self.enabled = bool(enabled)
+        root = str(root) if root is not None else default_cache_dir()
+        self.memory = LRUCache(max_entries=memory_entries,
+                               max_bytes=memory_bytes)
+        self.disk = DiskStore(root, schema_version)
+        #: Canonical (``~``-expanded) root, matching the disk tier's.
+        self.root = str(self.disk.root)
+        self.schema_version = int(schema_version)
+        self.disk_hits = 0
+        self.disk_misses = 0
+        self.saves = 0
+
+    # -- addressing ----------------------------------------------------------
+
+    def digest(self, key):
+        """Store address of a structured key (schema version mixed in)."""
+        return fingerprint(("repro-store", self.schema_version, key))
+
+    # -- core operations -----------------------------------------------------
+
+    def load(self, key):
+        """The artifact stored under ``key``, or None."""
+        if not self.enabled:
+            return None
+        return self.load_digest(self.digest(key))
+
+    def load_digest(self, digest):
+        """Like :meth:`load` but addressed by a precomputed digest."""
+        if not self.enabled:
+            return None
+        cached = self.memory.get(digest)
+        if cached is not None:
+            return cached
+        blob = self.disk.get(digest)
+        if blob is None:
+            self.disk_misses += 1
+            return None
+        header, payload = blob
+        try:
+            obj = decode(header["kind"], payload)
+        except Exception:
+            # Truncated/corrupt payload behind a valid header (e.g. a
+            # torn write on a crashed host): every artifact is
+            # recomputable, so treat it as a miss.
+            self.disk_misses += 1
+            return None
+        self.memory.put(digest, obj, _resident_size(obj, len(payload)))
+        self.disk_hits += 1
+        return obj
+
+    def save(self, key, obj, label=""):
+        """Publish ``obj`` under ``key``; returns its digest (or None)."""
+        if not self.enabled:
+            return None
+        digest = self.digest(key)
+        kind, payload = encode(obj)
+        self.disk.put(digest, kind, payload, label=label)
+        self.memory.put(digest, obj, _resident_size(obj, len(payload)))
+        self.saves += 1
+        return digest
+
+    def contains(self, key):
+        if not self.enabled:
+            return False
+        digest = self.digest(key)
+        return digest in self.memory or self.disk.contains(digest)
+
+    def get_or_create(self, key, compute, label=""):
+        """``load(key)`` or ``compute()``-then-``save`` on a miss."""
+        cached = self.load(key)
+        if cached is not None:
+            return cached
+        obj = compute()
+        self.save(key, obj, label=label)
+        return obj
+
+    # -- introspection -------------------------------------------------------
+
+    def stats(self):
+        """Combined tier statistics (process counters + disk census)."""
+        disk = self.disk.stats() if self.enabled else {
+            "root": self.root, "entries": 0, "bytes": 0,
+            "stale_entries": 0, "by_label": {},
+            "schema": self.schema_version}
+        return {
+            "enabled": self.enabled,
+            "memory": self.memory.stats(),
+            "disk": disk,
+            "disk_hits": self.disk_hits,
+            "disk_misses": self.disk_misses,
+            "saves": self.saves,
+        }
+
+
+_store = None
+
+
+def get_store():
+    """The process-wide store (built from the environment on first use)."""
+    global _store
+    if _store is None:
+        _store = ArtifactStore()
+    return _store
+
+
+def configure(root=None, enabled=None, **options):
+    """Replace the process-wide store (tests, CLI); returns it."""
+    global _store
+    _store = ArtifactStore(root=root, enabled=enabled, **options)
+    return _store
+
+
+def disabled_store():
+    """A store that never hits and never writes (for ``REPRO_CACHE=off``
+    call sites that want an explicit object rather than None)."""
+    return ArtifactStore(enabled=False)

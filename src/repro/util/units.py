@@ -38,6 +38,10 @@ def format_size(n_bytes):
         return f"{n_bytes // MIB} MiB"
     if n_bytes % KIB == 0:
         return f"{n_bytes // KIB} KiB"
+    if n_bytes >= GIB:
+        return f"{n_bytes / GIB:.1f} GiB"
+    if n_bytes >= MIB:
+        return f"{n_bytes / MIB:.1f} MiB"
     if n_bytes >= KIB:
         return f"{n_bytes / KIB:.1f} KiB"
     return f"{n_bytes} B"

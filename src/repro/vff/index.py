@@ -27,6 +27,23 @@ class _PositionIndex:
         self._starts = np.concatenate(
             (starts, [keys.shape[0]])).astype(np.int64)
 
+    @classmethod
+    def from_tables(cls, positions, keys, starts):
+        """Rebuild from persisted tables, skipping the argsort."""
+        index = cls.__new__(cls)
+        index._positions = np.ascontiguousarray(positions, dtype=np.int64)
+        index._keys = np.ascontiguousarray(keys)
+        index._starts = np.ascontiguousarray(starts, dtype=np.int64)
+        return index
+
+    def tables(self, prefix):
+        """The persistable position tables, namespaced by ``prefix``."""
+        return {
+            f"{prefix}_positions": self._positions,
+            f"{prefix}_keys": self._keys,
+            f"{prefix}_starts": self._starts,
+        }
+
     def positions(self, key):
         """Ascending access positions of ``key`` (empty if unseen)."""
         idx = int(np.searchsorted(self._keys, key))
@@ -111,6 +128,23 @@ class TraceIndex:
         self.trace = trace
         self.lines = _PositionIndex(trace.mem_line)
         self.pages = _PositionIndex(trace.mem_page)
+
+    def tables(self):
+        """Flat array mapping for the artifact store (npz-friendly)."""
+        return {**self.lines.tables("lines"), **self.pages.tables("pages")}
+
+    @classmethod
+    def from_tables(cls, trace, tables):
+        """Rebuild an index from persisted tables (no argsorts)."""
+        index = cls.__new__(cls)
+        index.trace = trace
+        index.lines = _PositionIndex.from_tables(
+            tables["lines_positions"], tables["lines_keys"],
+            tables["lines_starts"])
+        index.pages = _PositionIndex.from_tables(
+            tables["pages_positions"], tables["pages_keys"],
+            tables["pages_starts"])
+        return index
 
     def page_of_line(self, line):
         """Page number containing ``line``."""

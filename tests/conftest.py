@@ -1,7 +1,15 @@
 """Shared fixtures: small deterministic workloads and plans."""
 
+import os
+
 import numpy as np
 import pytest
+
+# Keep the test session hermetic: never read or write the user's
+# persistent artifact store (~/.cache/repro).  Store tests construct
+# explicit ArtifactStore instances rooted in tmp_path; an explicit
+# REPRO_CACHE=on in the environment still wins.
+os.environ.setdefault("REPRO_CACHE", "off")
 
 from repro import kernels
 from repro.sampling.plan import SamplingPlan

@@ -1,0 +1,39 @@
+"""Smoke tests: every example must run end-to-end in quick mode.
+
+The examples double as integration coverage for the public API — in
+particular the store wiring underneath the strategies and the DSE path
+must not break them silently.  ``REPRO_EXAMPLES_QUICK=1`` shrinks each
+example's workload so the whole set stays in smoke-test budget.
+"""
+
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+SRC_DIR = pathlib.Path(__file__).resolve().parent.parent / "src"
+
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_discovered():
+    names = {path.name for path in EXAMPLES}
+    assert "quickstart.py" in names and len(EXAMPLES) >= 6
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs_quick(path):
+    env = dict(os.environ)
+    env["REPRO_EXAMPLES_QUICK"] = "1"
+    env["REPRO_CACHE"] = "off"           # hermetic: no shared store traffic
+    env["PYTHONPATH"] = str(SRC_DIR) + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    proc = subprocess.run(
+        [sys.executable, str(path)], env=env, capture_output=True,
+        text=True, timeout=300)
+    assert proc.returncode == 0, (
+        f"{path.name} failed:\n{proc.stdout[-2000:]}\n{proc.stderr[-2000:]}")
+    assert proc.stdout.strip(), f"{path.name} produced no output"

@@ -69,6 +69,16 @@ from repro.core import (
     DSEReport,
     NaiveDirectedWarming,
 )
+from repro.traceio import (
+    ImportedWorkload,
+    TraceLibrary,
+    TraceReader,
+    export_trace,
+    import_trace,
+    read_trace,
+    register_workload,
+    write_trace,
+)
 
 __version__ = "1.0.0"
 
@@ -108,5 +118,13 @@ __all__ = [
     "DesignSpaceExploration",
     "DSEReport",
     "NaiveDirectedWarming",
+    "ImportedWorkload",
+    "TraceLibrary",
+    "TraceReader",
+    "export_trace",
+    "import_trace",
+    "read_trace",
+    "register_workload",
+    "write_trace",
     "__version__",
 ]

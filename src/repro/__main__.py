@@ -6,7 +6,8 @@ Usage::
     python -m repro table1
     python -m repro fig5 [--quick] [--benchmarks mcf,lbm] [--out FILE]
     python -m repro all --quick
-    python -m repro cache stats|ls|gc|clear [--dir DIR]
+    python -m repro cache stats|ls|gc|clear [--dir DIR] [--json]
+    python -m repro trace import|info|convert|ls ...
 
 Each exhibit command runs the corresponding harness from
 :mod:`repro.experiments.figures` and prints the rendered table/chart
@@ -18,9 +19,15 @@ Exhibit runs warm-start from the persistent artifact store
 (``REPRO_CACHE_DIR``, default ``~/.cache/repro``; ``REPRO_CACHE=off``
 disables): a repeated exhibit replays stored results instead of
 re-simulating.  ``cache`` inspects and maintains that store.
+
+``trace`` ingests external memory traces (ChampSim binary,
+Valgrind-Lackey text, generic CSV) into native streamable containers;
+imported names then work anywhere a benchmark name does, e.g.
+``python -m repro fig5 --benchmarks mytrace``.
 """
 
 import argparse
+import json
 import sys
 
 from repro.experiments import ExperimentConfig, SuiteRunner, figures
@@ -76,6 +83,8 @@ def list_exhibits():
         print(f"{name:<{width}}  {summary}")
     print(f"{'cache':<{width}}  Inspect/maintain the artifact store "
           "(stats, ls, gc, clear)")
+    print(f"{'trace':<{width}}  Import/inspect external memory traces "
+          "(import, info, convert, ls)")
 
 
 def build_cache_parser():
@@ -89,6 +98,8 @@ def build_cache_parser():
                              "clear: remove everything")
     parser.add_argument("--dir", default=None,
                         help="store root (overrides REPRO_CACHE_DIR)")
+    parser.add_argument("--json", action="store_true",
+                        help="machine-readable output (stats and ls)")
     return parser
 
 
@@ -101,6 +112,9 @@ def cache_main(argv):
     if args.action == "stats":
         stats = store.stats()
         disk = stats["disk"]
+        if args.json:
+            print(json.dumps(disk, indent=2, sort_keys=True))
+            return 0
         print(f"store root:   {disk['root']}")
         print(f"schema:       v{disk['schema']}")
         print(f"entries:      {disk['entries']} "
@@ -112,15 +126,25 @@ def cache_main(argv):
             print(f"  {label:<18s} {entry['entries']:>5d} entries  "
                   f"{format_size(entry['bytes'])}")
     elif args.action == "ls":
-        n = 0
-        for digest, header, size in store.disk.entries():
-            label = header.get("label") or header.get("kind", "?")
-            stale = ("" if header.get("schema") == store.schema_version
-                     else "  (stale)")
-            print(f"{digest[:16]}  {label:<18s} {header.get('kind', '?'):<4s}"
-                  f"  {format_size(size)}{stale}")
-            n += 1
-        print(f"{n} entries in {store.root}")
+        entries = [
+            {
+                "digest": digest,
+                "label": header.get("label") or header.get("kind", "?"),
+                "kind": header.get("kind", "?"),
+                "bytes": size,
+                "stale": header.get("schema") != store.schema_version,
+            }
+            for digest, header, size in store.disk.entries()
+        ]
+        if args.json:
+            print(json.dumps(entries, indent=2, sort_keys=True))
+            return 0
+        for entry in entries:
+            stale = "  (stale)" if entry["stale"] else ""
+            print(f"{entry['digest'][:16]}  {entry['label']:<18s} "
+                  f"{entry['kind']:<4s}  "
+                  f"{format_size(entry['bytes'])}{stale}")
+        print(f"{len(entries)} entries in {store.root}")
     elif args.action == "gc":
         removed, reclaimed = store.disk.gc()
         print(f"removed {removed} entries, "
@@ -136,6 +160,9 @@ def main(argv=None):
         argv = sys.argv[1:]
     if argv and argv[0] == "cache":
         return cache_main(argv[1:])
+    if argv and argv[0] == "trace":
+        from repro.traceio.cli import trace_main
+        return trace_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.exhibit == "list":
         list_exhibits()

@@ -128,14 +128,21 @@ class WarmupPipeline:
         self.key = {
             "artifact": "warmup-bundle",
             "pipeline": rng_label,
-            "workload": workload.name,
-            "workload_seed": workload.seed,
             "plan": plan,
             "explorers": list(self.explorer_specs),
             "vicinity_density": self.vicinity_density,
             "vicinity_boost": self.vicinity_boost,
             "seed": seed,
         }
+        # Imported traces are addressed purely by content — the registry
+        # name is a label, so a rename replays the same bundle.
+        # Synthetic keys keep their historical name/seed identity.
+        trace_fp = getattr(workload, "trace_fingerprint", None)
+        if trace_fp is not None:
+            self.key["trace_fingerprint"] = trace_fp
+        else:
+            self.key["workload"] = workload.name
+            self.key["workload_seed"] = workload.seed
         self.bundle = store.load(self.key) if store is not None else None
         self.replayed = self.bundle is not None
 

@@ -14,6 +14,11 @@ invocation — or a DSE sweep weeks later — warm-starts from disk instead
 of re-simulating.  ``REPRO_CACHE=off`` restores purely in-process
 memoization.
 
+Benchmark names resolve through :mod:`repro.traceio` first — imported
+traces (and process-registered workloads) run through the identical
+machinery with a per-workload sampling plan and content-fingerprinted
+store keys — then fall back to the synthetic SPEC specs.
+
 The benchmark matrix is embarrassingly parallel across workloads — every
 (benchmark, strategy) run is independent, traces are rebuilt
 deterministically from specs, and results are plain picklable
@@ -32,9 +37,15 @@ from repro.caches.hierarchy import paper_hierarchy
 from repro.core.delorean import DeLorean
 from repro.core.dse import DesignSpaceExploration
 from repro.sampling.coolsim import CoolSim
+from repro.sampling.plan import SamplingPlan
 from repro.sampling.smarts import Smarts
 from repro.store import ArtifactStore, get_store, memo_key
 from repro.trace.spec import benchmark_spec, SPEC2006_NAMES
+from repro.traceio import (
+    is_process_local,
+    resolve_workload,
+    workload_fingerprint,
+)
 from repro.vff.index import TraceIndex
 
 STRATEGIES = {
@@ -103,47 +114,121 @@ class SuiteRunner:
         return (self.config.n_instructions, self.config.n_regions,
                 self.config.footprint_scale, self.config.seed)
 
+    def _imported_fingerprint(self, name):
+        """Content fingerprint when ``name`` is an imported/registered
+        workload, else None.  Mixed into the in-process memo keys *and*
+        the store keys, so imported runs are addressed by trace
+        *content* — never by a name that a synthetic benchmark, a
+        different import, or a replaced registration might also carry."""
+        return workload_fingerprint(name)
+
+    def _benchmark_identity(self, name):
+        """What addresses a benchmark in store keys.
+
+        Synthetic benchmarks keep their historical name-based identity;
+        imported/registered workloads are addressed *purely* by content
+        fingerprint — the registry name is a label, so renaming or
+        re-importing the same trace warm-starts from existing artifacts.
+        """
+        fp = self._imported_fingerprint(name)
+        if fp is not None:
+            return {"trace_fingerprint": fp}
+        return {"benchmark": name}
+
+    def _run_config_key(self, name):
+        """Config identity for result/DSE keys.
+
+        Imported workloads take their trace length from the container
+        manifest (see :meth:`_plan_for`), so ``config.n_instructions``
+        cannot affect their results and must not fragment their
+        content-addressed artifacts; the seed still seeds the
+        strategies' own sampling streams.
+        """
+        if workload_fingerprint(name) is not None:
+            return ("imported", self.config.n_regions,
+                    self.config.footprint_scale, self.config.seed)
+        return self._config_key()
+
     def _result_store_key(self, name, strategy, llc, strategy_options):
         return {
             "artifact": "strategy-result",
-            "config": self._config_key(),
-            "benchmark": name,
+            "config": self._run_config_key(name),
             "strategy": strategy,
             "llc_paper_bytes": llc,
             "options": strategy_options,
+            **self._benchmark_identity(name),
         }
 
     def _dse_store_key(self, name, sizes, options):
         return {
             "artifact": "dse-report",
-            "config": self._config_key(),
-            "benchmark": name,
+            "config": self._run_config_key(name),
             "llc_paper_bytes": tuple(sizes),
             "options": options,
+            **self._benchmark_identity(name),
         }
 
     def _index_store_key(self, name):
+        identity = self._benchmark_identity(name)
+        if "trace_fingerprint" in identity:
+            # The position index is a pure function of the trace.
+            return {"artifact": "trace-index", **identity}
         return {
             "artifact": "trace-index",
-            "benchmark": name,
             "n_instructions": self.config.n_instructions,
             "seed": self.config.seed,
             "footprint_scale": self.config.footprint_scale,
+            **identity,
         }
 
     # -- workload management -------------------------------------------------
 
     def _workload(self, name):
-        if self._active_workload is None or self._active_workload.name != name:
-            if self._active_workload is not None:
-                self._active_workload.release()
-            self._active_workload = benchmark_spec(name).workload(
-                n_instructions=self.config.n_instructions,
-                seed=self.config.seed,
-                scale=self.config.footprint_scale,
-            )
-            self._active_index = None
+        active = self._active_workload
+        if active is not None and active.name == name:
+            # The name alone is not identity for imported/registered
+            # workloads: a replaced registration or force-reimported
+            # container must evict the cached workload, not be served
+            # its predecessor's trace.
+            current = workload_fingerprint(name)
+            if current is None or current == getattr(
+                    active, "trace_fingerprint", None):
+                return active
+        if active is not None:
+            active.release()
+        self._active_workload = self._build_workload(name)
+        self._active_index = None
         return self._active_workload
+
+    def _build_workload(self, name):
+        """Resolve ``name``: imported/registered traces first, then the
+        synthetic SPEC specs.  Imported names therefore work everywhere
+        a benchmark name does (figures, matrices, DSE sweeps)."""
+        imported = resolve_workload(name)
+        if imported is not None:
+            return imported
+        return benchmark_spec(name).workload(
+            n_instructions=self.config.n_instructions,
+            seed=self.config.seed,
+            scale=self.config.footprint_scale,
+        )
+
+    def _plan_for(self, workload):
+        """The sampling plan for one workload.
+
+        Synthetic workloads share the config's plan; imported traces
+        carry their own length (from the container manifest), so their
+        regions are spread over the *actual* trace with the config's
+        region count and footprint scale.
+        """
+        n = getattr(workload, "n_instructions", None)
+        if n is None or int(n) == self.config.n_instructions:
+            return self.config.plan()
+        return SamplingPlan(
+            n_instructions=int(n),
+            n_regions=self.config.n_regions,
+            footprint_scale=self.config.footprint_scale,
+        )
 
     def _index(self, name):
         workload = self._workload(name)
@@ -171,7 +256,8 @@ class SuiteRunner:
         published to both.
         """
         llc = llc_paper_bytes or self.config.llc_paper_bytes
-        key = (name, strategy, llc, memo_key(strategy_options))
+        key = (name, self._imported_fingerprint(name), strategy, llc,
+               memo_key(strategy_options))
         if key in self._results:
             return self._results[key]
         store_key = self._result_store_key(name, strategy, llc,
@@ -183,7 +269,7 @@ class SuiteRunner:
 
         workload = self._workload(name)
         index = self._index(name)
-        plan = self.config.plan()
+        plan = self._plan_for(workload)
         hierarchy = paper_hierarchy(llc, scale=self.config.footprint_scale)
         strat = STRATEGIES[strategy](**strategy_options)
         run_options = {}
@@ -232,9 +318,10 @@ class SuiteRunner:
         if max_workers is not None:
             missing = {}                     # name -> strategies to compute
             for name in self.names:
+                fingerprint = self._imported_fingerprint(name)
                 todo = []
                 for strategy in strategies:
-                    key = (name, strategy, llc, opts_key)
+                    key = (name, fingerprint, strategy, llc, opts_key)
                     if key in self._results:
                         continue
                     cached = self.store.load(self._result_store_key(
@@ -243,7 +330,12 @@ class SuiteRunner:
                         self._results[key] = cached
                         continue
                     todo.append(strategy)
-                if todo:
+                if todo and not is_process_local(name):
+                    # Process-registered workloads cannot be resolved in
+                    # a pool worker (the registry is per-process; a
+                    # same-named library entry would silently shadow
+                    # them) — the sequential sweep below computes them
+                    # in-process.
                     missing[name] = tuple(todo)
             if missing:
                 from repro import kernels
@@ -261,6 +353,7 @@ class SuiteRunner:
                     ]
                     for future in futures:
                         name, payloads = future.result()
+                        fingerprint = self._imported_fingerprint(name)
                         for strategy, (tag, value) in payloads.items():
                             if tag == "digest":
                                 result = self.store.load_digest(value)
@@ -269,7 +362,8 @@ class SuiteRunner:
                             else:
                                 result = value
                             self._results[
-                                (name, strategy, llc, opts_key)] = result
+                                (name, fingerprint, strategy, llc,
+                                 opts_key)] = result
         matrix = {strategy: {} for strategy in strategies}
         for name in self.names:
             for strategy in strategies:
@@ -286,7 +380,8 @@ class SuiteRunner:
         execute.
         """
         sizes = llc_paper_bytes_list or self.config.sweep_llc_paper_bytes
-        key = (name, "DSE", tuple(sizes), memo_key(options))
+        key = (name, self._imported_fingerprint(name), "DSE", tuple(sizes),
+               memo_key(options))
         if key in self._results:
             return self._results[key]
         store_key = self._dse_store_key(name, sizes, options)
@@ -296,7 +391,7 @@ class SuiteRunner:
             return cached
         workload = self._workload(name)
         index = self._index(name)
-        plan = self.config.plan()
+        plan = self._plan_for(workload)
         configs = [paper_hierarchy(size, scale=self.config.footprint_scale)
                    for size in sizes]
         report = DesignSpaceExploration(**options).run(

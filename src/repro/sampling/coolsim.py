@@ -21,6 +21,7 @@ density.
 
 import numpy as np
 
+from repro import kernels
 from repro.caches.stats import HIT_WARMING, MISS_CAPACITY
 from repro.sampling.base import StrategyBase
 from repro.sampling.classify import WarmingClassifier
@@ -159,10 +160,23 @@ class CoolSim(StrategyBase):
             n_samples = int(rng.poisson(expected)) if expected > 0 else 0
             if n_samples > 0:
                 positions = np.sort(rng.integers(lo, hi, size=n_samples))
-                for pos in positions.tolist():
-                    line = int(trace.mem_line[pos])
-                    reuse_pos, stops = machine.watchpoints.await_next_reuse(
-                        line, pos, region_access_lo)
+                if kernels.get_backend() == "vector":
+                    # One batched pass resolves every watchpoint's reuse
+                    # and stop count (identical values to the per-sample
+                    # binary searches); only the cheap per-sample
+                    # bookkeeping below stays sequential, preserving the
+                    # stats/stride observation order bit-for-bit.
+                    reuses, stop_counts = (
+                        machine.watchpoints.await_next_reuse_many(
+                            positions, region_access_lo))
+                    resolutions = zip(positions.tolist(), reuses.tolist(),
+                                      stop_counts.tolist())
+                else:
+                    resolutions = (
+                        (pos, *machine.watchpoints.await_next_reuse(
+                            int(trace.mem_line[pos]), pos, region_access_lo))
+                        for pos in positions.tolist())
+                for pos, reuse_pos, stops in resolutions:
                     if reuse_pos >= 0:
                         projected_stops += min(
                             stops, self.max_stops_per_watchpoint)

@@ -1,0 +1,79 @@
+"""Trace I/O: external trace ingestion and out-of-core streaming.
+
+The paper evaluates DeLorean on real SPEC CPU2006 traces under gem5;
+this subsystem opens the reproduction to arbitrary real-world workloads:
+
+* **importers** (:mod:`repro.traceio.formats`) normalize ChampSim
+  binary, Valgrind-Lackey/gem5 text and generic CSV traces into the
+  canonical :class:`~repro.trace.record.Trace` arrays — cacheline
+  normalization, PC interning, and deterministic ``branch_mispred``
+  synthesis through the Table 1 tournament predictor;
+* the **native container** (:mod:`repro.traceio.container`) persists a
+  trace as a versioned npz plus JSON manifest (content fingerprint,
+  footprint, instruction/access counts), so an import is a one-time
+  cost;
+* the **streaming reader** (:mod:`repro.traceio.reader`) memory-maps a
+  container for out-of-core random access and bounded-budget chunk
+  iteration — the path for traces larger than RAM;
+* the **registry** (:mod:`repro.traceio.workload`) plugs imported
+  traces into the Workload machinery: the suite runner resolves
+  imported names before the synthetic SPEC specs, so DeLorean, the
+  warm-up pipeline, ``run_matrix`` and DSE consume them unchanged.
+
+CLI: ``python -m repro trace import|info|convert|ls``.
+"""
+
+from repro.traceio.container import (
+    TRACE_FORMAT_VERSION,
+    TraceFormatError,
+    build_manifest,
+    read_manifest,
+    read_trace,
+    trace_fingerprint,
+    write_trace,
+)
+from repro.traceio.formats import (
+    FORMAT_NAMES,
+    TraceImportError,
+    export_trace,
+    import_trace,
+    synthesize_mispredicts,
+)
+from repro.traceio.reader import TraceChunk, TraceReader
+from repro.traceio.workload import (
+    ImportedWorkload,
+    TraceLibrary,
+    default_trace_dir,
+    is_process_local,
+    register_workload,
+    registered_names,
+    resolve_workload,
+    unregister_workload,
+    workload_fingerprint,
+)
+
+__all__ = [
+    "TRACE_FORMAT_VERSION",
+    "TraceFormatError",
+    "build_manifest",
+    "read_manifest",
+    "read_trace",
+    "trace_fingerprint",
+    "write_trace",
+    "FORMAT_NAMES",
+    "TraceImportError",
+    "export_trace",
+    "import_trace",
+    "synthesize_mispredicts",
+    "TraceChunk",
+    "TraceReader",
+    "ImportedWorkload",
+    "TraceLibrary",
+    "default_trace_dir",
+    "is_process_local",
+    "register_workload",
+    "registered_names",
+    "resolve_workload",
+    "unregister_workload",
+    "workload_fingerprint",
+]

@@ -1,0 +1,198 @@
+"""``python -m repro trace`` — import, inspect and convert traces.
+
+Verbs::
+
+    trace import SRC --format champsim|lackey|csv [--name N] [--dir D]
+                 [--out FILE] [--compress] [--force]
+    trace info  NAME_OR_PATH [--json] [--verify] [--dir D]
+    trace ls    [--dir D] [--json]
+    trace convert SRC DST --to native|champsim|lackey|csv
+                 [--from FMT] [--dir D]
+
+``import`` parses an external trace, normalizes it into the canonical
+arrays and persists it as a native container — into the trace library
+(``$REPRO_TRACE_DIR``, default ``<cache>/traces``) under a name, or to
+an explicit ``--out`` path.  Once imported, the name works everywhere a
+synthetic benchmark name does (``python -m repro fig5 --benchmarks
+mytrace``, ``SuiteRunner.run`` / ``run_matrix`` / ``run_dse``).
+"""
+
+import argparse
+import json
+import os
+import sys
+
+from repro.traceio.container import (
+    TraceFormatError,
+    read_manifest,
+    read_trace,
+    write_trace,
+)
+from repro.traceio.formats import (
+    FORMAT_NAMES,
+    TraceImportError,
+    export_trace,
+    import_trace,
+)
+from repro.traceio.workload import TraceLibrary
+from repro.util.units import format_size
+
+
+def build_trace_parser():
+    parser = argparse.ArgumentParser(
+        prog="python -m repro trace",
+        description="Import external memory traces (ChampSim binary, "
+                    "Valgrind-Lackey text, generic CSV) into native "
+                    "containers and inspect/convert them.")
+    sub = parser.add_subparsers(dest="verb", required=True)
+
+    imp = sub.add_parser("import", help="normalize an external trace "
+                                        "into a native container")
+    imp.add_argument("src", help="external trace file (.gz/.bz2/.xz ok)")
+    imp.add_argument("--format", required=True, choices=FORMAT_NAMES,
+                     help="external format of SRC")
+    imp.add_argument("--name", default=None,
+                     help="library name (default: SRC basename)")
+    imp.add_argument("--dir", default=None,
+                     help="trace library root (overrides REPRO_TRACE_DIR)")
+    imp.add_argument("--out", default=None,
+                     help="write the container to this path instead of "
+                          "the library")
+    imp.add_argument("--compress", action="store_true",
+                     help="compressed container (smaller file, no mmap "
+                          "streaming)")
+    imp.add_argument("--force", action="store_true",
+                     help="replace an existing library entry")
+
+    info = sub.add_parser("info", help="show a container's manifest")
+    info.add_argument("target", help="library name or container path")
+    info.add_argument("--dir", default=None)
+    info.add_argument("--json", action="store_true",
+                      help="emit the raw manifest as JSON")
+    info.add_argument("--verify", action="store_true",
+                      help="recompute and check the content fingerprint")
+
+    ls = sub.add_parser("ls", help="list the trace library")
+    ls.add_argument("--dir", default=None)
+    ls.add_argument("--json", action="store_true")
+
+    conv = sub.add_parser("convert", help="convert between trace formats")
+    conv.add_argument("src", help="library name, container path, or "
+                                  "external file (with --from)")
+    conv.add_argument("dst", help="output path")
+    conv.add_argument("--to", required=True,
+                      choices=("native",) + FORMAT_NAMES,
+                      help="output format")
+    conv.add_argument("--from", dest="src_format", default=None,
+                      choices=FORMAT_NAMES,
+                      help="input format when SRC is an external file "
+                           "(default: native container / library name)")
+    conv.add_argument("--dir", default=None)
+    conv.add_argument("--compress", action="store_true",
+                      help="compress a native output container")
+    return parser
+
+
+def _load_any(target, src_format, library):
+    """A Trace from a library name, container path, or external file."""
+    if src_format is not None:
+        return import_trace(target, src_format)
+    return read_trace(_container_path(target, library))
+
+
+def _container_path(target, library):
+    if library.contains(target):
+        return library.path(target)
+    if os.path.exists(str(target)):
+        return target
+    raise TraceFormatError(
+        f"{target!r} is neither a trace in {library.root} nor a container "
+        "path ('trace ls' lists the library)")
+
+
+def _print_manifest(manifest, stream=None):
+    stream = stream or sys.stdout
+    print(f"name:          {manifest['name']}", file=stream)
+    print(f"format:        repro-trace v{manifest['format_version']}"
+          f"{'  (compressed)' if manifest.get('compressed') else ''}",
+          file=stream)
+    print(f"instructions:  {manifest['n_instructions']:,}", file=stream)
+    print(f"accesses:      {manifest['n_accesses']:,} "
+          f"(mem fraction {manifest['mem_fraction']:.3f})", file=stream)
+    print(f"branches:      {manifest['n_branches']:,}", file=stream)
+    print(f"static PCs:    {manifest['n_pcs']:,}", file=stream)
+    print(f"footprint:     {format_size(manifest['footprint_bytes'])} "
+          f"({manifest['unique_lines']:,} lines)", file=stream)
+    print(f"fingerprint:   {manifest['fingerprint'][:16]}…", file=stream)
+    source = manifest.get("source")
+    if source:
+        print(f"source:        {source}", file=stream)
+
+
+def trace_main(argv):
+    """CLI entry point; user-input errors print one line, not a stack."""
+    args = build_trace_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except (TraceImportError, TraceFormatError, FileNotFoundError,
+            FileExistsError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+def _dispatch(args):
+    library = TraceLibrary(root=args.dir)
+
+    if args.verb == "import":
+        trace = import_trace(args.src, args.format, name=args.name)
+        source = {"path": str(args.src), "format": args.format}
+        if args.out:
+            manifest = write_trace(trace, args.out, name=args.name,
+                                   source=source, compress=args.compress)
+            where = args.out
+        else:
+            manifest = library.add(trace, name=args.name, source=source,
+                                   compress=args.compress, force=args.force)
+            where = library.path(manifest["name"])
+        print(f"imported {args.src} -> {where}")
+        _print_manifest(manifest)
+        return 0
+
+    if args.verb == "info":
+        path = _container_path(args.target, library)
+        manifest = read_manifest(path)
+        if args.verify:
+            read_trace(path, verify=True)
+        if args.json:
+            print(json.dumps(manifest, indent=2, sort_keys=True))
+        else:
+            _print_manifest(manifest)
+            if args.verify:
+                print("fingerprint verified")
+        return 0
+
+    if args.verb == "ls":
+        names = library.names()
+        if args.json:
+            print(json.dumps([library.manifest(name) for name in names],
+                             indent=2, sort_keys=True))
+            return 0
+        for name in names:
+            manifest = library.manifest(name)
+            print(f"{name:<24s} {manifest['n_instructions']:>12,d} instr  "
+                  f"{manifest['n_accesses']:>12,d} acc  "
+                  f"{format_size(manifest['footprint_bytes']):>10s}  "
+                  f"{manifest['fingerprint'][:12]}")
+        print(f"{len(names)} traces in {library.root}")
+        return 0
+
+    if args.verb == "convert":
+        trace = _load_any(args.src, args.src_format, library)
+        if args.to == "native":
+            write_trace(trace, args.dst, compress=args.compress)
+        else:
+            export_trace(trace, args.dst, args.to)
+        print(f"converted {args.src} -> {args.dst} ({args.to})")
+        return 0
+
+    raise AssertionError(f"unhandled verb {args.verb!r}")

@@ -1,0 +1,185 @@
+"""Native on-disk trace container: versioned npz + JSON sidecar manifest.
+
+A container is two files next to each other::
+
+    <stem>.trace.npz    the seven canonical Trace arrays (zip of .npy)
+    <stem>.trace.json   the manifest: format version, content fingerprint,
+                        instruction/access/branch counts, footprint
+
+The npz is written *uncompressed* by default so the streaming
+:class:`~repro.traceio.reader.TraceReader` can memory-map each member
+in place (``compress=True`` trades that for a smaller file; the reader
+then falls back to buffered member reads).  The manifest's
+``fingerprint`` is the canonical SHA-256 of the array contents (the same
+encoding the artifact store uses for addressing), so two imports of the
+same trace — on different machines, weeks apart — agree byte-for-byte.
+"""
+
+import json
+import os
+
+import numpy as np
+
+from repro.store.fingerprint import fingerprint
+from repro.trace.record import Trace
+from repro.util.units import CACHELINE_SHIFT
+
+#: Version of the on-disk layout.  Bump on any change to the array set,
+#: their dtypes, or manifest semantics; readers refuse newer containers.
+TRACE_FORMAT_VERSION = 1
+
+#: The canonical arrays, in manifest order, with their storage dtypes.
+TRACE_ARRAYS = (
+    ("kind", np.uint8),
+    ("mem_instr", np.int64),
+    ("mem_line", np.int64),
+    ("mem_pc", np.int32),
+    ("mem_store", np.bool_),
+    ("branch_instr", np.int64),
+    ("branch_mispred", np.bool_),
+)
+
+
+class TraceFormatError(ValueError):
+    """A container (or its manifest) is malformed or from the future."""
+
+
+def manifest_path(path):
+    """The JSON sidecar path for a container at ``path``."""
+    path = str(path)
+    if path.endswith(".npz"):
+        return path[: -len(".npz")] + ".json"
+    return path + ".json"
+
+
+def trace_arrays(trace):
+    """The canonical ``{name: array}`` mapping of a trace (storage dtypes)."""
+    return {
+        name: np.ascontiguousarray(getattr(trace, name), dtype=dtype)
+        for name, dtype in TRACE_ARRAYS
+    }
+
+
+def trace_fingerprint(trace):
+    """Content address of a trace: canonical SHA-256 over its arrays."""
+    return fingerprint(trace_arrays(trace))
+
+
+def build_manifest(trace, name=None, source=None, compressed=False):
+    """The manifest dictionary for ``trace`` (no I/O)."""
+    arrays = trace_arrays(trace)
+    n_pcs = int(arrays["mem_pc"].max()) + 1 if arrays["mem_pc"].size else 0
+    unique_lines = trace.unique_lines()
+    return {
+        "format": "repro-trace",
+        "format_version": TRACE_FORMAT_VERSION,
+        "name": str(name if name is not None else trace.name),
+        "fingerprint": fingerprint(arrays),
+        "n_instructions": trace.n_instructions,
+        "n_accesses": trace.n_accesses,
+        "n_branches": int(arrays["branch_instr"].shape[0]),
+        "n_pcs": n_pcs,
+        "unique_lines": unique_lines,
+        "footprint_bytes": unique_lines << CACHELINE_SHIFT,
+        "mem_fraction": trace.mem_fraction(),
+        "compressed": bool(compressed),
+        "source": source,
+        "arrays": {
+            array_name: {"dtype": np.dtype(dtype).str,
+                         "shape": list(arrays[array_name].shape)}
+            for array_name, dtype in TRACE_ARRAYS
+        },
+    }
+
+
+def write_trace(trace, path, name=None, source=None, compress=False):
+    """Persist ``trace`` as a native container at ``path``.
+
+    Returns the manifest dictionary (also written to the JSON sidecar).
+    ``source`` is free-form provenance recorded verbatim (e.g. the
+    external file and format an importer consumed).
+    """
+    trace.validate()
+    arrays = trace_arrays(trace)
+    manifest = build_manifest(trace, name=name, source=source,
+                              compressed=compress)
+    path = str(path)
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    # Atomic publish, mirroring the disk store: temp file + os.replace,
+    # so a crashed import never leaves a half-written container behind.
+    # The sidecar lands *first*: on a fresh import a crash between the
+    # two leaves an orphan manifest (invisible, harmless) rather than an
+    # unlistable npz.  When *replacing* a container, a crash in the
+    # window pairs the new manifest with the old npz — readers detect
+    # that via the manifest's array shapes and refuse loudly rather
+    # than serve mismatched data.
+    sidecar = manifest_path(path)
+    tmp = sidecar + ".tmp"
+    with open(tmp, "w") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, sidecar)
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as handle:
+        if compress:
+            np.savez_compressed(handle, **arrays)
+        else:
+            np.savez(handle, **arrays)
+    os.replace(tmp, path)
+    return manifest
+
+
+def read_manifest(path):
+    """Load and validate the manifest of the container at ``path``."""
+    sidecar = manifest_path(path)
+    try:
+        with open(sidecar) as handle:
+            manifest = json.load(handle)
+    except FileNotFoundError:
+        raise TraceFormatError(
+            f"no manifest sidecar at {sidecar!r} (re-run 'trace import', "
+            "or pass the .npz written by repro.traceio.write_trace)")
+    except json.JSONDecodeError as exc:
+        raise TraceFormatError(f"corrupt manifest {sidecar!r}: {exc}")
+    if manifest.get("format") != "repro-trace":
+        raise TraceFormatError(f"{sidecar!r} is not a repro-trace manifest")
+    version = manifest.get("format_version")
+    if not isinstance(version, int) or version > TRACE_FORMAT_VERSION:
+        raise TraceFormatError(
+            f"container format v{version} is newer than this library "
+            f"understands (v{TRACE_FORMAT_VERSION})")
+    return manifest
+
+
+def read_trace(path, verify=False):
+    """Materialize the container at ``path`` as an in-memory Trace.
+
+    ``verify=True`` recomputes the content fingerprint and raises on a
+    mismatch with the manifest (integrity check after a copy or a
+    suspicious import).
+    """
+    manifest = read_manifest(path)
+    with np.load(path, allow_pickle=False) as archive:
+        members = set(archive.files)
+        missing = [name for name, _ in TRACE_ARRAYS if name not in members]
+        if missing:
+            raise TraceFormatError(
+                f"container {path!r} is missing arrays: {missing}")
+        arrays = {
+            name: np.ascontiguousarray(archive[name], dtype=dtype)
+            for name, dtype in TRACE_ARRAYS
+        }
+    for name, _ in TRACE_ARRAYS:
+        declared = manifest["arrays"].get(name, {}).get("shape")
+        if list(arrays[name].shape) != declared:
+            raise TraceFormatError(
+                f"container {path!r} does not match its manifest "
+                f"({name} is {list(arrays[name].shape)}, manifest says "
+                f"{declared}); re-run the import")
+    trace = Trace(name=manifest["name"], **arrays)
+    trace.validate()
+    if verify and fingerprint(trace_arrays(trace)) != manifest["fingerprint"]:
+        raise TraceFormatError(
+            f"container {path!r} does not match its manifest fingerprint")
+    return trace

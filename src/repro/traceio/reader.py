@@ -1,0 +1,263 @@
+"""Chunked, out-of-core reading of native trace containers.
+
+``TraceReader`` opens a container written by
+:func:`~repro.traceio.container.write_trace` without materializing it:
+each npz member stored uncompressed is memory-mapped *in place* (the
+member's ``.npy`` payload is located inside the zip and wrapped in a
+read-only ``np.memmap``), so a :class:`~repro.trace.record.Trace` built
+over those views has the full random-access API while the OS pages data
+in and out on demand.
+
+For strictly bounded-memory sequential consumers, ``iter_chunks`` walks
+the trace in instruction windows sized to a byte budget; each chunk is a
+small, fully materialized window with both coordinate systems intact —
+that is the truly out-of-core path.  Full *strategy* runs stream the
+trace arrays but still build an in-RAM
+:class:`~repro.vff.index.TraceIndex` (O(accesses) position tables), so
+their resident set shrinks by the trace-array share only; a spilled
+index is a ROADMAP item.
+
+Compressed containers (``compress=True`` at write time) cannot be
+mapped; the reader transparently falls back to buffered loads and
+``streaming`` reports ``False``.
+"""
+
+import io
+import zipfile
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.traceio.container import (
+    TRACE_ARRAYS,
+    TraceFormatError,
+    read_manifest,
+)
+from repro.trace.record import Trace
+
+#: Default ``iter_chunks`` budget: the worst-case bytes a single chunk
+#: may materialize.
+DEFAULT_CHUNK_BYTES = 8 * 1024 * 1024
+
+#: Bytes per row of the access view (instr + line + pc + store flag).
+_ACCESS_ROW_BYTES = 8 + 8 + 4 + 1
+#: Bytes per row of the branch view (instr + mispredict flag).
+_BRANCH_ROW_BYTES = 8 + 1
+
+
+def _member_memmap(path, info):
+    """Read-only memmap of one *stored* (uncompressed) npz member."""
+    with open(path, "rb") as handle:
+        handle.seek(info.header_offset)
+        local = handle.read(30)
+        if len(local) < 30 or local[:4] != b"PK\x03\x04":
+            raise TraceFormatError(f"bad zip local header in {path!r}")
+        name_len = int.from_bytes(local[26:28], "little")
+        extra_len = int.from_bytes(local[28:30], "little")
+        handle.seek(info.header_offset + 30 + name_len + extra_len)
+        version = np.lib.format.read_magic(handle)
+        if version == (1, 0):
+            shape, fortran, dtype = np.lib.format.read_array_header_1_0(handle)
+        elif version == (2, 0):
+            shape, fortran, dtype = np.lib.format.read_array_header_2_0(handle)
+        else:
+            raise TraceFormatError(f"unsupported npy version {version}")
+        offset = handle.tell()
+    if int(np.prod(shape)) == 0:
+        return np.empty(shape, dtype=dtype)
+    return np.memmap(path, mode="r", dtype=dtype, shape=shape,
+                     offset=offset, order="F" if fortran else "C")
+
+
+@dataclass
+class TraceChunk:
+    """One bounded window of a streamed trace.
+
+    Access/branch coordinates are *absolute* (trace-global); use
+    :meth:`to_trace` for a self-contained window with local coordinates.
+    """
+
+    instr_lo: int
+    instr_hi: int
+    kind: np.ndarray
+    mem_instr: np.ndarray
+    mem_line: np.ndarray
+    mem_pc: np.ndarray
+    mem_store: np.ndarray
+    branch_instr: np.ndarray
+    branch_mispred: np.ndarray
+
+    @property
+    def n_instructions(self):
+        return self.instr_hi - self.instr_lo
+
+    @property
+    def n_accesses(self):
+        return int(self.mem_instr.shape[0])
+
+    def nbytes(self):
+        """Materialized size of this chunk."""
+        return sum(a.nbytes for a in (
+            self.kind, self.mem_instr, self.mem_line, self.mem_pc,
+            self.mem_store, self.branch_instr, self.branch_mispred))
+
+    def to_trace(self, name="chunk"):
+        """A standalone, validated Trace of this window (local coords)."""
+        trace = Trace(
+            kind=self.kind,
+            mem_instr=self.mem_instr - self.instr_lo,
+            mem_line=self.mem_line,
+            mem_pc=self.mem_pc,
+            mem_store=self.mem_store,
+            branch_instr=self.branch_instr - self.instr_lo,
+            branch_mispred=self.branch_mispred,
+            name=name,
+        )
+        trace.validate()
+        return trace
+
+
+class TraceReader:
+    """Out-of-core access to one native trace container."""
+
+    def __init__(self, path):
+        self.path = str(path)
+        self.manifest = read_manifest(self.path)
+        self._views = None
+        self._streaming = None
+
+    # -- raw views -----------------------------------------------------------
+
+    def _open(self):
+        if self._views is not None:
+            return self._views
+        views = {}
+        streaming = True
+        try:
+            archive = zipfile.ZipFile(self.path)
+        except (OSError, zipfile.BadZipFile) as exc:
+            raise TraceFormatError(f"cannot open container {self.path!r}: "
+                                   f"{exc}")
+        with archive:
+            for name, dtype in TRACE_ARRAYS:
+                member = name + ".npy"
+                try:
+                    info = archive.getinfo(member)
+                except KeyError:
+                    raise TraceFormatError(
+                        f"container {self.path!r} is missing {member!r}")
+                if info.compress_type == zipfile.ZIP_STORED:
+                    view = _member_memmap(self.path, info)
+                else:
+                    with archive.open(member) as handle:
+                        view = np.lib.format.read_array(
+                            io.BytesIO(handle.read()), allow_pickle=False)
+                    streaming = False
+                if view.dtype != np.dtype(dtype):
+                    view = view.astype(dtype)
+                declared = self.manifest["arrays"].get(name, {})
+                if list(view.shape) != declared.get("shape"):
+                    # A crash (or a racing reader) during a force-replace
+                    # can pair one generation's manifest with the other's
+                    # npz; serving that silently would poison every
+                    # fingerprint-addressed artifact downstream.
+                    raise TraceFormatError(
+                        f"container {self.path!r} does not match its "
+                        f"manifest ({name} is {list(view.shape)}, manifest "
+                        f"says {declared.get('shape')}); re-run the import")
+                views[name] = view
+        self._views = views
+        self._streaming = streaming
+        return views
+
+    @property
+    def streaming(self):
+        """True when every array is a zero-copy memory map."""
+        self._open()
+        return self._streaming
+
+    def arrays(self):
+        """The raw (possibly memory-mapped) canonical array views."""
+        return dict(self._open())
+
+    # -- whole-trace access --------------------------------------------------
+
+    def trace(self):
+        """A validated Trace over the mapped views (out-of-core random
+        access)."""
+        views = self._open()
+        trace = Trace(name=self.manifest["name"], **views)
+        trace.validate()
+        return trace
+
+    def materialize(self):
+        """A validated, fully in-memory copy of the trace."""
+        views = self._open()
+        arrays = {name: np.array(view, copy=True)
+                  for name, view in views.items()}
+        trace = Trace(name=self.manifest["name"], **arrays)
+        trace.validate()
+        return trace
+
+    # -- chunked streaming ---------------------------------------------------
+
+    def chunk_instructions_for(self, max_bytes):
+        """Instruction-window length whose *average* chunk materializes
+        ``max_bytes`` (densities from the manifest).  Windows denser
+        than the trace average exceed the budget by their local density
+        ratio — the bound is statistical, not per-chunk."""
+        n_instr = max(1, int(self.manifest["n_instructions"]))
+        per_instr = (
+            1.0
+            + _ACCESS_ROW_BYTES * self.manifest["n_accesses"] / n_instr
+            + _BRANCH_ROW_BYTES * self.manifest["n_branches"] / n_instr)
+        return max(1, int(max_bytes / per_instr))
+
+    def iter_chunks(self, chunk_instructions=None,
+                    max_bytes=DEFAULT_CHUNK_BYTES):
+        """Yield :class:`TraceChunk` windows covering the whole trace.
+
+        Only one chunk is materialized at a time; everything else stays
+        on disk.  ``chunk_instructions`` pins the window length
+        directly, otherwise it is derived from ``max_bytes`` and the
+        manifest's access/branch densities.
+        """
+        views = self._open()
+        if chunk_instructions is None:
+            chunk_instructions = self.chunk_instructions_for(max_bytes)
+        chunk_instructions = max(1, int(chunk_instructions))
+        n = int(self.manifest["n_instructions"])
+        mem_instr = views["mem_instr"]
+        branch_instr = views["branch_instr"]
+        for lo in range(0, n, chunk_instructions):
+            hi = min(n, lo + chunk_instructions)
+            a_lo = int(np.searchsorted(mem_instr, lo, side="left"))
+            a_hi = int(np.searchsorted(mem_instr, hi, side="left"))
+            b_lo = int(np.searchsorted(branch_instr, lo, side="left"))
+            b_hi = int(np.searchsorted(branch_instr, hi, side="left"))
+            yield TraceChunk(
+                instr_lo=lo,
+                instr_hi=hi,
+                kind=np.array(views["kind"][lo:hi], copy=True),
+                mem_instr=np.array(mem_instr[a_lo:a_hi], copy=True),
+                mem_line=np.array(views["mem_line"][a_lo:a_hi], copy=True),
+                mem_pc=np.array(views["mem_pc"][a_lo:a_hi], copy=True),
+                mem_store=np.array(views["mem_store"][a_lo:a_hi], copy=True),
+                branch_instr=np.array(branch_instr[b_lo:b_hi], copy=True),
+                branch_mispred=np.array(views["branch_mispred"][b_lo:b_hi],
+                                        copy=True),
+            )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self):
+        """Drop every view (unmaps the file once consumers release it)."""
+        self._views = None
+        self._streaming = None
+
+    def __enter__(self):
+        self._open()
+        return self
+
+    def __exit__(self, *exc):
+        self.close()

@@ -26,6 +26,8 @@ class _PositionIndex:
         self._keys = unique
         self._starts = np.concatenate(
             (starts, [keys.shape[0]])).astype(np.int64)
+        self._successors = None
+        self._ranks = None
 
     @classmethod
     def from_tables(cls, positions, keys, starts):
@@ -34,6 +36,8 @@ class _PositionIndex:
         index._positions = np.ascontiguousarray(positions, dtype=np.int64)
         index._keys = np.ascontiguousarray(keys)
         index._starts = np.ascontiguousarray(starts, dtype=np.int64)
+        index._successors = None
+        index._ranks = None
         return index
 
     def tables(self, prefix):
@@ -43,6 +47,45 @@ class _PositionIndex:
             f"{prefix}_keys": self._keys,
             f"{prefix}_starts": self._starts,
         }
+
+    def successors(self):
+        """Next same-key position for *every* access position (-1 if last).
+
+        The grouped table already stores each key's run contiguously in
+        ascending position order, so the successor of a run element is
+        its right neighbour; scattering through the (permutation)
+        position table turns that into an O(1) lookup per access.  Built
+        lazily, once, in a single vectorized pass.
+        """
+        if self._successors is None:
+            n = self._positions.shape[0]
+            succ_sorted = np.empty(n, dtype=np.int64)
+            if n:
+                succ_sorted[:-1] = self._positions[1:]
+                succ_sorted[-1] = -1
+                succ_sorted[self._starts[1:] - 1] = -1   # run boundaries
+            successors = np.empty(n, dtype=np.int64)
+            successors[self._positions] = succ_sorted
+            self._successors = successors
+        return self._successors
+
+    def ranks(self):
+        """Rank of every access position within its key's run.
+
+        ``ranks()[p]`` is the number of same-key accesses strictly
+        before position ``p``; the difference of two same-key ranks is
+        therefore the access count between them — the O(1) stop-count
+        primitive behind the batched watchpoint kernels.
+        """
+        if self._ranks is None:
+            n = self._positions.shape[0]
+            lengths = np.diff(self._starts)
+            rank_sorted = (np.arange(n, dtype=np.int64)
+                           - np.repeat(self._starts[:-1], lengths))
+            ranks = np.empty(n, dtype=np.int64)
+            ranks[self._positions] = rank_sorted
+            self._ranks = ranks
+        return self._ranks
 
     def positions(self, key):
         """Ascending access positions of ``key`` (empty if unseen)."""
@@ -162,6 +205,42 @@ class TraceIndex:
     def next_access_after(self, line, position):
         """First access to ``line`` strictly after ``position`` (-1 if none)."""
         return self.lines.first_in(line, position + 1, self.trace.n_accesses)
+
+    def batch_await_reuse(self, positions, access_limit):
+        """Vectorized RSW primitive over many sampled access positions.
+
+        For each access position ``p`` (the watchpoint is armed on the
+        line accessed *at* ``p``), returns ``(reuse, stops)`` matching
+        per-sample :meth:`next_access_after` + page-window stop counts:
+        ``reuse[i]`` is the line's next access position (-1 if none
+        before ``access_limit``) and ``stops[i]`` the page stops taken
+        while waiting (final true stop included).  Line successors give
+        the reuse in O(1); page *ranks* turn the resolved stop count
+        into a rank difference (both endpoints are accesses to the
+        page), and dangling watchpoints need one batched count of page
+        accesses before the limit.
+        """
+        positions = np.asarray(positions, dtype=np.int64)
+        n = positions.shape[0]
+        reuse = np.full(n, -1, dtype=np.int64)
+        stops = np.zeros(n, dtype=np.int64)
+        if n == 0:
+            return reuse, stops
+        succ = self.lines.successors()[positions]
+        resolved = (succ >= 0) & (succ < access_limit)
+        page_ranks = self.pages.ranks()
+        reuse[resolved] = succ[resolved]
+        stops[resolved] = (page_ranks[succ[resolved]]
+                           - page_ranks[positions[resolved]])
+        dangling = np.flatnonzero(~resolved)
+        if dangling.size:
+            pages = self.trace.mem_page[positions[dangling]]
+            unique_pages, inverse = np.unique(pages, return_inverse=True)
+            before_limit, _ = self.pages.batch_counts_and_last(
+                unique_pages, 0, access_limit)
+            stops[dangling] = (before_limit[inverse]
+                               - page_ranks[positions[dangling]] - 1)
+        return reuse, stops
 
     def page_stops_in(self, pages, lo, hi):
         """Total accesses landing in ``pages`` within window ``[lo, hi)``.

@@ -110,3 +110,11 @@ class WatchpointEngine:
         stops = self.index.pages.count_in(
             page, access_position + 1, window_end)
         return reuse, stops
+
+    def await_next_reuse_many(self, access_positions, access_limit):
+        """Batched :meth:`await_next_reuse` for watchpoints armed at
+        many sampled access positions (the line is the one accessed at
+        each position).  Returns aligned ``(reuse, stops)`` arrays with
+        identical values to the per-sample loop.
+        """
+        return self.index.batch_await_reuse(access_positions, access_limit)

@@ -1,5 +1,8 @@
 """Tests for the command-line interface."""
 
+import json
+
+import numpy as np
 import pytest
 
 from repro.__main__ import EXHIBITS, build_parser, main
@@ -36,3 +39,58 @@ def test_figure_with_tiny_config(capsys):
                  "--instructions", "360000", "--regions", "3"])
     assert code == 0
     assert "Figure 8" in capsys.readouterr().out
+
+
+def test_cache_stats_and_ls_json(capsys, tmp_path):
+    assert main(["cache", "stats", "--dir", str(tmp_path), "--json"]) == 0
+    stats = json.loads(capsys.readouterr().out)
+    assert stats["entries"] == 0 and stats["root"] == str(tmp_path)
+    assert main(["cache", "ls", "--dir", str(tmp_path), "--json"]) == 0
+    assert json.loads(capsys.readouterr().out) == []
+
+
+def test_cache_ls_json_lists_entries(capsys, tmp_path):
+    from repro.store import ArtifactStore
+
+    store = ArtifactStore(root=tmp_path, enabled=True)
+    store.save({"k": 1}, {"x": np.arange(4)}, label="demo")
+    assert main(["cache", "ls", "--dir", str(tmp_path), "--json"]) == 0
+    entries = json.loads(capsys.readouterr().out)
+    assert len(entries) == 1
+    assert entries[0]["label"] == "demo" and not entries[0]["stale"]
+    assert main(["cache", "stats", "--dir", str(tmp_path), "--json"]) == 0
+    stats = json.loads(capsys.readouterr().out)
+    assert stats["entries"] == 1 and "demo" in stats["by_label"]
+
+
+def test_trace_cli_import_info_ls_convert(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE_DIR", str(tmp_path / "lib"))
+    from repro.traceio import export_trace
+    from tests.test_traceio import random_trace
+
+    trace = random_trace(3, n_instructions=2_000)
+    src = tmp_path / "fixture.csv"
+    export_trace(trace, src, "csv")
+
+    assert main(["trace", "import", str(src), "--format", "csv",
+                 "--name", "clifix"]) == 0
+    out = capsys.readouterr().out
+    assert "imported" in out and "clifix" in out
+
+    assert main(["trace", "info", "clifix", "--json"]) == 0
+    manifest = json.loads(capsys.readouterr().out)
+    assert manifest["n_instructions"] == trace.n_instructions
+
+    assert main(["trace", "ls", "--json"]) == 0
+    listing = json.loads(capsys.readouterr().out)
+    assert [entry["name"] for entry in listing] == ["clifix"]
+
+    dst = tmp_path / "back.lackey"
+    assert main(["trace", "convert", "clifix", str(dst),
+                 "--to", "lackey"]) == 0
+    assert dst.exists()
+
+
+def test_trace_cli_rejects_unknown_format(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["trace", "import", str(tmp_path / "x"), "--format", "elf"])

@@ -25,7 +25,10 @@ from repro.kernels.stackdist import (
     count_earlier_greater,
     reuse_and_stack_distances_vector,
 )
+from repro.caches.hierarchy import paper_hierarchy
 from repro.sampling.classify import WarmingClassifier
+from repro.sampling.coolsim import CoolSim
+from repro.sampling.plan import SamplingPlan
 from repro.statmodel.assoc import StrideDetector
 from repro.trace.engines import (
     MultiWorkingSetEngine,
@@ -35,7 +38,7 @@ from repro.trace.engines import (
     UniformWorkingSetEngine,
     WorkingSetComponent,
 )
-from repro.vff.index import TraceIndex
+from repro.vff.index import TraceIndex, _PositionIndex
 from repro.vff.watchpoint import WatchpointEngine
 from tests.conftest import make_small_workload
 
@@ -326,6 +329,74 @@ class TestWatchpointKernel:
                     profiles[backend] = (p.last_access, p.unresolved,
                                         p.true_stops, p.false_stops)
             assert profiles["scalar"] == profiles["vector"]
+
+
+class TestGapProfileKernel:
+    """The batched RSW primitive behind CoolSim's gap profiling."""
+
+    def test_successors_and_ranks_brute_force(self):
+        for name, lines, _ in engine_traces(seed=71, n=500):
+            index = _PositionIndex(lines)
+            succ = index.successors()
+            ranks = index.ranks()
+            last_seen = {}
+            seen_count = {}
+            expected_succ = np.full(lines.shape[0], -1, dtype=np.int64)
+            for i, line in enumerate(lines.tolist()):
+                if line in last_seen:
+                    expected_succ[last_seen[line]] = i
+                last_seen[line] = i
+                assert ranks[i] == seen_count.get(line, 0), name
+                seen_count[line] = seen_count.get(line, 0) + 1
+            assert np.array_equal(succ, expected_succ), name
+
+    def test_batch_await_reuse_matches_scalar(self):
+        workload = make_small_workload(seed=12, n_instructions=50_000)
+        index = TraceIndex(workload.trace)
+        engine = WatchpointEngine(index)
+        rng = np.random.default_rng(4)
+        n_accesses = workload.trace.n_accesses
+        for _ in range(25):
+            limit = int(rng.integers(1, n_accesses + 1))
+            positions = np.sort(rng.integers(0, limit, size=60))
+            reuse, stops = engine.await_next_reuse_many(positions, limit)
+            for k, pos in enumerate(positions.tolist()):
+                line = int(workload.trace.mem_line[pos])
+                ref = engine.await_next_reuse(line, pos, limit)
+                assert ref == (reuse[k], stops[k]), (limit, pos)
+
+    def test_batch_await_reuse_empty_and_rebuilt_index(self):
+        workload = make_small_workload(seed=12, n_instructions=40_000)
+        index = TraceIndex(workload.trace)
+        reuse, stops = index.batch_await_reuse(
+            np.empty(0, dtype=np.int64), 100)
+        assert reuse.size == 0 and stops.size == 0
+        # Indices rebuilt from persisted tables must serve the lazy
+        # successor/rank caches identically.
+        rebuilt = TraceIndex.from_tables(workload.trace, index.tables())
+        positions = np.arange(0, workload.trace.n_accesses, 97)
+        limit = workload.trace.n_accesses // 2
+        a = index.batch_await_reuse(positions, limit)
+        b = rebuilt.batch_await_reuse(positions, limit)
+        assert np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
+
+    def test_coolsim_gap_profiling_bit_identical(self):
+        workload = make_small_workload(seed=3, n_instructions=120_000)
+        plan = SamplingPlan(n_instructions=120_000, n_regions=3)
+        hierarchy = paper_hierarchy(8 << 20)
+        outputs = {}
+        for backend in kernels.BACKENDS:
+            with kernels.use_backend(backend):
+                result = CoolSim().run(workload, plan, hierarchy,
+                                       index=TraceIndex(workload.trace),
+                                       seed=2)
+                outputs[backend] = (
+                    result.cpi, result.mpki, result.total_seconds,
+                    result.extras, result.meter.ledger.as_dict(),
+                    [(r.stats.counts, r.timing.total_cycles)
+                     for r in result.regions],
+                )
+        assert outputs["scalar"] == outputs["vector"]
 
 
 class TestStrideDetectorBatch:

@@ -99,7 +99,7 @@ def build_cache_parser():
     parser.add_argument("--dir", default=None,
                         help="store root (overrides REPRO_CACHE_DIR)")
     parser.add_argument("--json", action="store_true",
-                        help="machine-readable output (stats and ls)")
+                        help="machine-readable output (stats, ls and gc)")
     return parser
 
 
@@ -147,6 +147,13 @@ def cache_main(argv):
         print(f"{len(entries)} entries in {store.root}")
     elif args.action == "gc":
         removed, reclaimed = store.disk.gc()
+        if args.json:
+            print(json.dumps({
+                "root": store.root,
+                "removed": removed,
+                "reclaimed_bytes": reclaimed,
+            }, indent=2, sort_keys=True))
+            return 0
         print(f"removed {removed} entries, "
               f"reclaimed {format_size(reclaimed)}")
     elif args.action == "clear":

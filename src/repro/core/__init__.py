@@ -24,6 +24,7 @@ The paper's primary contribution, built on the substrates in
   Analysts amortizing one warm-up (Section 6.4.2).
 """
 
+from repro.core.context import AccessWindow, ExecutionContext
 from repro.core.scout import ScoutPass, ScoutReport
 from repro.core.explorer import ExplorerChain, ExplorerSpec, ExplorationResult
 from repro.core.vicinity import VicinitySampler
@@ -41,6 +42,8 @@ from repro.core.coherence import (
 from repro.core.pipeline import pipeline_schedule
 
 __all__ = [
+    "AccessWindow",
+    "ExecutionContext",
     "ScoutPass",
     "ScoutReport",
     "ExplorerChain",

@@ -10,6 +10,8 @@ Because the Analyst's only work is warming + detailed simulation, extra
 Analysts for design-space exploration are nearly free (Section 6.4.2).
 """
 
+import numpy as np
+
 from repro.sampling.base import StrategyBase
 from repro.sampling.classify import WarmingClassifier
 from repro.sampling.results import RegionResult
@@ -22,18 +24,26 @@ class AnalystPass(StrategyBase):
     name = "analyst"
 
     def __init__(self, machine, hierarchy_config, processor_config=None,
-                 prefetcher_factory=None, mshr_window=24, seed=0):
+                 prefetcher_factory=None, mshr_window=24, seed=0,
+                 context=None):
         super().__init__(processor_config)
         self.machine = machine
         self.hierarchy_config = hierarchy_config
         self.prefetcher_factory = prefetcher_factory
         self.mshr_window = mshr_window
         self.seed = seed
+        #: Shared :class:`~repro.core.context.ExecutionContext`; without
+        #: one, windows are sliced off the machine's own trace.
+        self.context = context
+
+    def _window(self, instr_lo, instr_hi):
+        if self.context is not None:
+            return self.context.window(instr_lo, instr_hi)
+        return self.machine.access_window(instr_lo, instr_hi)
 
     def run_region(self, spec, capacity_predictor):
         """Evaluate one region given the DSW capacity predictor."""
         machine = self.machine
-        trace = machine.trace
         machine.switch_state()      # receive state from Explorer-N
 
         classifier = WarmingClassifier(
@@ -47,22 +57,22 @@ class AnalystPass(StrategyBase):
                         if self.prefetcher_factory else None),
         )
         machine.meter.detailed(spec.paper_warming_instructions)
-        l1_lo, l1_hi = trace.access_range(
-            spec.l1_warming_start, spec.region_start)
-        lo, hi = trace.access_range(spec.warming_start, spec.region_start)
-        classifier.warm_detailed(trace.mem_line[l1_lo:l1_hi],
-                                 trace.mem_line[lo:hi])
+        l1_warming = self._window(spec.l1_warming_start, spec.region_start)
+        warming = self._window(spec.warming_start, spec.region_start)
+        classifier.warm_detailed(np.asarray(l1_warming.lines),
+                                 np.asarray(warming.lines))
 
         machine.detailed(spec.region_start, spec.region_end)
-        rlo, rhi = trace.access_range(spec.region_start, spec.region_end)
+        region = self._window(spec.region_start, spec.region_end)
         classified = classifier.classify_region(
-            trace.mem_line[rlo:rhi],
-            trace.mem_pc[rlo:rhi],
-            trace.mem_instr[rlo:rhi] - spec.region_start,
+            np.asarray(region.lines),
+            np.asarray(region.pcs),
+            region.rel_instr(),
         )
         machine.switch_state()
 
-        timing = self.region_timing(trace, spec, classified)
+        timing = self.region_timing(self.context or machine, spec,
+                                    classified)
         return RegionResult(
             index=spec.index,
             n_instructions=spec.region_end - spec.region_start,

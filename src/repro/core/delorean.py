@@ -34,16 +34,12 @@ from repro.cpu.prefetch import StridePrefetcher
 from repro.sampling.base import StrategyBase
 from repro.sampling.results import StrategyResult
 from repro.vff.costmodel import CostMeter, TimeLedger
-from repro.vff.index import TraceIndex
-from repro.vff.machine import VirtualMachine
 
 
 class DeLorean(StrategyBase):
     """Directed statistical warming through time traveling."""
 
     name = "DeLorean"
-    #: The suite runner forwards its artifact store to ``run(store=...)``.
-    supports_store = True
 
     def __init__(self, processor_config=None, explorer_specs=DEFAULT_EXPLORERS,
                  vicinity_density=DEFAULT_DENSITY, vicinity_boost=200.0,
@@ -56,27 +52,25 @@ class DeLorean(StrategyBase):
         self.mshr_window = mshr_window
 
     def run(self, workload, plan, hierarchy_config, index=None, seed=0,
-            store=None):
-        trace = workload.trace
-        if index is None:
-            index = TraceIndex(trace)
+            store=None, context=None):
+        context = self.context_for(workload, index=index, seed=seed,
+                                   store=store, context=context)
         base_meter = CostMeter(scale=plan.scale)
 
         warmup = WarmupPipeline(
-            "delorean-vicinity", workload, plan, self.explorer_specs,
-            self.vicinity_density, self.vicinity_boost, base_meter, index,
-            seed=seed, store=store)
+            "delorean-vicinity", context, plan, self.explorer_specs,
+            self.vicinity_density, self.vicinity_boost, base_meter)
         warm_regions = warmup.run_all()
 
-        analyst_machine = VirtualMachine(
-            trace, meter=base_meter.fork(), index=index)
+        analyst_machine = context.machine(base_meter.fork())
         analyst = AnalystPass(
             analyst_machine, hierarchy_config,
             processor_config=self.processor_config,
             prefetcher_factory=((lambda: StridePrefetcher(n_streams=8))
                                 if self.prefetcher_enabled else None),
             mshr_window=self.mshr_window,
-            seed=seed,
+            seed=context.seed,
+            context=context,
         )
 
         analyst_times = []

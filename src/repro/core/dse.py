@@ -27,8 +27,6 @@ from repro.core.warmup import WarmupPipeline
 from repro.sampling.base import StrategyBase
 from repro.sampling.results import StrategyResult
 from repro.vff.costmodel import CostMeter, TimeLedger
-from repro.vff.index import TraceIndex
-from repro.vff.machine import VirtualMachine
 
 
 @dataclass
@@ -67,8 +65,6 @@ class DesignSpaceExploration(StrategyBase):
     """One Scout + one Explorer set feeding N parallel Analysts."""
 
     name = "DeLorean-DSE"
-    #: The suite runner forwards its artifact store to ``run(store=...)``.
-    supports_store = True
 
     def __init__(self, processor_config=None, explorer_specs=DEFAULT_EXPLORERS,
                  vicinity_density=DEFAULT_DENSITY, vicinity_boost=200.0,
@@ -80,28 +76,27 @@ class DesignSpaceExploration(StrategyBase):
         self.mshr_window = mshr_window
 
     def run(self, workload, plan, hierarchy_configs, index=None, seed=0,
-            store=None):
+            store=None, context=None):
         """Sweep ``hierarchy_configs`` from one shared warm-up."""
         if not hierarchy_configs:
             raise ValueError("need at least one configuration")
-        trace = workload.trace
-        if index is None:
-            index = TraceIndex(trace)
+        context = self.context_for(workload, index=index, seed=seed,
+                                   store=store, context=context)
         base_meter = CostMeter(scale=plan.scale)
 
         warmup = WarmupPipeline(
-            "dse-vicinity", workload, plan, self.explorer_specs,
-            self.vicinity_density, self.vicinity_boost, base_meter, index,
-            seed=seed, store=store)
+            "dse-vicinity", context, plan, self.explorer_specs,
+            self.vicinity_density, self.vicinity_boost, base_meter)
         warm_regions = warmup.run_all()
 
         analyst_machines = [
-            VirtualMachine(trace, meter=base_meter.fork(), index=index)
+            context.machine(base_meter.fork())
             for _ in hierarchy_configs]
         analysts = [
             AnalystPass(machine, config,
                         processor_config=self.processor_config,
-                        mshr_window=self.mshr_window, seed=seed)
+                        mshr_window=self.mshr_window, seed=context.seed,
+                        context=context)
             for machine, config in zip(analyst_machines, hierarchy_configs)]
 
         analyst_stage_times = [[] for _ in analysts]

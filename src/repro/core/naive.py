@@ -14,8 +14,6 @@ therefore matches DeLorean; only the cost differs — which is the point
 of the ablation benchmark.
 """
 
-import numpy as np
-
 from repro.core.scout import ScoutPass
 from repro.core.vicinity import DEFAULT_DENSITY, VicinitySampler
 from repro.core.warming import DirectedCapacityPredictor
@@ -23,10 +21,7 @@ from repro.core.analyst import AnalystPass
 from repro.sampling.base import StrategyBase
 from repro.sampling.results import StrategyResult
 from repro.statmodel.histogram import ReuseHistogram
-from repro.util.rng import child_rng
 from repro.vff.costmodel import CostMeter
-from repro.vff.index import TraceIndex
-from repro.vff.machine import VirtualMachine
 
 
 class NaiveDirectedWarming(StrategyBase):
@@ -41,21 +36,19 @@ class NaiveDirectedWarming(StrategyBase):
         self.vicinity_boost = float(vicinity_boost)
         self.mshr_window = mshr_window
 
-    def run(self, workload, plan, hierarchy_config, index=None, seed=0):
-        trace = workload.trace
-        if index is None:
-            index = TraceIndex(trace)
+    def run(self, workload, plan, hierarchy_config, index=None, seed=0,
+            context=None):
+        context = self.context_for(workload, index=index, seed=seed,
+                                   context=context)
         meter = CostMeter(scale=plan.scale)
         # Two logical phases of the same process: identify key lines
         # (requires a first pass to the region), then profile the entire
         # gap with all key-line watchpoints armed.
-        scout_machine = VirtualMachine(trace, meter=meter.fork(), index=index)
-        profile_machine = VirtualMachine(trace, meter=meter.fork(),
-                                         index=index)
-        analyst_machine = VirtualMachine(trace, meter=meter.fork(),
-                                         index=index)
+        scout_machine = context.machine(meter.fork())
+        profile_machine = context.machine(meter.fork())
+        analyst_machine = context.machine(meter.fork())
         scout = ScoutPass(scout_machine)
-        rng = child_rng(seed, "naive-dsw", workload.name)
+        rng = context.rng("naive-dsw")
         sampler = VicinitySampler(
             profile_machine, density=self.vicinity_density,
             density_boost=self.vicinity_boost, rng=rng,
@@ -63,15 +56,16 @@ class NaiveDirectedWarming(StrategyBase):
         analyst = AnalystPass(
             analyst_machine, hierarchy_config,
             processor_config=self.processor_config,
-            mshr_window=self.mshr_window, seed=seed)
+            mshr_window=self.mshr_window, seed=context.seed,
+            context=context)
 
         regions = []
         total_stops = 0
         for spec in plan.regions():
             report = scout.run_region(spec)
 
-            gap_lo, _ = trace.access_range(spec.warmup_start,
-                                           spec.region_start)
+            gap_lo = context.window(spec.warmup_start,
+                                    spec.region_start).lo
             watched = sorted(report.key_first_access)
             profile = profile_machine.watchpoints.profile_window(
                 watched, gap_lo, report.region_access_lo)

@@ -15,6 +15,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import kernels
+
 
 @dataclass
 class ScoutReport:
@@ -56,7 +58,6 @@ class ScoutPass:
     def run_region(self, spec):
         """Produce the :class:`ScoutReport` for one region spec."""
         machine = self.machine
-        trace = machine.trace
         # Near-native fast-forward across the gap...
         machine.fast_forward(spec.warmup_start, spec.warming_start)
         # ...then functional simulation through warming + region (cost
@@ -66,22 +67,35 @@ class ScoutPass:
             spec.paper_warming_instructions
             + (spec.region_end - spec.region_start), scaled=False)
 
-        region_lo, region_hi = trace.access_range(
-            spec.region_start, spec.region_end)
-        region_lines = trace.mem_line[region_lo:region_hi]
-        unique_lines, first_idx = np.unique(region_lines, return_index=True)
+        region = machine.access_window(spec.region_start, spec.region_end)
+        unique_lines, first_idx = region.unique_lines()
 
         report = ScoutReport(
             region_index=spec.index,
-            region_access_lo=region_lo,
-            region_access_hi=region_hi,
+            region_access_lo=region.lo,
+            region_access_hi=region.hi,
         )
-        warming_lo, _ = trace.access_range(
-            spec.warming_start, spec.region_start)
-        for line, first in zip(unique_lines.tolist(), first_idx.tolist()):
-            report.key_first_access[line] = region_lo + first
-            last = machine.index.lines.last_in(line, warming_lo, region_lo)
-            if last >= 0:
-                report.warming_resolved[line] = last
+        warming = machine.access_window(spec.warming_start,
+                                        spec.region_start)
+        if kernels.get_backend() == "vector" and unique_lines.size:
+            # One batched window query resolves every key line's last
+            # warming-window access (same values as the per-key binary
+            # searches below).
+            _, last_access = machine.index.lines.batch_counts_and_last(
+                unique_lines, warming.lo, region.lo)
+            for line, first, last in zip(unique_lines.tolist(),
+                                         first_idx.tolist(),
+                                         last_access.tolist()):
+                report.key_first_access[line] = region.lo + first
+                if last >= 0:
+                    report.warming_resolved[line] = last
+        else:
+            for line, first in zip(unique_lines.tolist(),
+                                   first_idx.tolist()):
+                report.key_first_access[line] = region.lo + first
+                last = machine.index.lines.last_in(line, warming.lo,
+                                                   region.lo)
+                if last >= 0:
+                    report.warming_resolved[line] = last
         machine.sync()       # hand the key set to Explorer-1 over a pipe
         return report

@@ -17,6 +17,7 @@ equivalent density over the explorer's paper-scale window.
 
 import numpy as np
 
+from repro import kernels
 from repro.statmodel.histogram import ReuseHistogram
 
 #: Paper default: one vicinity sample per 100 k memory instructions.
@@ -83,10 +84,22 @@ class VicinitySampler:
         # push borderline stack distances over the capacity threshold.
         censor_horizon = (access_lo + access_limit) // 2
         projected_stops = 0.0
-        for pos in positions.tolist():
-            line = int(trace.mem_line[pos])
-            reuse_pos, stops = machine.watchpoints.await_next_reuse(
-                line, pos, access_limit)
+        if kernels.get_backend() == "vector":
+            # One batched pass resolves every vicinity watchpoint's
+            # reuse and stop count (identical values to the per-sample
+            # binary searches); the cheap per-sample histogram
+            # bookkeeping below stays sequential, preserving the
+            # observation order bit-for-bit.
+            reuses, stop_counts = machine.watchpoints.await_next_reuse_many(
+                positions, access_limit)
+            resolutions = zip(positions.tolist(), reuses.tolist(),
+                              stop_counts.tolist())
+        else:
+            resolutions = (
+                (pos, *machine.watchpoints.await_next_reuse(
+                    int(trace.mem_line[pos]), pos, access_limit))
+                for pos in positions.tolist())
+        for pos, reuse_pos, stops in resolutions:
             if reuse_pos >= 0:
                 histogram.add(reuse_pos - pos - 1)
                 projected_stops += min(stops, self.max_stops_per_watchpoint)

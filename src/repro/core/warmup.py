@@ -31,9 +31,7 @@ from repro.core.scout import ScoutPass
 from repro.core.vicinity import VicinitySampler
 from repro.core.warming import DirectedCapacityPredictor
 from repro.statmodel.histogram import ReuseHistogram
-from repro.util.rng import child_rng
 from repro.vff.costmodel import TimeLedger
-from repro.vff.machine import VirtualMachine
 
 
 @dataclass
@@ -106,21 +104,27 @@ class WarmupBundle:
 
 
 class WarmupPipeline:
-    """Run — or replay — the Scout/Explorer warm-up for a whole plan."""
+    """Run — or replay — the Scout/Explorer warm-up for a whole plan.
 
-    def __init__(self, rng_label, workload, plan, explorer_specs,
-                 vicinity_density, vicinity_boost, base_meter, index,
-                 seed=0, store=None):
+    The pipeline executes on an
+    :class:`~repro.core.context.ExecutionContext`: the context supplies
+    the trace (possibly memory-mapped), the (possibly spilled) index,
+    the artifact store and the seed, so one context threads identically
+    through DeLorean, DSE and the warm-up machinery.
+    """
+
+    def __init__(self, rng_label, context, plan, explorer_specs,
+                 vicinity_density, vicinity_boost, base_meter):
         self.rng_label = rng_label
-        self.workload = workload
+        self.context = context
+        self.workload = context.workload
         self.plan = plan
         self.explorer_specs = tuple(explorer_specs)
         self.vicinity_density = float(vicinity_density)
         self.vicinity_boost = float(vicinity_boost)
         self.base_meter = base_meter
-        self.index = index
-        self.seed = seed
-        self.store = store
+        self.seed = context.seed
+        self.store = context.store
         self.n_passes = 1 + len(self.explorer_specs)
         # The address excludes the cache hierarchy on purpose: warm-up
         # products are microarchitecture-independent, so every LLC
@@ -132,18 +136,19 @@ class WarmupPipeline:
             "explorers": list(self.explorer_specs),
             "vicinity_density": self.vicinity_density,
             "vicinity_boost": self.vicinity_boost,
-            "seed": seed,
+            "seed": self.seed,
         }
         # Imported traces are addressed purely by content — the registry
         # name is a label, so a rename replays the same bundle.
         # Synthetic keys keep their historical name/seed identity.
-        trace_fp = getattr(workload, "trace_fingerprint", None)
+        trace_fp = getattr(self.workload, "trace_fingerprint", None)
         if trace_fp is not None:
             self.key["trace_fingerprint"] = trace_fp
         else:
-            self.key["workload"] = workload.name
-            self.key["workload_seed"] = workload.seed
-        self.bundle = store.load(self.key) if store is not None else None
+            self.key["workload"] = self.workload.name
+            self.key["workload_seed"] = self.workload.seed
+        self.bundle = (self.store.load(self.key)
+                       if self.store is not None else None)
         self.replayed = self.bundle is not None
 
     # -- execution -----------------------------------------------------------
@@ -155,16 +160,13 @@ class WarmupPipeline:
         return self.bundle.regions
 
     def _run_live(self):
-        trace = self.workload.trace
-        scout_machine = VirtualMachine(
-            trace, meter=self.base_meter.fork(), index=self.index)
+        scout_machine = self.context.machine(self.base_meter.fork())
         explorer_machines = [
-            VirtualMachine(trace, meter=self.base_meter.fork(),
-                           index=self.index)
+            self.context.machine(self.base_meter.fork())
             for _ in self.explorer_specs]
         machines = [scout_machine] + explorer_machines
 
-        rng = child_rng(self.seed, self.rng_label, self.workload.name)
+        rng = self.context.rng(self.rng_label)
         samplers = [
             VicinitySampler(machine, density=self.vicinity_density,
                             density_boost=self.vicinity_boost, rng=rng,

@@ -28,12 +28,23 @@ each worker process builds a trace and its index exactly once and runs
 every requested strategy against it).  Workers share the parent's cache
 directory — the disk tier's atomic writes make that safe — and hand back
 store digests rather than pickled results when the store is enabled.
+
+Imported workloads run **end-to-end in streaming mode**: every strategy
+executes on one shared :class:`~repro.core.context.ExecutionContext`
+whose trace is the container's memory-mapped view and whose
+:class:`~repro.vff.index.TraceIndex` is built chunked and *spilled*
+through the store (``REPRO_INDEX_SPILL``, default ``auto``), then served
+back as memory-mapped tables.  Pool workers open readers and mapped
+indices by content digest from the shared store root — arrays never
+cross the process boundary, and a run's resident set scales with the
+sampled regions rather than the trace length.
 """
 
 import os
 from concurrent.futures import ProcessPoolExecutor
 
 from repro.caches.hierarchy import paper_hierarchy
+from repro.core.context import ExecutionContext, wants_spill
 from repro.core.delorean import DeLorean
 from repro.core.dse import DesignSpaceExploration
 from repro.sampling.coolsim import CoolSim
@@ -97,6 +108,7 @@ class SuiteRunner:
         self._results = {}
         self._active_workload = None
         self._active_index = None
+        self._active_context = None
 
     @property
     def names(self):
@@ -168,13 +180,16 @@ class SuiteRunner:
             **self._benchmark_identity(name),
         }
 
-    def _index_store_key(self, name):
+    def _index_store_key(self, name, artifact="trace-index"):
         identity = self._benchmark_identity(name)
         if "trace_fingerprint" in identity:
-            # The position index is a pure function of the trace.
-            return {"artifact": "trace-index", **identity}
+            # The position index is a pure function of the trace.  The
+            # spilled variant intentionally matches
+            # ``ExecutionContext._default_index_key`` so standalone
+            # strategy runs and suite runs share one artifact.
+            return {"artifact": artifact, **identity}
         return {
-            "artifact": "trace-index",
+            "artifact": artifact,
             "n_instructions": self.config.n_instructions,
             "seed": self.config.seed,
             "footprint_scale": self.config.footprint_scale,
@@ -194,10 +209,8 @@ class SuiteRunner:
             if current is None or current == getattr(
                     active, "trace_fingerprint", None):
                 return active
-        if active is not None:
-            active.release()
+        self._release_active()
         self._active_workload = self._build_workload(name)
-        self._active_index = None
         return self._active_workload
 
     def _build_workload(self, name):
@@ -232,7 +245,21 @@ class SuiteRunner:
 
     def _index(self, name):
         workload = self._workload(name)
-        if self._active_index is None:
+        if self._active_index is not None:
+            return self._active_index
+        if wants_spill(workload):
+            # Streaming mode: chunked construction, spilled through the
+            # store, served as memory-mapped tables.  Pool workers
+            # sharing the store root open the same blob by digest — the
+            # first builder publishes, everyone else maps.
+            key = self._index_store_key(name, artifact="trace-index-spill")
+            if self.store.enabled:
+                self._active_index = TraceIndex.build_spilled(
+                    workload.trace, self.store, key)
+            else:
+                self._active_index = TraceIndex.build_chunked(
+                    workload.trace)
+        else:
             key = self._index_store_key(name)
             tables = self.store.load(key)
             if tables is not None:
@@ -243,6 +270,16 @@ class SuiteRunner:
                 self.store.save(key, self._active_index.tables(),
                                 label="trace-index")
         return self._active_index
+
+    def _context(self, name):
+        """The shared execution context for one benchmark's runs."""
+        workload = self._workload(name)
+        if (self._active_context is None
+                or self._active_context.workload is not workload):
+            self._active_context = ExecutionContext(
+                workload, index=self._index(name), store=self.store,
+                seed=self.config.seed)
+        return self._active_context
 
     # -- running ---------------------------------------------------------------
 
@@ -268,15 +305,12 @@ class SuiteRunner:
             return cached
 
         workload = self._workload(name)
-        index = self._index(name)
+        context = self._context(name)
         plan = self._plan_for(workload)
         hierarchy = paper_hierarchy(llc, scale=self.config.footprint_scale)
         strat = STRATEGIES[strategy](**strategy_options)
-        run_options = {}
-        if getattr(strat, "supports_store", False):
-            run_options["store"] = self.store
-        result = strat.run(workload, plan, hierarchy, index=index,
-                           seed=self.config.seed, **run_options)
+        result = strat.run(workload, plan, hierarchy,
+                           seed=self.config.seed, context=context)
         self._results[key] = result
         self.store.save(store_key, result, label="strategy-result")
         return result
@@ -390,20 +424,37 @@ class SuiteRunner:
             self._results[key] = cached
             return cached
         workload = self._workload(name)
-        index = self._index(name)
+        context = self._context(name)
         plan = self._plan_for(workload)
         configs = [paper_hierarchy(size, scale=self.config.footprint_scale)
                    for size in sizes]
         report = DesignSpaceExploration(**options).run(
-            workload, plan, configs, index=index, seed=self.config.seed,
-            store=self.store)
+            workload, plan, configs, seed=self.config.seed,
+            context=context)
         self._results[key] = report
         self.store.save(store_key, report, label="dse-report")
         return report
 
-    def release(self):
-        """Drop the active workload/trace (results stay memoized)."""
+    def _release_active(self):
+        """Close every resource of the active benchmark.
+
+        Order matters: the index's memory-mapped table views unmap
+        first, then the workload's streaming :class:`TraceReader` drops
+        its zip-member memmaps.  Pool-worker paths run through here too
+        (``_run_benchmark_worker`` calls :meth:`release`), so a
+        ``run_matrix`` over imported workloads leaks no mappings.
+        """
+        if self._active_index is not None:
+            close = getattr(self._active_index, "close", None)
+            if close is not None:
+                close()
         if self._active_workload is not None:
             self._active_workload.release()
         self._active_workload = None
         self._active_index = None
+        self._active_context = None
+
+    def release(self):
+        """Drop the active workload/trace/index — closing streaming
+        readers and mapped index views (results stay memoized)."""
+        self._release_active()

@@ -5,7 +5,7 @@ from repro.cpu.interval import IntervalCoreModel
 
 
 class StrategyBase:
-    """Common helpers: branch accounting and region timing."""
+    """Common helpers: context plumbing, branch accounting, timing."""
 
     name = "abstract"
 
@@ -13,22 +13,41 @@ class StrategyBase:
         self.processor_config = processor_config or ProcessorConfig()
         self.core_model = IntervalCoreModel(self.processor_config)
 
-    def region_mispredicts(self, trace, spec):
+    def context_for(self, workload, index=None, seed=0, store=None,
+                    context=None):
+        """The :class:`ExecutionContext` this run executes on.
+
+        A caller-supplied context wins (the suite runner builds one per
+        workload so every strategy shares the same trace views and
+        spilled index); otherwise one is assembled from the legacy
+        ``(workload, index, store, seed)`` arguments, which keeps the
+        historical ``Strategy.run(workload, plan, hierarchy, ...)``
+        call shape working unchanged.
+        """
+        if context is not None:
+            return context
+        # Deferred import: repro.core.analyst imports this module, so a
+        # top-level import of repro.core.context would close a cycle.
+        from repro.core.context import ExecutionContext
+
+        return ExecutionContext(workload, index=index, store=store,
+                                seed=seed)
+
+    def region_mispredicts(self, context, spec):
         """Branch mispredictions inside the detailed region.
 
         Outcomes are materialized in the trace so every strategy sees the
         identical branch behaviour (the paper warms predictors identically
         through the 30 k detailed-warming window).
         """
-        lo, hi = trace.branch_range(spec.region_start, spec.region_end)
-        return int(trace.branch_mispred[lo:hi].sum())
+        return context.region_mispredicts(spec)
 
-    def region_timing(self, trace, spec, classified):
+    def region_timing(self, context, spec, classified):
         """Interval-model timing for a classified region."""
         return self.core_model.region_timing(
             n_instructions=spec.region_end - spec.region_start,
             outcomes=classified.outcomes,
             outcome_instr=classified.outcome_instr,
             llc_hit_instr=classified.llc_hit_instr,
-            n_mispredicts=self.region_mispredicts(trace, spec),
+            n_mispredicts=self.region_mispredicts(context, spec),
         )

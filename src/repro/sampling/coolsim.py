@@ -28,9 +28,7 @@ from repro.sampling.classify import WarmingClassifier
 from repro.sampling.results import RegionResult, StrategyResult
 from repro.statmodel.assoc import StrideDetector
 from repro.statmodel.perpc import PerPCReuseStats
-from repro.util.rng import child_rng
 from repro.vff.costmodel import CostMeter
-from repro.vff.machine import VirtualMachine
 
 #: The paper's adaptive schedule: (fraction of gap, samples per memory
 #: instruction at paper scale).
@@ -66,14 +64,16 @@ class CoolSim(StrategyBase):
         self.min_pc_samples = int(min_pc_samples)
         self.mshr_window = mshr_window
 
-    def run(self, workload, plan, hierarchy_config, index=None, seed=0):
-        trace = workload.trace
+    def run(self, workload, plan, hierarchy_config, index=None, seed=0,
+            context=None):
+        context = self.context_for(workload, index=index, seed=seed,
+                                   context=context)
         self._footprint_scale = plan.footprint_scale
         meter = CostMeter(scale=plan.scale)
-        machine = VirtualMachine(trace, meter=meter, index=index)
+        machine = context.machine(meter)
         stats = PerPCReuseStats(min_samples=self.min_pc_samples)
         stride_detector = StrideDetector()
-        rng = child_rng(seed, "coolsim", workload.name)
+        rng = context.rng("coolsim")
         regions = []
         collected_model = 0
 
@@ -88,24 +88,23 @@ class CoolSim(StrategyBase):
                 stride_detector=stride_detector,
                 mshrs=self.processor_config.mshrs_l1d,
                 mshr_window=self.mshr_window,
-                seed=seed,
+                seed=context.seed,
             )
             machine.meter.detailed(spec.paper_warming_instructions)
-            l1_lo, l1_hi = trace.access_range(
-                spec.l1_warming_start, spec.region_start)
-            lo, hi = trace.access_range(spec.warming_start, spec.region_start)
-            classifier.warm_detailed(trace.mem_line[l1_lo:l1_hi],
-                                     trace.mem_line[lo:hi])
+            l1_warming = context.l1_warming_window(spec)
+            warming = context.warming_window(spec)
+            classifier.warm_detailed(np.asarray(l1_warming.lines),
+                                     np.asarray(warming.lines))
 
             machine.detailed(spec.region_start, spec.region_end)
-            rlo, rhi = trace.access_range(spec.region_start, spec.region_end)
+            region = context.region_window(spec)
             classified = classifier.classify_region(
-                trace.mem_line[rlo:rhi],
-                trace.mem_pc[rlo:rhi],
-                trace.mem_instr[rlo:rhi] - spec.region_start,
+                np.asarray(region.lines),
+                np.asarray(region.pcs),
+                region.rel_instr(),
             )
             machine.switch_state()
-            timing = self.region_timing(trace, spec, classified)
+            timing = self.region_timing(context, spec, classified)
             regions.append(RegionResult(
                 index=spec.index,
                 n_instructions=spec.region_end - spec.region_start,

@@ -6,10 +6,20 @@ overhead, full accuracy, but the functional-warming rate (~1.3 MIPS)
 bounds overall speed.  The paper uses SMARTS as the accuracy reference
 for CPI (Figures 9/10) and for working-set curves (Figure 13), and as the
 speed baseline (= 1.0) in Figure 5.
+
+Region simulation dispatches on the kernel backend: the vector path
+pre-computes the L1 hit mask and the LLC hit stream with the batch LRU
+kernel and walks per-access Python only for the residual misses that
+reach MSHR / cold-classification state.  Unlike the DSW classifier there
+is no rollback wrinkle — the scalar loop touches the LLC *before* the
+MSHR lookup, so the LLC substream is exactly the L1-miss substream
+either way and the two paths are bit-identical by construction (enforced
+in ``tests/test_kernels.py``).
 """
 
 import numpy as np
 
+from repro import kernels
 from repro.caches.hierarchy import CacheHierarchy
 from repro.caches.mshr import MSHRFile
 from repro.caches.stats import (
@@ -24,7 +34,6 @@ from repro.sampling.base import StrategyBase
 from repro.sampling.classify import ClassifiedRegion
 from repro.sampling.results import RegionResult, StrategyResult
 from repro.vff.costmodel import CostMeter
-from repro.vff.machine import VirtualMachine
 
 
 class Smarts(StrategyBase):
@@ -38,12 +47,14 @@ class Smarts(StrategyBase):
         self.prefetcher_enabled = prefetcher
         self.mshr_window = mshr_window
 
-    def run(self, workload, plan, hierarchy_config, index=None, seed=0):
+    def run(self, workload, plan, hierarchy_config, index=None, seed=0,
+            context=None):
         """Evaluate ``workload`` under the plan; returns StrategyResult."""
-        trace = workload.trace
+        context = self.context_for(workload, index=index, seed=seed,
+                                   context=context)
         meter = CostMeter(scale=plan.scale)
-        machine = VirtualMachine(trace, meter=meter, index=index)
-        hierarchy = CacheHierarchy(hierarchy_config, seed=seed)
+        machine = context.machine(meter)
+        hierarchy = CacheHierarchy(hierarchy_config, seed=context.seed)
         prefetcher = (StridePrefetcher(n_streams=8)
                       if self.prefetcher_enabled else None)
         seen_lines = set()
@@ -53,20 +64,22 @@ class Smarts(StrategyBase):
             # Functional warming across the gap (the expensive part).
             machine.functional_warm(
                 hierarchy, spec.warmup_start, spec.warming_start)
-            glo, ghi = trace.access_range(spec.warmup_start,
-                                          spec.warming_start)
-            seen_lines.update(np.unique(trace.mem_line[glo:ghi]).tolist())
+            gap = context.gap_window(spec)
+            seen_lines.update(
+                np.unique(np.asarray(gap.lines)).tolist())
             # Detailed warming: detailed simulation that also warms caches
             # (cost charged at the paper's 30 k instructions).
             machine.meter.detailed(spec.paper_warming_instructions)
-            lo, hi = trace.access_range(spec.warming_start, spec.region_start)
-            seen_lines.update(np.unique(trace.mem_line[lo:hi]).tolist())
-            hierarchy.warm(trace.mem_line[lo:hi])
+            warming = context.warming_window(spec)
+            seen_lines.update(
+                np.unique(np.asarray(warming.lines)).tolist())
+            hierarchy.warm(np.asarray(warming.lines))
 
             machine.detailed(spec.region_start, spec.region_end)
             classified = self._simulate_region(
-                trace, spec, hierarchy, prefetcher, seen_lines)
-            timing = self.region_timing(trace, spec, classified)
+                context.region_window(spec), hierarchy, prefetcher,
+                seen_lines)
+            timing = self.region_timing(context, spec, classified)
             regions.append(RegionResult(
                 index=spec.index,
                 n_instructions=spec.region_end - spec.region_start,
@@ -82,13 +95,22 @@ class Smarts(StrategyBase):
             paper_equivalent_instructions=plan.paper_equivalent_instructions,
         )
 
-    def _simulate_region(self, trace, spec, hierarchy, prefetcher,
-                         seen_lines):
+    def _simulate_region(self, window, hierarchy, prefetcher, seen_lines):
         """Cycle-level region simulation over the warmed hierarchy."""
-        lo, hi = trace.access_range(spec.region_start, spec.region_end)
-        lines = trace.mem_line[lo:hi]
-        pcs = trace.mem_pc[lo:hi]
-        instr = trace.mem_instr[lo:hi] - spec.region_start
+        if (kernels.get_backend() == "vector" and prefetcher is None
+                and hierarchy.l1d._is_lru and hierarchy.llc._is_lru):
+            return self._simulate_region_vector(window, hierarchy,
+                                                seen_lines)
+        return self._simulate_region_scalar(window, hierarchy, prefetcher,
+                                            seen_lines)
+
+    # -- scalar reference --------------------------------------------------
+
+    def _simulate_region_scalar(self, window, hierarchy, prefetcher,
+                                seen_lines):
+        lines = np.asarray(window.lines)
+        pcs = np.asarray(window.pcs)
+        instr = window.rel_instr()
         mshr = MSHRFile(self.processor_config.mshrs_l1d,
                         window=self.mshr_window)
         result = ClassifiedRegion(stats=AccessStats())
@@ -118,4 +140,58 @@ class Smarts(StrategyBase):
                 for target in prefetcher.train(
                         pc, line, is_present=hierarchy.llc.contains):
                     hierarchy.llc.insert(target)
+        return result
+
+    # -- vectorized two-phase path -----------------------------------------
+
+    def _simulate_region_vector(self, window, hierarchy, seen_lines):
+        """Batch-kernel region simulation (LRU, no prefetcher).
+
+        The L1 sees every access and the LLC sees exactly the L1-miss
+        substream — both run as batch LRU kernels.  Only the residual
+        LLC misses walk per-access Python for the MSHR state machine and
+        the cold/capacity split.  Cold misses are precisely the
+        first-in-region occurrences of never-seen lines: a line resident
+        in any cache — or in the MSHR file — was necessarily accessed
+        before, so a first touch always reaches the miss stage.
+        """
+        lines = np.asarray(window.lines)
+        instr = window.rel_instr()
+        result = ClassifiedRegion(stats=AccessStats())
+        n = lines.shape[0]
+        if n == 0:
+            return result
+
+        _, l1_mask, _ = hierarchy.l1d.warm_profile(lines)
+        candidates = np.flatnonzero(~l1_mask)
+        _, llc_mask, _ = hierarchy.llc.warm_profile(lines[candidates])
+        misses = candidates[~llc_mask]
+
+        unique, first_idx = np.unique(lines, return_index=True)
+        cold_positions = {
+            int(first_idx[k]) for k, line in enumerate(unique.tolist())
+            if line not in seen_lines}
+        seen_lines.update(unique.tolist())
+
+        mshr = MSHRFile(self.processor_config.mshrs_l1d,
+                        window=self.mshr_window)
+        lines_list = lines[misses].tolist()
+        instr_list = instr[misses].tolist()
+        for k, position in enumerate(misses.tolist()):
+            line = lines_list[k]
+            rel_instr = instr_list[k]
+            if mshr.lookup(line, position):
+                result.stats.record(HIT_MSHR)
+                result.outcomes.append(HIT_MSHR)
+                result.outcome_instr.append(rel_instr)
+                continue
+            outcome = (MISS_COLD if position in cold_positions
+                       else MISS_CAPACITY)
+            mshr.allocate(line, position)
+            result.stats.record(outcome)
+            result.outcomes.append(outcome)
+            result.outcome_instr.append(rel_instr)
+
+        result.stats.counts[HIT_LUKEWARM] += n - misses.shape[0]
+        result.llc_hit_instr.extend(instr[candidates[llc_mask]].tolist())
         return result

@@ -48,11 +48,13 @@ class DiskStore:
     # -- read ----------------------------------------------------------------
 
     def _read_blob(self, path, header_only=False):
-        """``(header, payload)`` of a blob, or None if unreadable.
+        """``(header, payload, payload_offset)`` of a blob, or None.
 
         ``header_only`` skips the payload read (``payload`` is None):
-        the metadata operations — ``entries``/``stats``/``gc`` — only
-        need the few header bytes, not gigabytes of artifact data.
+        the metadata operations — ``entries``/``stats``/``gc``/
+        ``locate`` — only need the few header bytes, not gigabytes of
+        artifact data.  ``payload_offset`` is where the encoded payload
+        starts inside the blob file.
         """
         try:
             with open(path, "rb") as handle:
@@ -60,18 +62,31 @@ class DiskStore:
                     return None
                 (header_len,) = struct.unpack(">I", handle.read(4))
                 header = json.loads(handle.read(header_len).decode("utf-8"))
+                offset = handle.tell()
                 payload = None if header_only else handle.read()
         except (OSError, ValueError, struct.error,
                 json.JSONDecodeError, UnicodeDecodeError):
             return None
-        return header, payload
+        return header, payload, offset
 
     def get(self, digest):
         """``(header, payload)`` for ``digest`` or None (missing/stale)."""
         blob = self._read_blob(self.path_for(digest))
         if blob is None or blob[0].get("schema") != self.schema_version:
             return None
-        return blob
+        return blob[0], blob[1]
+
+    def locate(self, digest):
+        """``(header, path, payload_offset)`` without reading the payload.
+
+        The offset is what the memory-mapped (``npzm``) serving path
+        needs.  Returns None for missing/stale/corrupt blobs.
+        """
+        path = self.path_for(digest)
+        blob = self._read_blob(path, header_only=True)
+        if blob is None or blob[0].get("schema") != self.schema_version:
+            return None
+        return blob[0], path, blob[2]
 
     def contains(self, digest):
         return self.get(digest) is not None
@@ -103,6 +118,42 @@ class DiskStore:
             # Every artifact is recomputable, so a lost publish is
             # harmless — don't abort the experiment run over it.
             pass
+        return path
+
+    def put_stream(self, digest, kind, writer, label=""):
+        """Like :meth:`put`, but ``writer(handle)`` streams the payload.
+
+        The payload never exists as one in-RAM bytes object — this is
+        how multi-hundred-MB spilled index tables are published with
+        bounded peak memory.  Same atomicity as :meth:`put`.
+        """
+        path = self.path_for(digest)
+        if path.exists():
+            return path
+        path.parent.mkdir(parents=True, exist_ok=True)
+        header = json.dumps({
+            "schema": self.schema_version,
+            "kind": kind,
+            "label": label,
+        }).encode("utf-8")
+        tmp = path.with_name(
+            f"{path.name}.{os.getpid()}.{os.urandom(4).hex()}{_TMP_SUFFIX}")
+        try:
+            with open(tmp, "wb") as handle:
+                handle.write(MAGIC)
+                handle.write(struct.pack(">I", len(header)))
+                handle.write(header)
+                writer(handle)
+        except BaseException:
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+            raise
+        try:
+            os.replace(tmp, path)
+        except FileNotFoundError:
+            pass                 # swept by a concurrent clear/gc; harmless
         return path
 
     # -- maintenance ---------------------------------------------------------

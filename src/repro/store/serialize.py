@@ -1,10 +1,16 @@
 """Artifact codecs: compressed bytes <-> Python objects.
 
-Two wire formats cover every artifact the pipeline persists:
+Three wire formats cover every artifact the pipeline persists:
 
 * ``npz`` — a flat mapping of numpy arrays (``numpy.savez_compressed``),
   used for :class:`~repro.vff.index.TraceIndex` position tables where
   array round-trips must be exact and pickling overhead matters;
+* ``npzm`` — the same mapping stored as an *uncompressed* npz whose
+  members can be memory-mapped in place inside the blob file.  This is
+  the spillable-index format: tables are streamed into the blob without
+  ever holding the payload in RAM (:func:`write_arrays_stream`) and
+  served back as read-only ``np.memmap`` views
+  (:func:`mapped_arrays`), so queries page data in on demand;
 * ``pkl`` — zlib-compressed pickle for everything else
   (:class:`~repro.sampling.results.StrategyResult`,
   :class:`~repro.core.dse.DSEReport`, warm-up bundles): these are the
@@ -18,11 +24,13 @@ like any other writable local state.
 
 import io
 import pickle
+import zipfile
 import zlib
 
 import numpy as np
 
 KIND_NPZ = "npz"
+KIND_NPZ_MAPPED = "npzm"
 KIND_PICKLE = "pkl"
 
 
@@ -44,10 +52,82 @@ def encode(obj):
 
 
 def decode(kind, payload):
-    """Inverse of :func:`encode`."""
-    if kind == KIND_NPZ:
+    """Inverse of :func:`encode` (and in-RAM fallback for ``npzm``)."""
+    if kind in (KIND_NPZ, KIND_NPZ_MAPPED):
         with np.load(io.BytesIO(payload), allow_pickle=False) as archive:
             return {name: archive[name] for name in archive.files}
     if kind == KIND_PICKLE:
         return pickle.loads(zlib.decompress(payload))
     raise ValueError(f"unknown artifact kind {kind!r}")
+
+
+# -- streamed / memory-mapped npz --------------------------------------------
+
+def write_arrays_stream(handle, arrays):
+    """Stream ``arrays`` into ``handle`` as an uncompressed npz.
+
+    ``handle`` may already hold a prefix (the blob magic + header); zip
+    readers locate the archive from its end-of-central-directory record,
+    so a prefixed archive round-trips.  Arrays may themselves be
+    ``np.memmap`` views over spill files — ``write_array`` walks them
+    buffer-by-buffer, so peak RAM stays bounded by the I/O buffer, not
+    the table size.
+    """
+    with zipfile.ZipFile(handle, "w", zipfile.ZIP_STORED,
+                         allowZip64=True) as archive:
+        for name, array in arrays.items():
+            with archive.open(name + ".npy", "w") as member:
+                np.lib.format.write_array(member, np.asanyarray(array),
+                                          allow_pickle=False)
+
+
+def _member_view(path, info):
+    """Read-only memmap of one stored member of a (prefixed) zip."""
+    with open(path, "rb") as handle:
+        handle.seek(info.header_offset)
+        local = handle.read(30)
+        if len(local) < 30 or local[:4] != b"PK\x03\x04":
+            raise ValueError(f"bad zip local header in {path!r}")
+        name_len = int.from_bytes(local[26:28], "little")
+        extra_len = int.from_bytes(local[28:30], "little")
+        handle.seek(info.header_offset + 30 + name_len + extra_len)
+        version = np.lib.format.read_magic(handle)
+        if version == (1, 0):
+            shape, fortran, dtype = np.lib.format.read_array_header_1_0(handle)
+        elif version == (2, 0):
+            shape, fortran, dtype = np.lib.format.read_array_header_2_0(handle)
+        else:
+            raise ValueError(f"unsupported npy version {version}")
+        offset = handle.tell()
+    if int(np.prod(shape)) == 0:
+        return np.empty(shape, dtype=dtype)
+    return np.memmap(path, mode="r", dtype=dtype, shape=shape,
+                     offset=offset, order="F" if fortran else "C")
+
+
+def mapped_arrays(path, payload_offset):
+    """Memory-mapped views of every member of an ``npzm`` blob.
+
+    ``payload_offset`` marks where the zip archive starts inside the
+    blob file (after the store's magic + JSON header).  Members that
+    were (unexpectedly) compressed are loaded into RAM instead, so the
+    result is always usable.  ``zipfile`` reports ``header_offset``
+    relative to the archive start it inferred from the central
+    directory; for a prefixed archive that inference already absorbs the
+    prefix, so offsets are absolute file positions.
+    """
+    views = {}
+    with open(path, "rb") as handle:
+        handle.seek(payload_offset)
+        with zipfile.ZipFile(handle) as archive:
+            for info in archive.infolist():
+                if not info.filename.endswith(".npy"):
+                    continue
+                name = info.filename[:-len(".npy")]
+                if info.compress_type == zipfile.ZIP_STORED:
+                    views[name] = _member_view(path, info)
+                else:
+                    with archive.open(info) as member:
+                        views[name] = np.lib.format.read_array(
+                            io.BytesIO(member.read()), allow_pickle=False)
+    return views

@@ -25,7 +25,14 @@ import os
 from repro.store.disk import DiskStore
 from repro.store.fingerprint import fingerprint
 from repro.store.memory import LRUCache
-from repro.store.serialize import decode, encode, is_array_mapping
+from repro.store.serialize import (
+    KIND_NPZ_MAPPED,
+    decode,
+    encode,
+    is_array_mapping,
+    mapped_arrays,
+    write_arrays_stream,
+)
 
 #: Version of every persisted artifact layout.  Bump on any change to
 #: the serialized forms (results, warm-up bundles, index tables) or to
@@ -130,6 +137,53 @@ class ArtifactStore:
         self.memory.put(digest, obj, _resident_size(obj, len(payload)))
         self.saves += 1
         return digest
+
+    def save_arrays(self, key, arrays, label=""):
+        """Publish an array mapping as a memory-mappable (npzm) blob.
+
+        ``arrays`` values may be ``np.memmap`` views over spill files:
+        they are streamed into the blob member-by-member, so peak RAM is
+        bounded by the I/O buffer rather than the table size.  The
+        memory tier is bypassed — mapped artifacts are meant to be
+        *served from disk*, not to evict everything else from the LRU.
+        """
+        if not self.enabled:
+            return None
+        digest = self.digest(key)
+        self.disk.put_stream(
+            digest, KIND_NPZ_MAPPED,
+            lambda handle: write_arrays_stream(handle, arrays),
+            label=label)
+        self.saves += 1
+        return digest
+
+    def load_mapped(self, key):
+        """Read-only memory-mapped views of an array-mapping artifact.
+
+        Works for ``npzm`` blobs (zero-copy views inside the blob file);
+        any other kind falls back to a regular :meth:`load` so callers
+        need not care how the artifact was published.  Returns None on a
+        miss.  Views are *not* promoted to the memory tier.
+        """
+        if not self.enabled:
+            return None
+        digest = self.digest(key)
+        located = self.disk.locate(digest)
+        if located is None:
+            self.disk_misses += 1
+            return None
+        header, path, offset = located
+        if header.get("kind") != KIND_NPZ_MAPPED:
+            return self.load_digest(digest)
+        try:
+            views = mapped_arrays(path, offset)
+        except Exception:
+            # Torn write / corrupt archive: every artifact is
+            # recomputable, so treat it as a miss.
+            self.disk_misses += 1
+            return None
+        self.disk_hits += 1
+        return views
 
     def contains(self, key):
         if not self.enabled:

@@ -182,12 +182,20 @@ class TraceReader:
 
     # -- whole-trace access --------------------------------------------------
 
-    def trace(self):
-        """A validated Trace over the mapped views (out-of-core random
-        access)."""
+    def trace(self, validate=True):
+        """A Trace over the mapped views (out-of-core random access).
+
+        ``validate=False`` skips :meth:`Trace.validate` — whose
+        sortedness/consistency scans read *every* array end-to-end,
+        faulting the whole container into memory.  Streaming consumers
+        pass False: the import validated the trace once, and
+        :meth:`_open` still cross-checks every member's shape against
+        the manifest on each open.
+        """
         views = self._open()
         trace = Trace(name=self.manifest["name"], **views)
-        trace.validate()
+        if validate:
+            trace.validate()
         return trace
 
     def materialize(self):

@@ -101,8 +101,19 @@ class ImportedWorkload(Workload):
     def trace(self):
         if self._trace is None:
             self._reader = TraceReader(self.path)
-            self._trace = (self._reader.trace() if self.streaming
-                           else self._reader.materialize())
+            if self.streaming:
+                # No whole-trace validation scan on open: the container
+                # was validated at import and the reader cross-checks
+                # array shapes against the manifest; faulting every page
+                # in just to re-check sortedness would defeat streaming.
+                self._trace = self._reader.trace(validate=False)
+            else:
+                # A fully materialized trace needs no live reader: drop
+                # the zip-member memmaps immediately instead of holding
+                # the container mapped until release().
+                self._trace = self._reader.materialize()
+                self._reader.close()
+                self._reader = None
         return self._trace
 
     def release(self):

@@ -6,12 +6,46 @@ trace-driven substitute answers the same questions from a sorted index:
 accesses hit page G inside a window?* (the stop count a page-protection
 watchpoint would have taken).  Building the index is two argsorts; every
 query is a binary search.
+
+Two construction modes exist:
+
+* the classic in-RAM argsort (``TraceIndex(trace)``), still the default
+  for synthetic workloads whose traces are RAM-resident anyway;
+* a **chunked, spillable** build (:func:`build_index_tables` /
+  :meth:`TraceIndex.build_spilled`): the trace is scanned in bounded
+  windows, the grouped position tables — *including* the successor and
+  rank tables the batched watchpoint kernels need — are written to
+  spill files, published through the artifact store as an uncompressed
+  npz, and served back as read-only memory maps
+  (:meth:`TraceIndex.open`).  Queries then touch only the table pages
+  the watchpoints direct them to, so a strategy run's resident set
+  scales with the sampled regions rather than the trace length.
 """
+
+import os
+import shutil
+import tempfile
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro import kernels
 from repro.util.units import CACHELINE_SHIFT, PAGE_SHIFT
+
+#: Default accesses per construction chunk (~24 MiB of transient arrays
+#: at 8-byte keys; override per call or with ``REPRO_INDEX_CHUNK``).
+DEFAULT_CHUNK_ACCESSES = 1 << 20
+
+_PAGE_OF_LINE_SHIFT = PAGE_SHIFT - CACHELINE_SHIFT
+
+
+def _as_int64(array):
+    """``array`` as contiguous int64 — without copying when it already
+    is (memory-mapped views must be adopted, not materialized)."""
+    array = np.asanyarray(array)
+    if array.dtype != np.int64 or not array.flags.c_contiguous:
+        array = np.ascontiguousarray(array, dtype=np.int64)
+    return array
 
 
 class _PositionIndex:
@@ -30,14 +64,23 @@ class _PositionIndex:
         self._ranks = None
 
     @classmethod
-    def from_tables(cls, positions, keys, starts):
-        """Rebuild from persisted tables, skipping the argsort."""
+    def from_tables(cls, positions, keys, starts, successors=None,
+                    ranks=None):
+        """Rebuild from persisted tables, skipping the argsort.
+
+        ``positions``/``keys``/``starts`` may be memory-mapped views —
+        they are adopted as-is (no copy) when already the right dtype,
+        which is what keeps a spilled index out of RAM.  Persisted
+        ``successors``/``ranks`` tables short-circuit the lazy in-RAM
+        builds the batched watchpoint kernels would otherwise trigger.
+        """
         index = cls.__new__(cls)
-        index._positions = np.ascontiguousarray(positions, dtype=np.int64)
-        index._keys = np.ascontiguousarray(keys)
-        index._starts = np.ascontiguousarray(starts, dtype=np.int64)
-        index._successors = None
-        index._ranks = None
+        index._positions = _as_int64(positions)
+        index._keys = np.asanyarray(keys)
+        index._starts = _as_int64(starts)
+        index._successors = None if successors is None else \
+            _as_int64(successors)
+        index._ranks = None if ranks is None else _as_int64(ranks)
         return index
 
     def tables(self, prefix):
@@ -164,8 +207,176 @@ class _PositionIndex:
         return counts, last
 
 
+@dataclass
+class IndexBuildStats:
+    """What the chunked builder materialized, for bounded-RSS proofs.
+
+    ``peak_transient_bytes`` is the largest sum of in-RAM temporaries
+    any single chunk step allocated — the builder's working set beyond
+    the (spillable) output tables and the O(unique keys) merge state.
+    """
+
+    n_accesses: int
+    chunk_accesses: int
+    n_chunks: int
+    peak_transient_bytes: int
+    key_state_bytes: int
+    table_bytes: int
+
+
+def default_chunk_accesses():
+    """Chunk length from ``REPRO_INDEX_CHUNK`` (accesses), or default."""
+    raw = os.environ.get("REPRO_INDEX_CHUNK", "").strip()
+    if raw:
+        try:
+            return max(1, int(raw))
+        except ValueError:
+            pass
+    return DEFAULT_CHUNK_ACCESSES
+
+
+def build_index_tables(trace, chunk_accesses=None, allocate=None):
+    """Build the full grouped table set in bounded chunks.
+
+    Scans ``trace.mem_line`` (which may be a memory map) in windows of
+    ``chunk_accesses`` and produces, for both granularities, the same
+    ``positions``/``keys``/``starts`` tables an in-RAM argsort would —
+    *plus* the ``successors`` and ``ranks`` tables the batched
+    watchpoint kernels otherwise build lazily in RAM.  Output arrays
+    come from ``allocate(name, shape, dtype)`` so callers choose where
+    the O(accesses) product lives (heap, or spill-file memmaps); the
+    builder itself only ever materializes O(chunk + unique keys).
+
+    Equivalence to the argsort build: the scatter is a counting sort —
+    chunks are scanned in ascending position order and each chunk's
+    occurrences are placed in key-run order behind per-key cursors, so
+    every run holds its positions ascending, exactly like a stable
+    argsort by key.
+
+    Returns ``(tables, stats)``.
+    """
+    n = int(trace.n_accesses)
+    chunk = max(1, int(chunk_accesses if chunk_accesses is not None
+                       else default_chunk_accesses()))
+    if allocate is None:
+        def allocate(name, shape, dtype):
+            return np.empty(shape, dtype=dtype)
+    mem_line = trace.mem_line
+    peak_transient = 0
+    granularities = ("lines", "pages")
+
+    def chunk_keys(lo, hi):
+        lines = np.asarray(mem_line[lo:hi], dtype=np.int64)
+        return {"lines": lines, "pages": lines >> _PAGE_OF_LINE_SHIFT}
+
+    # Pass 1: per-key occurrence counts (merged chunk-by-chunk).
+    keys = {name: np.empty(0, dtype=np.int64) for name in granularities}
+    counts = {name: np.empty(0, dtype=np.int64) for name in granularities}
+    for lo in range(0, n, chunk):
+        batch = chunk_keys(lo, min(n, lo + chunk))
+        transient = sum(a.nbytes for a in batch.values())
+        for name in granularities:
+            unique, chunk_counts = np.unique(batch[name], return_counts=True)
+            merged = np.concatenate((keys[name], unique))
+            weights = np.concatenate((counts[name], chunk_counts))
+            merged_keys, inverse = np.unique(merged, return_inverse=True)
+            merged_counts = np.zeros(merged_keys.shape[0], dtype=np.int64)
+            np.add.at(merged_counts, inverse, weights)
+            keys[name], counts[name] = merged_keys, merged_counts
+            transient += (unique.nbytes + chunk_counts.nbytes
+                          + merged.nbytes + weights.nbytes + inverse.nbytes)
+        peak_transient = max(peak_transient, transient)
+
+    tables = {}
+    starts = {}
+    for name in granularities:
+        n_keys = keys[name].shape[0]
+        run_starts = np.empty(n_keys + 1, dtype=np.int64)
+        run_starts[0] = 0
+        np.cumsum(counts[name], out=run_starts[1:])
+        starts[name] = run_starts
+        key_table = allocate(f"{name}_keys", (n_keys,), np.int64)
+        key_table[:] = keys[name]
+        start_table = allocate(f"{name}_starts", (n_keys + 1,), np.int64)
+        start_table[:] = run_starts
+        tables[f"{name}_keys"] = key_table
+        tables[f"{name}_starts"] = start_table
+        for part in ("positions", "successors", "ranks"):
+            tables[f"{name}_{part}"] = allocate(f"{name}_{part}", (n,),
+                                                np.int64)
+
+    # Pass 2: counting-sort scatter of positions behind per-key cursors.
+    cursors = {name: starts[name][:-1].copy() for name in granularities}
+    for lo in range(0, n, chunk):
+        hi = min(n, lo + chunk)
+        batch = chunk_keys(lo, hi)
+        transient = sum(a.nbytes for a in batch.values())
+        for name in granularities:
+            chunk_arr = batch[name]
+            slot = np.searchsorted(keys[name], chunk_arr)
+            order = np.argsort(chunk_arr, kind="stable")
+            sorted_slot = slot[order]
+            run_slot, run_start, run_count = np.unique(
+                sorted_slot, return_index=True, return_counts=True)
+            within = (np.arange(hi - lo, dtype=np.int64)
+                      - np.repeat(run_start, run_count))
+            dest = cursors[name][sorted_slot] + within
+            tables[f"{name}_positions"][dest] = (
+                lo + order.astype(np.int64))
+            cursors[name][run_slot] += run_count
+            transient += (slot.nbytes + order.nbytes + sorted_slot.nbytes
+                          + within.nbytes + dest.nbytes)
+        peak_transient = max(peak_transient, transient)
+
+    # Pass 3: successors and ranks from the grouped positions table.
+    for name in granularities:
+        positions = tables[f"{name}_positions"]
+        run_starts = starts[name]
+        successors = tables[f"{name}_successors"]
+        ranks = tables[f"{name}_ranks"]
+        for lo in range(0, n, chunk):
+            hi = min(n, lo + chunk)
+            pos = np.asarray(positions[lo:hi], dtype=np.int64)
+            grouped_idx = np.arange(lo, hi, dtype=np.int64)
+            run_of = np.searchsorted(run_starts, grouped_idx,
+                                     side="right") - 1
+            nxt = np.empty(hi - lo, dtype=np.int64)
+            if hi < n:
+                nxt[:] = positions[lo + 1:hi + 1]
+            elif hi - lo:
+                nxt[:-1] = positions[lo + 1:hi]
+                nxt[-1] = -1
+            run_end = run_starts[run_of + 1]
+            succ = np.where(grouped_idx + 1 < run_end, nxt, -1)
+            rank = grouped_idx - run_starts[run_of]
+            successors[pos] = succ
+            ranks[pos] = rank
+            peak_transient = max(
+                peak_transient,
+                pos.nbytes + grouped_idx.nbytes + run_of.nbytes
+                + nxt.nbytes + run_end.nbytes + succ.nbytes + rank.nbytes)
+
+    for table in tables.values():
+        if isinstance(table, np.memmap):
+            table.flush()
+    stats = IndexBuildStats(
+        n_accesses=n,
+        chunk_accesses=chunk,
+        n_chunks=max(1, -(-n // chunk)) if n else 0,
+        peak_transient_bytes=int(peak_transient),
+        key_state_bytes=int(sum(keys[g].nbytes + counts[g].nbytes
+                                + starts[g].nbytes
+                                for g in granularities)),
+        table_bytes=int(sum(t.nbytes for t in tables.values())),
+    )
+    return tables, stats
+
+
 class TraceIndex:
     """Line- and page-granularity position indices for one trace."""
+
+    #: Set by the chunked/spilled constructors (None for argsort builds).
+    build_stats = None
 
     def __init__(self, trace):
         self.trace = trace
@@ -178,16 +389,100 @@ class TraceIndex:
 
     @classmethod
     def from_tables(cls, trace, tables):
-        """Rebuild an index from persisted tables (no argsorts)."""
+        """Rebuild an index from persisted tables (no argsorts).
+
+        ``successors``/``ranks`` entries are optional — legacy
+        position-only artifacts still load, with those tables rebuilt
+        lazily in RAM on first batched query.
+        """
         index = cls.__new__(cls)
         index.trace = trace
         index.lines = _PositionIndex.from_tables(
             tables["lines_positions"], tables["lines_keys"],
-            tables["lines_starts"])
+            tables["lines_starts"], tables.get("lines_successors"),
+            tables.get("lines_ranks"))
         index.pages = _PositionIndex.from_tables(
             tables["pages_positions"], tables["pages_keys"],
-            tables["pages_starts"])
+            tables["pages_starts"], tables.get("pages_successors"),
+            tables.get("pages_ranks"))
         return index
+
+    # -- spill / memory-mapped mode ---------------------------------------
+
+    @classmethod
+    def open(cls, trace, store, key):
+        """Open a spilled index as memory-mapped views, or None on miss.
+
+        Queries against the returned index never require the tables in
+        RAM: binary searches and gathers touch only the pages they hit.
+        """
+        tables = store.load_mapped(key)
+        if tables is None:
+            return None
+        return cls.from_tables(trace, tables)
+
+    @classmethod
+    def build_chunked(cls, trace, chunk_accesses=None):
+        """Chunked in-RAM build (bounded transients, heap-resident
+        tables) — the store-less fallback of :meth:`build_spilled`."""
+        tables, stats = build_index_tables(trace, chunk_accesses)
+        index = cls.from_tables(trace, tables)
+        index.build_stats = stats
+        return index
+
+    @classmethod
+    def build_spilled(cls, trace, store, key, chunk_accesses=None):
+        """Build (or reopen) a spilled, memory-mapped index.
+
+        Tables are constructed chunk-by-chunk into spill files next to
+        the store (same filesystem — ``/tmp`` may be RAM-backed), then
+        streamed into an uncompressed-npz store blob and served back as
+        read-only memory maps.  Peak construction RSS is O(chunk +
+        unique keys), not O(accesses).  Without an enabled store this
+        degrades to :meth:`build_chunked` (bounded transients, tables in
+        RAM).
+        """
+        existing = cls.open(trace, store, key)
+        if existing is not None:
+            return existing
+        if not store.enabled:
+            return cls.build_chunked(trace, chunk_accesses)
+        os.makedirs(store.root, exist_ok=True)
+        spill_dir = tempfile.mkdtemp(prefix="index-spill-", dir=store.root)
+        try:
+            def allocate(name, shape, dtype):
+                if not shape[0]:
+                    return np.empty(shape, dtype=dtype)
+                return np.lib.format.open_memmap(
+                    os.path.join(spill_dir, name + ".npy"), mode="w+",
+                    dtype=dtype, shape=shape)
+
+            tables, stats = build_index_tables(trace, chunk_accesses,
+                                               allocate)
+            store.save_arrays(key, tables, label="trace-index-spill")
+            del tables
+        finally:
+            shutil.rmtree(spill_dir, ignore_errors=True)
+        index = cls.open(trace, store, key)
+        if index is None:          # racing gc/clear swept the blob
+            return cls.build_chunked(trace, chunk_accesses)
+        index.build_stats = stats
+        return index
+
+    @property
+    def mapped(self):
+        """True when the position tables are memory-mapped views."""
+        return any(isinstance(part._positions, np.memmap)
+                   for part in (self.lines, self.pages)
+                   if part is not None)
+
+    def close(self):
+        """Drop table references so memory-mapped views can unmap.
+
+        The index is unusable afterwards; reopen via :meth:`open`.
+        """
+        self.lines = None
+        self.pages = None
 
     def page_of_line(self, line):
         """Page number containing ``line``."""
@@ -234,7 +529,11 @@ class TraceIndex:
                            - page_ranks[positions[resolved]])
         dangling = np.flatnonzero(~resolved)
         if dangling.size:
-            pages = self.trace.mem_page[positions[dangling]]
+            # Derive the sampled pages from the line array directly: on a
+            # streamed trace ``mem_page`` would materialize an
+            # O(accesses) array just to read a handful of entries.
+            pages = (np.asarray(self.trace.mem_line[positions[dangling]],
+                                dtype=np.int64) >> _PAGE_OF_LINE_SHIFT)
             unique_pages, inverse = np.unique(pages, return_inverse=True)
             before_limit, _ = self.pages.batch_counts_and_last(
                 unique_pages, 0, access_limit)

@@ -34,6 +34,24 @@ class VirtualMachine:
         self.index = index if index is not None else TraceIndex(trace)
         self.watchpoints = WatchpointEngine(self.index)
 
+    def access_window(self, instr_lo, instr_hi):
+        """The :class:`~repro.core.context.AccessWindow` of an
+        instruction window — how passes slice trace data (views stay
+        zero-copy over memory-mapped traces).  Deferred import: the
+        context module sits above this one in the layer stack."""
+        from repro.core.context import AccessWindow
+
+        return AccessWindow.from_trace(self.trace, instr_lo, instr_hi)
+
+    def region_mispredicts(self, spec):
+        """Branch mispredictions inside a region's detailed window
+        (context-shaped, so passes without an
+        :class:`~repro.core.context.ExecutionContext` can still feed
+        :meth:`~repro.sampling.base.StrategyBase.region_timing`)."""
+        from repro.core.context import trace_region_mispredicts
+
+        return trace_region_mispredicts(self.trace, spec)
+
     # -- instruction-window modes -----------------------------------------
 
     def fast_forward(self, instr_lo, instr_hi, scaled=True):

@@ -72,3 +72,121 @@ def test_last_in_matches_brute_force(lines):
             if line == key:
                 expected = p
         assert idx.lines.last_in(key, 0, len(lines)) == expected
+
+
+# -- chunked / spillable construction ----------------------------------------
+
+def _assert_indices_identical(a, b, context=""):
+    for name, left, right in (("lines", a.lines, b.lines),
+                              ("pages", a.pages, b.pages)):
+        assert np.array_equal(left._positions, right._positions), \
+            (context, name, "positions")
+        assert np.array_equal(left._keys, right._keys), \
+            (context, name, "keys")
+        assert np.array_equal(left._starts, right._starts), \
+            (context, name, "starts")
+        assert np.array_equal(left.successors(), right.successors()), \
+            (context, name, "successors")
+        assert np.array_equal(left.ranks(), right.ranks()), \
+            (context, name, "ranks")
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.integers(0, 400), min_size=0, max_size=300),
+       st.integers(1, 64))
+def test_chunked_build_matches_argsort(lines, chunk):
+    """The counting-sort scatter is equivalent to the stable argsort."""
+    from repro.vff.index import build_index_tables
+
+    lines = np.asarray(lines, dtype=np.int64) * 5    # span several pages
+    trace = make_trace(list(range(len(lines))), lines,
+                       n_instructions=max(1, len(lines)))
+    tables, stats = build_index_tables(trace, chunk_accesses=chunk)
+    _assert_indices_identical(
+        TraceIndex(trace), TraceIndex.from_tables(trace, tables),
+        f"chunk={chunk}")
+    assert stats.n_accesses == len(lines)
+
+
+def test_chunked_build_transients_are_bounded():
+    """Peak per-chunk RAM stays O(chunk + keys) while tables are O(n)."""
+    from repro.vff.index import build_index_tables
+
+    rng = np.random.default_rng(0)
+    n = 200_000
+    lines = rng.integers(0, 4_000, size=n).astype(np.int64)
+    trace = make_trace(list(range(n)), lines, n_instructions=n)
+    chunk = 4_096
+    tables, stats = build_index_tables(trace, chunk_accesses=chunk)
+    # Six O(n) int64 tables were produced (positions/successors/ranks
+    # at both granularities)...
+    assert stats.table_bytes > 6 * n * 8
+    # ...but no single chunk step materialized more than a small
+    # multiple of the chunk length (merge state is O(unique keys)).
+    assert stats.peak_transient_bytes < 16 * chunk * 8
+    assert stats.peak_transient_bytes < stats.table_bytes / 20
+    _assert_indices_identical(
+        TraceIndex(trace), TraceIndex.from_tables(trace, tables),
+        "bounded")
+
+
+def test_spilled_index_round_trip(tmp_path):
+    """build_spilled publishes once, serves memory-mapped, and answers
+    every query identically to the in-RAM argsort index."""
+    from repro.store import ArtifactStore
+    from repro.vff.index import build_index_tables
+
+    rng = np.random.default_rng(1)
+    lines = rng.integers(0, 900, size=30_000).astype(np.int64) * 3
+    trace = make_trace(list(range(len(lines))), lines,
+                       n_instructions=len(lines))
+    store = ArtifactStore(root=tmp_path / "store", enabled=True)
+    key = {"artifact": "trace-index-spill", "trace_fingerprint": "t"}
+
+    spilled = TraceIndex.build_spilled(trace, store, key,
+                                       chunk_accesses=1_000)
+    assert spilled.mapped
+    assert spilled.build_stats is not None
+    reference = TraceIndex(trace)
+    _assert_indices_identical(reference, spilled, "spilled")
+
+    positions = rng.integers(0, len(lines), size=256)
+    limit = len(lines) - 100
+    assert all(
+        np.array_equal(x, y)
+        for x, y in zip(reference.batch_await_reuse(positions, limit),
+                        spilled.batch_await_reuse(positions, limit)))
+    watched = np.unique(lines[rng.integers(0, len(lines), size=64)])
+    assert np.array_equal(
+        np.concatenate(reference.window_access_counts(watched, 50, 20_000)),
+        np.concatenate(spilled.window_access_counts(watched, 50, 20_000)))
+
+    # Second build is a pure reopen (no duplicate artifact).
+    saves_before = store.saves
+    reopened = TraceIndex.build_spilled(trace, store, key)
+    assert store.saves == saves_before
+    assert reopened.mapped
+    reopened.close()
+    spilled.close()
+    assert spilled.lines is None     # closed indices drop their tables
+
+    # Legacy position-only tables still load (lazy successor rebuild).
+    legacy = {name: table for name, table in
+              build_index_tables(trace)[0].items()
+              if "successors" not in name and "ranks" not in name}
+    legacy_index = TraceIndex.from_tables(trace, legacy)
+    assert np.array_equal(legacy_index.lines.successors(),
+                          reference.lines.successors())
+
+
+def test_spilled_build_without_store_falls_back_chunked(tmp_path):
+    from repro.store import ArtifactStore
+
+    lines = np.arange(500, dtype=np.int64) % 17
+    trace = make_trace(list(range(500)), lines, n_instructions=500)
+    store = ArtifactStore(root=tmp_path / "s", enabled=False)
+    index = TraceIndex.build_spilled(trace, store, {"artifact": "x"},
+                                     chunk_accesses=64)
+    assert not index.mapped
+    assert index.build_stats is not None
+    _assert_indices_identical(TraceIndex(trace), index, "fallback")

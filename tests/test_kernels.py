@@ -445,3 +445,131 @@ class TestBackendRegistry:
     def test_rejects_unknown(self):
         with pytest.raises(ValueError):
             kernels.set_backend("cuda")
+
+
+class TestSmartsRegionKernel:
+    """The two-phase SMARTS region path vs. the per-access scalar loop."""
+
+    def _run(self, backend, seed=13):
+        from repro.sampling.smarts import Smarts
+
+        workload = make_small_workload(seed=seed, n_instructions=90_000)
+        plan = SamplingPlan(n_instructions=90_000, n_regions=4)
+        index = TraceIndex(workload.trace)
+        with kernels.use_backend(backend):
+            return Smarts().run(workload, plan, paper_hierarchy(8 << 20),
+                                index=index, seed=2)
+
+    def test_bit_identical_across_backends(self):
+        a = self._run("scalar")
+        b = self._run("vector")
+        assert a.cpi == b.cpi and a.mpki == b.mpki
+        for left, right in zip(a.regions, b.regions):
+            assert left.stats.counts == right.stats.counts
+            assert left.timing.total_cycles == right.timing.total_cycles
+            assert left.timing.cpi == right.timing.cpi
+        assert a.meter.ledger.as_dict() == b.meter.ledger.as_dict()
+
+    def test_region_outcome_streams_identical(self):
+        """Outcome/instruction streams — not just the counts."""
+        from repro.core.context import ExecutionContext
+        from repro.sampling.smarts import Smarts
+
+        workload = make_small_workload(seed=17, n_instructions=60_000)
+        plan = SamplingPlan(n_instructions=60_000, n_regions=3)
+        index = TraceIndex(workload.trace)
+        streams = {}
+        for backend in kernels.BACKENDS:
+            with kernels.use_backend(backend):
+                context = ExecutionContext(workload, index=index, seed=2)
+                strategy = Smarts()
+                hierarchy = CacheHierarchy(paper_hierarchy(8 << 20), seed=2)
+                seen = set()
+                records = []
+                for spec in plan.regions():
+                    gap = context.window(spec.warmup_start,
+                                         spec.region_start)
+                    seen.update(np.unique(np.asarray(gap.lines)).tolist())
+                    hierarchy.warm(np.asarray(gap.lines))
+                    classified = strategy._simulate_region(
+                        context.region_window(spec), hierarchy, None, seen)
+                    records.append((classified.outcomes,
+                                    classified.outcome_instr,
+                                    classified.llc_hit_instr,
+                                    classified.stats.counts))
+                streams[backend] = records
+        assert streams["scalar"] == streams["vector"]
+
+    def test_prefetcher_falls_back_to_scalar(self):
+        """With a prefetcher the vector dispatch must not engage (and
+        results stay backend-independent by falling back)."""
+        from repro.sampling.smarts import Smarts
+
+        workload = make_small_workload(seed=19, n_instructions=60_000)
+        plan = SamplingPlan(n_instructions=60_000, n_regions=2)
+        index = TraceIndex(workload.trace)
+        results = {}
+        for backend in kernels.BACKENDS:
+            with kernels.use_backend(backend):
+                results[backend] = Smarts(prefetcher=True).run(
+                    workload, plan, paper_hierarchy(8 << 20),
+                    index=index, seed=2)
+        assert results["scalar"].cpi == results["vector"].cpi
+        assert [r.stats.counts for r in results["scalar"].regions] == \
+            [r.stats.counts for r in results["vector"].regions]
+
+
+class TestScoutVicinityBatch:
+    """Batched Scout warming resolution and vicinity sampling vs scalar."""
+
+    def test_scout_reports_identical(self):
+        from repro.core.scout import ScoutPass
+        from repro.vff.machine import VirtualMachine
+
+        workload = make_small_workload(seed=23, n_instructions=60_000)
+        plan = SamplingPlan(n_instructions=60_000, n_regions=3)
+        index = TraceIndex(workload.trace)
+        reports = {}
+        for backend in kernels.BACKENDS:
+            with kernels.use_backend(backend):
+                scout = ScoutPass(VirtualMachine(workload.trace,
+                                                 index=index))
+                reports[backend] = [scout.run_region(spec)
+                                    for spec in plan.regions()]
+        for a, b in zip(reports["scalar"], reports["vector"]):
+            assert a.key_first_access == b.key_first_access
+            assert a.warming_resolved == b.warming_resolved
+            assert (a.region_access_lo, a.region_access_hi) == \
+                (b.region_access_lo, b.region_access_hi)
+
+    def test_vicinity_sampling_identical(self):
+        from repro.core.vicinity import VicinitySampler
+        from repro.statmodel.histogram import ReuseHistogram
+        from repro.vff.machine import VirtualMachine
+
+        workload = make_small_workload(seed=29, n_instructions=60_000)
+        index = TraceIndex(workload.trace)
+        n_accesses = workload.trace.n_accesses
+        outputs = {}
+        for backend in kernels.BACKENDS:
+            with kernels.use_backend(backend):
+                machine = VirtualMachine(workload.trace, index=index)
+                sampler = VicinitySampler(
+                    machine, density=1e-3, density_boost=50.0,
+                    rng=np.random.default_rng(7))
+                histogram = ReuseHistogram()
+                taken = sampler.sample_window(
+                    histogram, n_accesses // 8, n_accesses // 2,
+                    (3 * n_accesses) // 4,
+                    paper_window_instructions=5e6,
+                    model_window_instructions=30_000)
+                outputs[backend] = (
+                    taken,
+                    histogram.state()[0].tolist(),
+                    histogram.state()[1].tolist(),
+                    histogram.state()[2],
+                    machine.meter.ledger.as_dict(),
+                    sampler.collected_model,
+                    sampler.collected_paper_equivalent,
+                )
+        assert outputs["scalar"] == outputs["vector"]

@@ -529,3 +529,72 @@ def test_cli_cache_subcommand(tmp_path, capsys, monkeypatch):
     capsys.readouterr()
     assert main(["cache", "clear"]) == 0
     assert "removed 1" in capsys.readouterr().out
+
+
+# -- memory-mapped (npzm) artifacts ------------------------------------------
+
+def test_save_arrays_load_mapped_roundtrip(tmp_path):
+    """npzm blobs stream out and serve back as read-only memory maps."""
+    store = ArtifactStore(root=tmp_path, enabled=True)
+    arrays = {
+        "a": np.arange(10_000, dtype=np.int64),
+        "b": np.linspace(0.0, 1.0, 513),
+        "empty": np.empty(0, dtype=np.int64),
+    }
+    key = {"artifact": "mapped-demo"}
+    digest = store.save_arrays(key, arrays, label="spill")
+    assert digest == store.digest(key)
+
+    views = store.load_mapped(key)
+    for name, expected in arrays.items():
+        got = views[name]
+        assert got.dtype == expected.dtype
+        assert np.array_equal(np.asarray(got), expected), name
+        if expected.size:
+            assert isinstance(got, np.memmap), name
+    with pytest.raises((ValueError, TypeError)):
+        views["a"][0] = 99                       # read-only views
+
+    # The ordinary load path decodes the same payload into RAM.
+    loaded = store.load(key)
+    for name, expected in arrays.items():
+        assert np.array_equal(loaded[name], expected)
+
+
+def test_load_mapped_falls_back_for_compressed_npz(tmp_path):
+    store = ArtifactStore(root=tmp_path, enabled=True)
+    store.save({"k": "z"}, {"x": np.arange(64)})
+    got = store.load_mapped({"k": "z"})
+    assert np.array_equal(got["x"], np.arange(64))
+
+
+def test_load_mapped_miss_and_disabled(tmp_path):
+    store = ArtifactStore(root=tmp_path, enabled=True)
+    assert store.load_mapped({"missing": True}) is None
+    disabled = ArtifactStore(root=tmp_path, enabled=False)
+    assert disabled.save_arrays({"k": 1}, {"x": np.arange(3)}) is None
+    assert disabled.load_mapped({"k": 1}) is None
+
+
+def test_save_arrays_streams_memmap_sources(tmp_path):
+    """Spill-file memmaps stream into the blob without materializing."""
+    source = np.lib.format.open_memmap(
+        tmp_path / "spill.npy", mode="w+", dtype=np.int64, shape=(5_000,))
+    source[:] = np.arange(5_000)
+    source.flush()
+    store = ArtifactStore(root=tmp_path / "store", enabled=True)
+    store.save_arrays({"k": "mm"}, {"t": source})
+    views = store.load_mapped({"k": "mm"})
+    assert np.array_equal(np.asarray(views["t"]), np.arange(5_000))
+
+
+def test_cli_cache_gc_json(tmp_path, capsys, monkeypatch):
+    import json as json_module
+    from repro.__main__ import main
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    ArtifactStore(root=tmp_path, enabled=True).save(
+        {"k": 1}, {"v": np.arange(4)}, label="demo")
+    assert main(["cache", "gc", "--json"]) == 0
+    payload = json_module.loads(capsys.readouterr().out)
+    assert payload == {"root": str(tmp_path), "removed": 0,
+                       "reclaimed_bytes": 0}

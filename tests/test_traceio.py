@@ -11,13 +11,17 @@ bit-for-bit, including through a complete DeLorean run.
 """
 
 import json
+import os
 
 import numpy as np
 import pytest
 
 from repro.caches.hierarchy import paper_hierarchy
 from repro.core.delorean import DeLorean
+from repro.core.naive import NaiveDirectedWarming
 from repro.experiments import ExperimentConfig, SuiteRunner
+from repro.sampling.coolsim import CoolSim
+from repro.sampling.smarts import Smarts
 from repro.sampling.plan import SamplingPlan
 from repro.store import ArtifactStore
 from repro.trace.phases import PhaseSpec, build_trace
@@ -649,3 +653,129 @@ class TestLibraryAndRegistry:
         workload.release()
         assert workload._trace is None
         assert_traces_identical(first, workload.trace)
+
+
+# -- streaming execution core ------------------------------------------------
+
+class TestStreamingExecutionCore:
+    """Acceptance for the bounded-memory execution core: every strategy,
+    run on a streamed (memory-mapped) container — with the index spilled
+    through the store and served as memory maps — produces bit-identical
+    StrategyResults to the fully materialized path."""
+
+    def _container(self, tmp_path, name="stream", seed=8):
+        workload = make_small_workload(seed=seed, n_instructions=60_000,
+                                       name=name)
+        container = tmp_path / f"{name}.trace.npz"
+        write_trace(workload.trace, container)
+        return container
+
+    @pytest.mark.parametrize("strategy_cls", [
+        pytest.param(cls, id=cls.name)
+        for cls in (Smarts, CoolSim, DeLorean, NaiveDirectedWarming)])
+    def test_streaming_equals_materialized_all_strategies(
+            self, tmp_path, strategy_cls):
+        container = self._container(tmp_path)
+        plan = SamplingPlan(n_instructions=60_000, n_regions=3)
+        hierarchy = paper_hierarchy(8 << 20)
+
+        streamed = ImportedWorkload("stream", container, streaming=True)
+        materialized = ImportedWorkload("stream", container,
+                                        streaming=False)
+        a = strategy_cls().run(streamed, plan, hierarchy,
+                               index=TraceIndex(streamed.trace), seed=1)
+        b = strategy_cls().run(materialized, plan, hierarchy,
+                               index=TraceIndex(materialized.trace),
+                               seed=1)
+        assert result_identity(a) == result_identity(b)
+
+    def test_spilled_index_run_bit_identical(self, tmp_path):
+        """DeLorean on a streamed trace + store-spilled mmap index ==
+        the fully materialized, in-RAM-index run."""
+        from repro.core.context import ExecutionContext
+
+        container = self._container(tmp_path, name="spilled")
+        plan = SamplingPlan(n_instructions=60_000, n_regions=3)
+        hierarchy = paper_hierarchy(8 << 20)
+        store = ArtifactStore(root=tmp_path / "store", enabled=True)
+
+        materialized = ImportedWorkload("spilled", container,
+                                        streaming=False)
+        reference = result_identity(DeLorean().run(
+            materialized, plan, hierarchy,
+            index=TraceIndex(materialized.trace), seed=1))
+
+        streamed = ImportedWorkload("spilled", container, streaming=True)
+        context = ExecutionContext(streamed, store=store, seed=1,
+                                   spill="auto")
+        result = DeLorean().run(streamed, plan, hierarchy, context=context)
+        assert context.index.mapped
+        assert result_identity(result) == reference
+        context.release()
+
+    def test_suite_runner_streaming_mode(self, tmp_path, monkeypatch):
+        """run_matrix on an imported workload spills the index, matches
+        the materialized reference, and releases every mapping."""
+        import gc
+
+        monkeypatch.setenv("REPRO_TRACE_DIR", str(tmp_path / "lib"))
+        monkeypatch.setenv("REPRO_INDEX_SPILL", "auto")
+        container_trace = make_small_workload(
+            seed=8, n_instructions=60_000, name="matrixed").trace
+        TraceLibrary().add(container_trace, name="matrixed")
+
+        store = ArtifactStore(root=tmp_path / "store", enabled=True)
+        config = ExperimentConfig(n_instructions=60_000, n_regions=2,
+                                  names=("matrixed",))
+        runner = SuiteRunner(config, store=store)
+        matrix = runner.run_matrix(("SMARTS", "DeLorean"))
+        assert runner._active_index is not None
+        assert runner._active_index.mapped
+
+        materialized = ImportedWorkload(
+            "matrixed", TraceLibrary().path("matrixed"), streaming=False)
+        plan = SamplingPlan(n_instructions=60_000, n_regions=2)
+        reference = DeLorean().run(
+            materialized, plan, paper_hierarchy(config.llc_paper_bytes),
+            index=TraceIndex(materialized.trace), seed=config.seed)
+        assert result_identity(matrix["DeLorean"]["matrixed"]) == \
+            result_identity(reference)
+
+        runner.release()
+        materialized.release()
+        gc.collect()
+        if os.path.exists("/proc/self/maps"):
+            with open("/proc/self/maps") as handle:
+                maps = handle.read()
+            assert "matrixed.trace.npz" not in maps
+            assert ".blob" not in maps
+
+    def test_release_closes_worker_opened_readers(self, tmp_path,
+                                                  monkeypatch):
+        """Regression: release() after a run_matrix over imported
+        workloads leaks no zip-member mmaps (container or index blob)."""
+        import gc
+
+        if not os.path.exists("/proc/self/maps"):
+            pytest.skip("needs /proc/self/maps to observe mappings")
+        monkeypatch.setenv("REPRO_TRACE_DIR", str(tmp_path / "lib"))
+        monkeypatch.setenv("REPRO_INDEX_SPILL", "auto")
+        for seed, name in ((8, "leak-a"), (9, "leak-b")):
+            TraceLibrary().add(
+                make_small_workload(seed=seed, n_instructions=30_000,
+                                    name=name).trace, name=name)
+        store = ArtifactStore(root=tmp_path / "store", enabled=True)
+        config = ExperimentConfig(n_instructions=30_000, n_regions=2,
+                                  names=("leak-a", "leak-b"))
+        runner = SuiteRunner(config, store=store)
+        # Two imported workloads: the mid-matrix workload switch must
+        # close the first one's reader and mapped index, and release()
+        # the last one's.
+        runner.run_matrix(("DeLorean",))
+        runner.release()
+        gc.collect()
+        with open("/proc/self/maps") as handle:
+            maps = handle.read()
+        assert "leak-a.trace.npz" not in maps
+        assert "leak-b.trace.npz" not in maps
+        assert ".blob" not in maps

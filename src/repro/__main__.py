@@ -8,6 +8,7 @@ Usage::
     python -m repro all --quick
     python -m repro cache stats|ls|gc|clear [--dir DIR] [--json]
     python -m repro trace import|info|convert|ls ...
+    python -m repro synth export BENCH [--instructions N] [--chunk C] ...
 
 Each exhibit command runs the corresponding harness from
 :mod:`repro.experiments.figures` and prints the rendered table/chart
@@ -23,7 +24,9 @@ re-simulating.  ``cache`` inspects and maintains that store.
 ``trace`` ingests external memory traces (ChampSim binary,
 Valgrind-Lackey text, generic CSV) into native streamable containers;
 imported names then work anywhere a benchmark name does, e.g.
-``python -m repro fig5 --benchmarks mytrace``.
+``python -m repro fig5 --benchmarks mytrace``.  ``--chunk N`` imports
+with bounded memory; ``synth export`` streams a calibrated synthetic
+benchmark into the same container format chunk-by-chunk.
 """
 
 import argparse
@@ -85,6 +88,8 @@ def list_exhibits():
           "(stats, ls, gc, clear)")
     print(f"{'trace':<{width}}  Import/inspect external memory traces "
           "(import, info, convert, ls)")
+    print(f"{'synth':<{width}}  Stream synthetic benchmarks into native "
+          "containers (export)")
 
 
 def build_cache_parser():
@@ -170,6 +175,9 @@ def main(argv=None):
     if argv and argv[0] == "trace":
         from repro.traceio.cli import trace_main
         return trace_main(argv[1:])
+    if argv and argv[0] == "synth":
+        from repro.traceio.cli import synth_main
+        return synth_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.exhibit == "list":
         list_exhibits()

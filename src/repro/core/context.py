@@ -177,11 +177,15 @@ class ExecutionContext:
         if self._index_key is not None:
             return self._index_key
         # A spilled index is a pure function of the trace content, so
-        # address it by content fingerprint.  Workloads without one
-        # (synthetics under ``REPRO_INDEX_SPILL=always``) get theirs
-        # computed once per context — cached here, never attached to the
-        # workload object, whose (absent) fingerprint attribute is part
-        # of other artifacts' key identity (warm-up bundles).
+        # address it by content fingerprint.  Imported workloads carry
+        # theirs as an attribute; SyntheticStreamWorkload exposes it as
+        # a property (from its manifest, no trace scan).  Note the
+        # attribute doubles as key identity elsewhere (warm-up bundles):
+        # workloads exposing it get content-addressed bundles, while
+        # materialized synthetics — which must never trigger the O(n)
+        # fingerprint scan below twice — stay name/seed-addressed, so
+        # their fingerprint is cached on the context, never attached to
+        # the workload object.
         fingerprint = getattr(self.workload, "trace_fingerprint", None)
         if fingerprint is None:
             if self._trace_fingerprint is None:

@@ -44,7 +44,7 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 
 from repro.caches.hierarchy import paper_hierarchy
-from repro.core.context import ExecutionContext, wants_spill
+from repro.core.context import ExecutionContext, index_spill_mode, wants_spill
 from repro.core.delorean import DeLorean
 from repro.core.dse import DesignSpaceExploration
 from repro.sampling.coolsim import CoolSim
@@ -182,6 +182,16 @@ class SuiteRunner:
 
     def _index_store_key(self, name, artifact="trace-index"):
         identity = self._benchmark_identity(name)
+        if "trace_fingerprint" not in identity:
+            # Streamed synthetics are not in the registry/library but do
+            # carry a content fingerprint (from their blob manifest) —
+            # use it, so their index artifact is content-addressed like
+            # an imported trace's.
+            workload = self._active_workload
+            if workload is not None and workload.name == name:
+                fp = getattr(workload, "trace_fingerprint", None)
+                if fp is not None:
+                    identity = {"trace_fingerprint": fp}
         if "trace_fingerprint" in identity:
             # The position index is a pure function of the trace.  The
             # spilled variant intentionally matches
@@ -216,14 +226,24 @@ class SuiteRunner:
     def _build_workload(self, name):
         """Resolve ``name``: imported/registered traces first, then the
         synthetic SPEC specs.  Imported names therefore work everywhere
-        a benchmark name does (figures, matrices, DSE sweeps)."""
+        a benchmark name does (figures, matrices, DSE sweeps).
+
+        Under ``REPRO_INDEX_SPILL=always`` (with an enabled store) the
+        synthetic suite streams too: traces generate chunk-by-chunk into
+        spilled store blobs and are served memory-mapped, bit-identical
+        to the materialized build, so the whole matrix runs bounded.
+        """
         imported = resolve_workload(name)
         if imported is not None:
             return imported
+        materialize = not (index_spill_mode() == "always"
+                           and self.store.enabled)
         return benchmark_spec(name).workload(
             n_instructions=self.config.n_instructions,
             seed=self.config.seed,
             scale=self.config.footprint_scale,
+            materialize=materialize,
+            store=self.store,
         )
 
     def _plan_for(self, workload):

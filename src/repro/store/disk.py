@@ -156,6 +156,21 @@ class DiskStore:
             pass                 # swept by a concurrent clear/gc; harmless
         return path
 
+    def delete(self, digest):
+        """Remove a blob if present; True if anything was removed.
+
+        ``put``/``put_stream`` are deliberately write-once — racing
+        writers of a content-addressed key produce identical bytes, so
+        first-wins is correct.  Keys whose *value can legitimately
+        change* (a synthetic-trace manifest after its stale blob is
+        invalidated) must therefore delete before republishing.
+        """
+        try:
+            os.remove(self.path_for(digest))
+            return True
+        except OSError:
+            return False
+
     # -- maintenance ---------------------------------------------------------
 
     @staticmethod

@@ -57,6 +57,14 @@ class LRUCache:
             self._bytes -= evicted_size
             self.evictions += 1
 
+    def discard(self, digest):
+        """Drop one entry if present; True if it existed."""
+        entry = self._entries.pop(digest, None)
+        if entry is None:
+            return False
+        self._bytes -= entry[1]
+        return True
+
     def clear(self):
         self._entries.clear()
         self._bytes = 0

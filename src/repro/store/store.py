@@ -185,6 +185,20 @@ class ArtifactStore:
         self.disk_hits += 1
         return views
 
+    def delete(self, key):
+        """Drop ``key`` from both tiers; True if anything was removed.
+
+        The disk tier is write-once (``put`` never overwrites), so a key
+        whose artifact must be *replaced* — a verification-rejected
+        synthetic-trace blob or its manifest — deletes first, then saves.
+        """
+        if not self.enabled:
+            return False
+        digest = self.digest(key)
+        in_memory = self.memory.discard(digest)
+        on_disk = self.disk.delete(digest)
+        return in_memory or on_disk
+
     def contains(self, key):
         if not self.enabled:
             return False

@@ -22,7 +22,7 @@ Public API:
   benchmarks used throughout the evaluation.
 """
 
-from repro.trace.record import Kind, Trace
+from repro.trace.record import Kind, Trace, TraceChunk, trace_from_chunks
 from repro.trace.address_space import AddressSpace
 from repro.trace.engines import (
     AddressEngine,
@@ -34,6 +34,11 @@ from repro.trace.engines import (
     WorkingSetComponent,
 )
 from repro.trace.phases import PhaseSpec, build_trace
+from repro.trace.stream import (
+    SyntheticStreamWorkload,
+    generate_chunks,
+    workload_chunks,
+)
 from repro.trace.workload import Workload
 from repro.trace.spec import (
     BenchmarkSpec,
@@ -45,6 +50,8 @@ from repro.trace.spec import (
 __all__ = [
     "Kind",
     "Trace",
+    "TraceChunk",
+    "trace_from_chunks",
     "AddressSpace",
     "AddressEngine",
     "MultiWorkingSetEngine",
@@ -55,6 +62,9 @@ __all__ = [
     "WorkingSetComponent",
     "PhaseSpec",
     "build_trace",
+    "SyntheticStreamWorkload",
+    "generate_chunks",
+    "workload_chunks",
     "Workload",
     "BenchmarkSpec",
     "SPEC2006_NAMES",

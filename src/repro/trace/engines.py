@@ -20,12 +20,33 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.util.rng import clone_rng
+
+#: Accesses per internal batch while a cursor or :meth:`consume` walks a
+#: draw block it does not emit (bounds transient memory, not the stream).
+_CURSOR_BATCH = 1 << 20
+
+
+def _batches(total, batch=_CURSOR_BATCH):
+    lo = 0
+    while lo < total:
+        yield min(batch, total - lo)
+        lo += batch
+
 
 class AddressEngine:
     """Base class for address engines.
 
     Subclasses implement :meth:`generate`; all state needed to continue the
     stream lives on the engine instance so a trace can be built in chunks.
+
+    Chunked generation support: :meth:`chunk_cursor` returns a cursor
+    whose concatenated ``take(n)`` output is bit-identical to one
+    ``generate(rng, total)`` call, for *any* split of ``total`` — the
+    primitive behind :func:`repro.trace.stream.generate_chunks`.
+    :meth:`consume` advances ``rng`` by exactly the draws one
+    ``generate(rng, total)`` call would make, without producing output
+    and without touching the engine's deterministic stream state.
     """
 
     #: Number of static PCs this engine attributes accesses to.
@@ -42,9 +63,45 @@ class AddressEngine:
         """
         raise NotImplementedError
 
+    def consume(self, rng, total):
+        """Advance ``rng`` past the draws of one ``generate(rng, total)``.
+
+        Deterministic engine state (stream cursors) is left untouched, so
+        a parent mixture can position later components' RNG clones
+        without perturbing this engine's own progress.
+        """
+        raise NotImplementedError
+
+    def chunk_cursor(self, rng, total):
+        """A cursor replaying ``generate(rng, total)`` in arbitrary chunks.
+
+        ``rng`` is cloned, never advanced; the caller remains free to
+        pass it elsewhere.  The cursor's ``take(n)`` calls must sum to
+        exactly ``total`` — deterministic engine state advances as the
+        takes happen, exactly as the monolithic call would have.
+        """
+        raise NotImplementedError
+
     def footprint_lines(self):
         """Number of distinct cachelines this engine can ever touch."""
         raise NotImplementedError
+
+
+class _SingleBlockCursor:
+    """Cursor for engines whose ``generate`` draws one splittable block.
+
+    When every RNG draw in ``generate`` is element-wise sequential (one
+    ``integers``/``random`` block), splitting the call is already
+    bit-identical — the cursor just owns a clone positioned at the
+    block's start and delegates.
+    """
+
+    def __init__(self, engine, rng):
+        self._engine = engine
+        self._rng = clone_rng(rng)
+
+    def take(self, n):
+        return self._engine.generate(self._rng, n)
 
 
 class UniformWorkingSetEngine(AddressEngine):
@@ -63,17 +120,63 @@ class UniformWorkingSetEngine(AddressEngine):
         else:
             self._cdf = None
 
-    def generate(self, rng, n):
+    def _draw_indices(self, rng, n):
         if self._cdf is None:
-            idx = rng.integers(0, len(self.line_map), size=n)
-        else:
-            idx = np.searchsorted(self._cdf, rng.random(n), side="left")
-            idx = np.minimum(idx, len(self.line_map) - 1)
-        pcs = rng.integers(0, self.n_pcs, size=n, dtype=np.int32)
+            return rng.integers(0, len(self.line_map), size=n)
+        idx = np.searchsorted(self._cdf, rng.random(n), side="left")
+        return np.minimum(idx, len(self.line_map) - 1)
+
+    def _draw_pcs(self, rng, n):
+        return rng.integers(0, self.n_pcs, size=n, dtype=np.int32)
+
+    def generate(self, rng, n):
+        idx = self._draw_indices(rng, n)
+        pcs = self._draw_pcs(rng, n)
         return self.line_map[idx], pcs
+
+    def _skip_indices(self, rng, total):
+        """Advance ``rng`` past the index block without the outputs.
+
+        The Zipf path consumes exactly one double per element, so the
+        searchsorted/minimum of :meth:`_draw_indices` is skipped; the
+        uniform path must replay the real ``integers`` call — Lemire
+        rejection makes its consumption depend on the bound.
+        """
+        for m in _batches(total):
+            if self._cdf is None:
+                self._draw_indices(rng, m)
+            else:
+                rng.random(m)
+
+    def consume(self, rng, total):
+        self._skip_indices(rng, total)
+        for m in _batches(total):
+            self._draw_pcs(rng, m)
+
+    def chunk_cursor(self, rng, total):
+        # generate() draws the whole index block, then the whole PC
+        # block; two clones replay the interleave at any chunk size —
+        # the PC clone first walks (and discards) the index block.
+        idx_rng = clone_rng(rng)
+        pcs_rng = clone_rng(rng)
+        self._skip_indices(pcs_rng, total)
+        return _UniformCursor(self, idx_rng, pcs_rng)
 
     def footprint_lines(self):
         return int(len(self.line_map))
+
+
+class _UniformCursor:
+    def __init__(self, engine, idx_rng, pcs_rng):
+        self._engine = engine
+        self._idx_rng = idx_rng
+        self._pcs_rng = pcs_rng
+
+    def take(self, n):
+        engine = self._engine
+        idx = engine._draw_indices(self._idx_rng, n)
+        pcs = engine._draw_pcs(self._pcs_rng, n)
+        return engine.line_map[idx], pcs
 
 
 class StridedEngine(AddressEngine):
@@ -115,6 +218,16 @@ class StridedEngine(AddressEngine):
             pcs = rng.integers(0, self.n_pcs, size=n, dtype=np.int32)
         return self.line_map[idx], pcs
 
+    def consume(self, rng, total):
+        if not self.round_robin_pcs:
+            for m in _batches(total):
+                rng.integers(0, self.n_pcs, size=m, dtype=np.int32)
+
+    def chunk_cursor(self, rng, total):
+        # Addresses come from the deterministic cursor; the only RNG
+        # block is the (optional) PC draw — a single splittable block.
+        return _SingleBlockCursor(self, rng)
+
     def footprint_lines(self):
         from math import gcd
         return int(len(self.line_map) // gcd(len(self.line_map),
@@ -150,6 +263,13 @@ class PointerChaseEngine(AddressEngine):
         self._cursor += n
         pcs = rng.integers(0, self.n_pcs, size=n, dtype=np.int32)
         return self.line_map[idx], pcs
+
+    def consume(self, rng, total):
+        for m in _batches(total):
+            rng.integers(0, self.n_pcs, size=m, dtype=np.int32)
+
+    def chunk_cursor(self, rng, total):
+        return _SingleBlockCursor(self, rng)
 
     def footprint_lines(self):
         return int(len(self.line_map))
@@ -190,10 +310,13 @@ class MultiWorkingSetEngine(AddressEngine):
         self._probs = weights / total
         self.n_pcs = max(c.pc_base + c.engine.n_pcs for c in self.components)
 
+    def _draw_choice(self, rng, n):
+        return rng.choice(len(self.components), size=n, p=self._probs)
+
     def generate(self, rng, n):
         lines = np.empty(n, dtype=np.int64)
         pcs = np.empty(n, dtype=np.int32)
-        choice = rng.choice(len(self.components), size=n, p=self._probs)
+        choice = self._draw_choice(rng, n)
         for k, comp in enumerate(self.components):
             mask = choice == k
             count = int(np.count_nonzero(mask))
@@ -203,6 +326,39 @@ class MultiWorkingSetEngine(AddressEngine):
             lines[mask] = comp_lines
             pcs[mask] = comp_pcs + comp.pc_base
         return lines, pcs
+
+    def _count_choice_block(self, rng, total):
+        """Walk the choice block on ``rng``, returning per-component totals."""
+        totals = np.zeros(len(self.components), dtype=np.int64)
+        for m in _batches(total):
+            totals += np.bincount(self._draw_choice(rng, m),
+                                  minlength=len(self.components))
+        return totals
+
+    def consume(self, rng, total):
+        totals = self._count_choice_block(rng, total)
+        for comp, comp_total in zip(self.components, totals.tolist()):
+            if comp_total:
+                comp.engine.consume(rng, comp_total)
+
+    def chunk_cursor(self, rng, total):
+        # Monolithic consumption per phase is [choice block][comp 0's
+        # draws][comp 1's draws]...  Each block gets its own clone: a
+        # skip generator walks the stream once to locate every block
+        # start (per-component totals fall out of the choice walk), and
+        # components whose total is zero get no cursor at all — the
+        # monolithic call never touches the RNG for them either.
+        choice_rng = clone_rng(rng)
+        skip = clone_rng(rng)
+        totals = self._count_choice_block(skip, total)
+        cursors = []
+        for comp, comp_total in zip(self.components, totals.tolist()):
+            if comp_total:
+                cursors.append(comp.engine.chunk_cursor(skip, comp_total))
+                comp.engine.consume(skip, comp_total)
+            else:
+                cursors.append(None)
+        return _MultiCursor(self, choice_rng, cursors)
 
     def footprint_lines(self):
         return sum(c.engine.footprint_lines() for c in self.components)
@@ -221,3 +377,25 @@ class MultiWorkingSetEngine(AddressEngine):
             new_components.append(WorkingSetComponent(
                 engine=comp.engine, weight=weight, pc_base=comp.pc_base))
         return MultiWorkingSetEngine(new_components)
+
+
+class _MultiCursor:
+    def __init__(self, engine, choice_rng, cursors):
+        self._engine = engine
+        self._choice_rng = choice_rng
+        self._cursors = cursors
+
+    def take(self, n):
+        engine = self._engine
+        lines = np.empty(n, dtype=np.int64)
+        pcs = np.empty(n, dtype=np.int32)
+        choice = engine._draw_choice(self._choice_rng, n)
+        for k, comp in enumerate(engine.components):
+            mask = choice == k
+            count = int(np.count_nonzero(mask))
+            if count == 0:
+                continue
+            comp_lines, comp_pcs = self._cursors[k].take(count)
+            lines[mask] = comp_lines
+            pcs[mask] = comp_pcs + comp.pc_base
+        return lines, pcs

@@ -138,3 +138,98 @@ class Trace:
         if self.n_instructions == 0:
             return 0.0
         return self.n_accesses / self.n_instructions
+
+
+@dataclass
+class TraceChunk:
+    """One bounded window of a streamed trace.
+
+    The unit both producers and consumers of chunked traces speak: the
+    synthetic chunk generator (:func:`repro.trace.stream.generate_chunks`),
+    the chunked container reader
+    (:meth:`repro.traceio.reader.TraceReader.iter_chunks`) and the
+    chunk-granular importers all emit/accept it.  Access/branch
+    coordinates are *absolute* (trace-global); use :meth:`to_trace` for a
+    self-contained window with local coordinates.
+    """
+
+    instr_lo: int
+    instr_hi: int
+    kind: np.ndarray
+    mem_instr: np.ndarray
+    mem_line: np.ndarray
+    mem_pc: np.ndarray
+    mem_store: np.ndarray
+    branch_instr: np.ndarray
+    branch_mispred: np.ndarray
+
+    @property
+    def n_instructions(self):
+        return self.instr_hi - self.instr_lo
+
+    @property
+    def n_accesses(self):
+        return int(self.mem_instr.shape[0])
+
+    def nbytes(self):
+        """Materialized size of this chunk."""
+        return sum(a.nbytes for a in (
+            self.kind, self.mem_instr, self.mem_line, self.mem_pc,
+            self.mem_store, self.branch_instr, self.branch_mispred))
+
+    def to_trace(self, name="chunk"):
+        """A standalone, validated Trace of this window (local coords)."""
+        trace = Trace(
+            kind=self.kind,
+            mem_instr=self.mem_instr - self.instr_lo,
+            mem_line=self.mem_line,
+            mem_pc=self.mem_pc,
+            mem_store=self.mem_store,
+            branch_instr=self.branch_instr - self.instr_lo,
+            branch_mispred=self.branch_mispred,
+            name=name,
+        )
+        trace.validate()
+        return trace
+
+
+def trace_from_chunks(chunks, name="trace"):
+    """Concatenate :class:`TraceChunk` windows into a validated Trace.
+
+    Chunks must arrive in order and cover the trace contiguously from
+    instruction 0 (what :func:`repro.trace.stream.generate_chunks` and
+    :meth:`~repro.traceio.reader.TraceReader.iter_chunks` yield).  This
+    is the materializing consumer — differential tests use it to compare
+    a chunked producer against its monolithic counterpart.
+    """
+    parts = {field: [] for field in (
+        "kind", "mem_instr", "mem_line", "mem_pc", "mem_store",
+        "branch_instr", "branch_mispred")}
+    expected_lo = 0
+    for chunk in chunks:
+        if chunk.instr_lo != expected_lo:
+            raise ValueError(
+                f"chunk starts at instruction {chunk.instr_lo}, "
+                f"expected {expected_lo}")
+        expected_lo = chunk.instr_hi
+        for field in parts:
+            parts[field].append(getattr(chunk, field))
+
+    def _cat(field, dtype):
+        arrays = parts[field]
+        if not arrays:
+            return np.empty(0, dtype=dtype)
+        return np.concatenate(arrays).astype(dtype, copy=False)
+
+    trace = Trace(
+        kind=_cat("kind", np.uint8),
+        mem_instr=_cat("mem_instr", np.int64),
+        mem_line=_cat("mem_line", np.int64),
+        mem_pc=_cat("mem_pc", np.int32),
+        mem_store=_cat("mem_store", bool),
+        branch_instr=_cat("branch_instr", np.int64),
+        branch_mispred=_cat("branch_mispred", bool),
+        name=name,
+    )
+    trace.validate()
+    return trace

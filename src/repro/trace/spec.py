@@ -101,8 +101,35 @@ class BenchmarkSpec:
     phase_plan: tuple = None
     notes: str = ""
 
-    def workload(self, n_instructions=1_000_000, seed=0, scale=DEFAULT_SCALE):
-        """Build a :class:`~repro.trace.workload.Workload` for this spec."""
+    def stream_fingerprint(self, n_instructions, seed, scale=DEFAULT_SCALE):
+        """Generator-provenance fingerprint of one concrete build.
+
+        Addresses the spilled synthetic-trace blob in the artifact store
+        and is recorded in its manifest, where opening verifies it — a
+        container generated from a different spec revision (or different
+        build parameters) can never be served for this one.
+        """
+        from repro.store.fingerprint import fingerprint
+
+        return fingerprint({
+            "artifact": "synthetic-spec",
+            "spec": self,
+            "n_instructions": int(n_instructions),
+            "seed": int(seed),
+            "scale": float(scale),
+        })
+
+    def workload(self, n_instructions=1_000_000, seed=0, scale=DEFAULT_SCALE,
+                 materialize=True, store=None, chunk_instructions=None):
+        """Build a :class:`~repro.trace.workload.Workload` for this spec.
+
+        ``materialize=False`` returns a
+        :class:`~repro.trace.stream.SyntheticStreamWorkload` instead: the
+        trace generates chunk-by-chunk into a spilled store blob and is
+        served as memory maps, so a suite run under
+        ``REPRO_INDEX_SPILL=always`` never holds the canonical arrays in
+        RAM.  Both faces produce bit-identical traces.
+        """
 
         def make_phases():
             space = AddressSpace(seed=stream_seed(seed, self.name, "layout"))
@@ -153,6 +180,15 @@ class BenchmarkSpec:
             "n_instructions": n_instructions,
             "notes": self.notes,
         }
+        if not materialize:
+            from repro.trace.stream import SyntheticStreamWorkload
+
+            return SyntheticStreamWorkload(
+                self.name, make_phases, seed=seed, metadata=metadata,
+                n_instructions=n_instructions,
+                spec_fingerprint=self.stream_fingerprint(
+                    n_instructions, seed, scale),
+                store=store, chunk_instructions=chunk_instructions)
         return Workload(self.name, make_phases, seed=seed, metadata=metadata)
 
     def _make_engine(self, comp, lines, seed):

@@ -20,12 +20,20 @@ this subsystem opens the reproduction to arbitrary real-world workloads:
   imported names before the synthetic SPEC specs, so DeLorean, the
   warm-up pipeline, ``run_matrix`` and DSE consume them unchanged.
 
-CLI: ``python -m repro trace import|info|convert|ls``.
+* the **chunk-granular importer** (:mod:`repro.traceio.ingest`) behind
+  ``trace import --chunk``: parse batches spill to disk, PCs intern in
+  two passes via a spilled id table, and the container assembles with
+  O(chunk + unique keys) peak memory — bit-identical to the
+  materialized import path.
+
+CLI: ``python -m repro trace import|info|convert|ls`` and
+``python -m repro synth export`` (chunk-wise synthetic containers).
 """
 
 from repro.traceio.container import (
     TRACE_FORMAT_VERSION,
     TraceFormatError,
+    TraceStreamWriter,
     build_manifest,
     read_manifest,
     read_trace,
@@ -39,6 +47,7 @@ from repro.traceio.formats import (
     import_trace,
     synthesize_mispredicts,
 )
+from repro.traceio.ingest import import_trace_streamed
 from repro.traceio.reader import TraceChunk, TraceReader
 from repro.traceio.workload import (
     ImportedWorkload,
@@ -55,6 +64,7 @@ from repro.traceio.workload import (
 __all__ = [
     "TRACE_FORMAT_VERSION",
     "TraceFormatError",
+    "TraceStreamWriter",
     "build_manifest",
     "read_manifest",
     "read_trace",
@@ -64,6 +74,7 @@ __all__ = [
     "TraceImportError",
     "export_trace",
     "import_trace",
+    "import_trace_streamed",
     "synthesize_mispredicts",
     "TraceChunk",
     "TraceReader",

@@ -3,7 +3,7 @@
 Verbs::
 
     trace import SRC --format champsim|lackey|csv [--name N] [--dir D]
-                 [--out FILE] [--compress] [--force]
+                 [--out FILE] [--chunk N] [--compress] [--force]
     trace info  NAME_OR_PATH [--json] [--verify] [--dir D]
     trace ls    [--dir D] [--json]
     trace convert SRC DST --to native|champsim|lackey|csv
@@ -12,18 +12,30 @@ Verbs::
 ``import`` parses an external trace, normalizes it into the canonical
 arrays and persists it as a native container — into the trace library
 (``$REPRO_TRACE_DIR``, default ``<cache>/traces``) under a name, or to
-an explicit ``--out`` path.  Once imported, the name works everywhere a
-synthetic benchmark name does (``python -m repro fig5 --benchmarks
-mytrace``, ``SuiteRunner.run`` / ``run_matrix`` / ``run_dse``).
+an explicit ``--out`` path.  ``--chunk N`` switches to the chunk-granular
+pipeline (:mod:`repro.traceio.ingest`): the parse never materializes the
+trace, peak memory stays O(chunk + unique keys), and the container is
+bit-identical to the default path's.  Once imported, the name works
+everywhere a synthetic benchmark name does (``python -m repro fig5
+--benchmarks mytrace``, ``SuiteRunner.run`` / ``run_matrix`` /
+``run_dse``).
+
+``python -m repro synth export`` is the synthetic twin: it streams a
+calibrated SPEC-like benchmark chunk-by-chunk into a native container,
+so arbitrarily long synthetic traces can be built — and then run
+memory-mapped — without ever materializing them.
 """
 
 import argparse
 import json
 import os
+import shutil
 import sys
+import tempfile
 
 from repro.traceio.container import (
     TraceFormatError,
+    TraceStreamWriter,
     read_manifest,
     read_trace,
     write_trace,
@@ -34,6 +46,7 @@ from repro.traceio.formats import (
     export_trace,
     import_trace,
 )
+from repro.traceio.ingest import import_trace_streamed
 from repro.traceio.workload import TraceLibrary
 from repro.util.units import format_size
 
@@ -58,6 +71,10 @@ def build_trace_parser():
     imp.add_argument("--out", default=None,
                      help="write the container to this path instead of "
                           "the library")
+    imp.add_argument("--chunk", type=int, default=None, metavar="N",
+                     help="chunk-granular import: parse and normalize N "
+                          "instructions at a time (bounded memory, "
+                          "bit-identical container)")
     imp.add_argument("--compress", action="store_true",
                      help="compressed container (smaller file, no mmap "
                           "streaming)")
@@ -91,6 +108,49 @@ def build_trace_parser():
     conv.add_argument("--compress", action="store_true",
                       help="compress a native output container")
     return parser
+
+
+def _stage_into_library(library, write_container, name=None, force=False,
+                        prefix=".staged-"):
+    """Stream a container into the library via a scratch directory.
+
+    ``write_container(staged_path)`` writes the container pair at the
+    given path and returns its manifest.  Staging happens inside the
+    library root (same filesystem, so adoption is two renames), then
+    :meth:`TraceLibrary.add_container` applies the usual no-op/force
+    semantics — content comparison reads only manifests.  Returns the
+    manifest now served by the library.
+    """
+    os.makedirs(library.root, exist_ok=True)
+    scratch = tempfile.mkdtemp(prefix=prefix, dir=library.root)
+    try:
+        staged = os.path.join(scratch, "staged.trace.npz")
+        manifest = write_container(staged)
+        return library.add_container(staged, name=name or manifest["name"],
+                                     force=force)
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+
+
+def _import_streamed(args, library, source):
+    """``trace import --chunk``: bounded-memory import to out/library."""
+    def write_container(path):
+        return import_trace_streamed(
+            args.src, args.format, path, name=args.name,
+            source=source, chunk_instructions=args.chunk,
+            compress=args.compress)
+
+    if args.out:
+        return write_container(args.out), args.out
+    # Fail on a bad/shadowing name *before* spending the import — the
+    # target name is known upfront (explicit, or the source basename).
+    from repro.traceio.formats import _default_name
+    from repro.traceio.workload import _check_name, _check_not_spec_name
+
+    _check_not_spec_name(_check_name(args.name or _default_name(args.src)))
+    manifest = _stage_into_library(library, write_container,
+                                   force=args.force, prefix=".import-")
+    return manifest, library.path(manifest["name"])
 
 
 def _load_any(target, src_format, library):
@@ -144,16 +204,25 @@ def _dispatch(args):
     library = TraceLibrary(root=args.dir)
 
     if args.verb == "import":
-        trace = import_trace(args.src, args.format, name=args.name)
         source = {"path": str(args.src), "format": args.format}
-        if args.out:
-            manifest = write_trace(trace, args.out, name=args.name,
-                                   source=source, compress=args.compress)
-            where = args.out
+        if args.chunk is not None:
+            if args.chunk < 1:
+                raise ValueError("--chunk must be a positive "
+                                 "instruction count")
+            manifest, where = _import_streamed(args, library, source)
         else:
-            manifest = library.add(trace, name=args.name, source=source,
-                                   compress=args.compress, force=args.force)
-            where = library.path(manifest["name"])
+            trace = import_trace(args.src, args.format, name=args.name)
+            if args.out:
+                manifest = write_trace(trace, args.out, name=args.name,
+                                       source=source,
+                                       compress=args.compress)
+                where = args.out
+            else:
+                manifest = library.add(trace, name=args.name,
+                                       source=source,
+                                       compress=args.compress,
+                                       force=args.force)
+                where = library.path(manifest["name"])
         print(f"imported {args.src} -> {where}")
         _print_manifest(manifest)
         return 0
@@ -196,3 +265,141 @@ def _dispatch(args):
         return 0
 
     raise AssertionError(f"unhandled verb {args.verb!r}")
+
+
+# -- synthetic streaming export ----------------------------------------------
+
+def build_synth_parser():
+    parser = argparse.ArgumentParser(
+        prog="python -m repro synth",
+        description="Stream calibrated synthetic benchmarks into native "
+                    "trace containers, chunk by chunk — the canonical "
+                    "arrays never exist in RAM, so trace length is "
+                    "bounded by disk, not memory.")
+    sub = parser.add_subparsers(dest="verb", required=True)
+
+    exp = sub.add_parser("export", help="generate a benchmark chunk-wise "
+                                        "into a native container")
+    exp.add_argument("benchmark",
+                     help="synthetic SPEC2006 benchmark name (see "
+                          "'python -m repro list')")
+    exp.add_argument("--instructions", type=int, default=1_000_000,
+                     help="trace length (default 1M)")
+    exp.add_argument("--seed", type=int, default=0,
+                     help="generation seed (default 0)")
+    exp.add_argument("--scale", type=float, default=None,
+                     help="footprint scale (default 1/64)")
+    exp.add_argument("--chunk", type=int, default=None, metavar="N",
+                     help="instructions generated per chunk")
+    exp.add_argument("--name", default=None,
+                     help="library name (default: BENCH.synth; synthetic "
+                          "suite names themselves are refused)")
+    exp.add_argument("--dir", default=None,
+                     help="trace library root (overrides REPRO_TRACE_DIR)")
+    exp.add_argument("--out", default=None,
+                     help="write the container to this path instead of "
+                          "the library")
+    exp.add_argument("--compress", action="store_true",
+                     help="compressed container (smaller file, no mmap "
+                          "streaming)")
+    exp.add_argument("--force", action="store_true",
+                     help="replace an existing library entry")
+    return parser
+
+
+def synth_main(argv):
+    """CLI entry point; user-input errors print one line, not a stack."""
+    args = build_synth_parser().parse_args(argv)
+    try:
+        return _dispatch_synth(args)
+    except (TraceImportError, TraceFormatError, FileNotFoundError,
+            FileExistsError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+def _dispatch_synth(args):
+    from repro.trace.spec import DEFAULT_SCALE, benchmark_spec
+    from repro.trace.stream import (
+        DEFAULT_CHUNK_INSTRUCTIONS,
+        workload_chunks,
+    )
+
+    if args.verb != "export":
+        raise AssertionError(f"unhandled verb {args.verb!r}")
+    if args.instructions < 1:
+        raise ValueError("--instructions must be positive")
+    if args.chunk is not None and args.chunk < 1:
+        raise ValueError("--chunk must be a positive instruction count")
+    try:
+        spec = benchmark_spec(args.benchmark)
+    except KeyError:
+        raise ValueError(
+            f"unknown synthetic benchmark {args.benchmark!r} "
+            "('python -m repro list' shows the suite)")
+    scale = args.scale if args.scale is not None else DEFAULT_SCALE
+    chunk = args.chunk or DEFAULT_CHUNK_INSTRUCTIONS
+    name = args.name or f"{args.benchmark}.synth"
+    if not args.out:
+        # Fail on a bad/shadowing name *before* spending the generation.
+        from repro.traceio.workload import _check_name, _check_not_spec_name
+
+        _check_not_spec_name(_check_name(name))
+    workload = spec.workload(n_instructions=args.instructions,
+                             seed=args.seed, scale=scale)
+    source = {
+        "generator": "synthetic",
+        "benchmark": args.benchmark,
+        "seed": args.seed,
+        "n_instructions": args.instructions,
+        "scale": scale,
+        "spec_fingerprint": spec.stream_fingerprint(
+            args.instructions, args.seed, scale),
+        "chunk_instructions": chunk,
+    }
+
+    library = TraceLibrary(root=args.dir)
+    if not args.out and not args.force and library.contains(name):
+        # Generation is the expensive part — settle no-op/conflict from
+        # the recorded provenance *before* spending it.  Same spec
+        # fingerprint means the deterministic generator would reproduce
+        # the existing content exactly.
+        existing = library.manifest(name)
+        recorded = (existing.get("source") or {}).get("spec_fingerprint")
+        if recorded is not None:
+            if recorded != source["spec_fingerprint"]:
+                raise FileExistsError(
+                    f"trace {name!r} already exists in {library.root} "
+                    "with different generator parameters (pass --force "
+                    "to replace)")
+            if bool(existing.get("compressed")) != args.compress:
+                raise FileExistsError(
+                    f"trace {name!r} already exists in {library.root} "
+                    "with the same parameters but different compression "
+                    "(pass --force to replace)")
+            print(f"{name} already exported -> {library.path(name)}")
+            _print_manifest(existing)
+            return 0
+    # Spill next to the destination (library root / --out directory):
+    # the system temp dir is commonly a RAM-backed tmpfs, which would
+    # defeat the bounded-memory point for huge exports.
+    spill_parent = (os.path.dirname(os.path.abspath(args.out))
+                    if args.out else library.root)
+    with TraceStreamWriter(spill_dir=spill_parent) as writer:
+        writer.extend(workload_chunks(workload, chunk_instructions=chunk))
+
+        def write_container(path):
+            return writer.write_container(path, name=name, source=source,
+                                          compress=args.compress)
+
+        if args.out:
+            manifest = write_container(args.out)
+            where = args.out
+        else:
+            manifest = _stage_into_library(library, write_container,
+                                           name=name, force=args.force,
+                                           prefix=".synth-")
+            where = library.path(name)
+    print(f"exported {args.benchmark} -> {where}")
+    _print_manifest(manifest)
+    return 0

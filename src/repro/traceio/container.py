@@ -17,11 +17,15 @@ same trace — on different machines, weeks apart — agree byte-for-byte.
 
 import json
 import os
+import shutil
+import tempfile
+import zipfile
 
 import numpy as np
 
-from repro.store.fingerprint import fingerprint
-from repro.trace.record import Trace
+from repro.store.fingerprint import fingerprint, fingerprint_arrays
+from repro.trace.record import Kind, Trace
+from repro.traceio.spill import ArraySpill, UniqueAccumulator
 from repro.util.units import CACHELINE_SHIFT
 
 #: Version of the on-disk layout.  Bump on any change to the array set,
@@ -65,31 +69,91 @@ def trace_fingerprint(trace):
     return fingerprint(trace_arrays(trace))
 
 
-def build_manifest(trace, name=None, source=None, compressed=False):
-    """The manifest dictionary for ``trace`` (no I/O)."""
-    arrays = trace_arrays(trace)
-    n_pcs = int(arrays["mem_pc"].max()) + 1 if arrays["mem_pc"].size else 0
-    unique_lines = trace.unique_lines()
+def _assemble_manifest(name, content_fingerprint, n_instructions,
+                       n_accesses, n_branches, n_pcs, unique_lines,
+                       shapes, source, compressed):
+    """The one assembly of the manifest dict — materialized and
+    streamed writers feed it their scalars, so the format cannot
+    silently drift between the two paths."""
     return {
         "format": "repro-trace",
         "format_version": TRACE_FORMAT_VERSION,
-        "name": str(name if name is not None else trace.name),
-        "fingerprint": fingerprint(arrays),
-        "n_instructions": trace.n_instructions,
-        "n_accesses": trace.n_accesses,
-        "n_branches": int(arrays["branch_instr"].shape[0]),
-        "n_pcs": n_pcs,
-        "unique_lines": unique_lines,
-        "footprint_bytes": unique_lines << CACHELINE_SHIFT,
-        "mem_fraction": trace.mem_fraction(),
+        "name": str(name),
+        "fingerprint": content_fingerprint,
+        "n_instructions": int(n_instructions),
+        "n_accesses": int(n_accesses),
+        "n_branches": int(n_branches),
+        "n_pcs": int(n_pcs),
+        "unique_lines": int(unique_lines),
+        "footprint_bytes": int(unique_lines) << CACHELINE_SHIFT,
+        "mem_fraction": (n_accesses / n_instructions
+                         if n_instructions else 0.0),
         "compressed": bool(compressed),
         "source": source,
         "arrays": {
             array_name: {"dtype": np.dtype(dtype).str,
-                         "shape": list(arrays[array_name].shape)}
+                         "shape": [int(shapes[array_name])]}
             for array_name, dtype in TRACE_ARRAYS
         },
     }
+
+
+def build_manifest(trace, name=None, source=None, compressed=False):
+    """The manifest dictionary for ``trace`` (no I/O)."""
+    arrays = trace_arrays(trace)
+    return _assemble_manifest(
+        name=name if name is not None else trace.name,
+        content_fingerprint=fingerprint(arrays),
+        n_instructions=trace.n_instructions,
+        n_accesses=trace.n_accesses,
+        n_branches=arrays["branch_instr"].shape[0],
+        n_pcs=(int(arrays["mem_pc"].max()) + 1
+               if arrays["mem_pc"].size else 0),
+        unique_lines=trace.unique_lines(),
+        shapes={array_name: array.shape[0]
+                for array_name, array in arrays.items()},
+        source=source,
+        compressed=compressed,
+    )
+
+
+def write_manifest_sidecar(sidecar, manifest):
+    """Atomically (re)write a manifest sidecar — the one encoding of the
+    manifest-on-disk format, shared by fresh writes and library
+    adoption renames."""
+    tmp = str(sidecar) + ".tmp"
+    with open(tmp, "w") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, sidecar)
+
+
+def _publish_container(path, manifest, write_payload):
+    """Atomically land a manifest sidecar + npz written by a callback.
+
+    Mirrors the disk store: temp file + ``os.replace``, so a crashed
+    import never leaves a half-written container behind.  The sidecar
+    lands *first*: on a fresh import a crash between the two leaves an
+    orphan manifest (invisible, harmless) rather than an unlistable npz.
+    When *replacing* a container, a crash in the window pairs the new
+    manifest with the old npz — readers detect that via the manifest's
+    array shapes and refuse loudly rather than serve mismatched data.
+    """
+    path = str(path)
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    write_manifest_sidecar(manifest_path(path), manifest)
+    tmp = path + ".tmp"
+    try:
+        with open(tmp, "wb") as handle:
+            write_payload(handle)
+    except BaseException:
+        try:
+            os.remove(tmp)
+        except OSError:
+            pass
+        raise
+    os.replace(tmp, path)
 
 
 def write_trace(trace, path, name=None, source=None, compress=False):
@@ -103,31 +167,172 @@ def write_trace(trace, path, name=None, source=None, compress=False):
     arrays = trace_arrays(trace)
     manifest = build_manifest(trace, name=name, source=source,
                               compressed=compress)
-    path = str(path)
-    directory = os.path.dirname(os.path.abspath(path))
-    os.makedirs(directory, exist_ok=True)
-    # Atomic publish, mirroring the disk store: temp file + os.replace,
-    # so a crashed import never leaves a half-written container behind.
-    # The sidecar lands *first*: on a fresh import a crash between the
-    # two leaves an orphan manifest (invisible, harmless) rather than an
-    # unlistable npz.  When *replacing* a container, a crash in the
-    # window pairs the new manifest with the old npz — readers detect
-    # that via the manifest's array shapes and refuse loudly rather
-    # than serve mismatched data.
-    sidecar = manifest_path(path)
-    tmp = sidecar + ".tmp"
-    with open(tmp, "w") as handle:
-        json.dump(manifest, handle, indent=2, sort_keys=True)
-        handle.write("\n")
-    os.replace(tmp, sidecar)
-    tmp = path + ".tmp"
-    with open(tmp, "wb") as handle:
+
+    def write_payload(handle):
         if compress:
             np.savez_compressed(handle, **arrays)
         else:
             np.savez(handle, **arrays)
-    os.replace(tmp, path)
+
+    _publish_container(path, manifest, write_payload)
     return manifest
+
+
+class TraceStreamWriter:
+    """Accumulate :class:`~repro.trace.record.TraceChunk` windows into a
+    native container (or a mappable array set) with bounded memory.
+
+    Chunks spill column-by-column to disk as they arrive; summary
+    statistics (counts, unique-line footprint, PC range) and the
+    validation scans that :meth:`Trace.validate` would run are folded
+    incrementally, so the canonical arrays never exist in RAM at once.
+    ``finish``/:meth:`write_container` fingerprints the spilled columns
+    in bounded batches (:func:`fingerprint_arrays` — bit-identical to
+    the in-RAM :func:`trace_fingerprint`) and streams them into the
+    uncompressed npz layout the memory-mapped reader expects.
+    """
+
+    def __init__(self, spill_dir=None):
+        # ``spill_dir`` names the *parent* for an owned scratch
+        # directory (always removed by close()).  Callers producing
+        # large traces pass a parent on the same filesystem as the
+        # output — the system default temp dir is commonly a RAM-backed
+        # tmpfs, which would defeat the bounded-memory point.
+        if spill_dir is not None:
+            os.makedirs(spill_dir, exist_ok=True)
+        self._scratch = tempfile.mkdtemp(prefix="trace-writer-",
+                                         dir=spill_dir)
+        self._spill = ArraySpill(dict(
+            (name, dtype) for name, dtype in TRACE_ARRAYS),
+            directory=self._scratch)
+        self.n_instructions = 0
+        self.n_accesses = 0
+        self.n_branches = 0
+        self._max_pc = -1
+        self._unique_lines = UniqueAccumulator(np.int64)
+        self._views = None
+
+    def append(self, chunk):
+        """Validate and spill one chunk (must follow its predecessor)."""
+        if self._views is not None:
+            raise ValueError("writer already finished")
+        if chunk.instr_lo != self.n_instructions:
+            raise ValueError(
+                f"chunk starts at instruction {chunk.instr_lo}, "
+                f"expected {self.n_instructions}")
+        if chunk.kind.shape[0] != chunk.instr_hi - chunk.instr_lo:
+            raise ValueError(
+                f"kind stream has {chunk.kind.shape[0]} entries for a "
+                f"{chunk.instr_hi - chunk.instr_lo}-instruction window")
+        mem_instr = np.asarray(chunk.mem_instr, dtype=np.int64)
+        branch_instr = np.asarray(chunk.branch_instr, dtype=np.int64)
+        for view, label in ((mem_instr, "memory access"),
+                            (branch_instr, "branch")):
+            if view.size and (view[0] < chunk.instr_lo
+                              or view[-1] >= chunk.instr_hi):
+                raise ValueError(f"{label} outside its chunk window")
+            if np.any(np.diff(view) < 0):
+                raise ValueError(f"{label} view not sorted")
+        n_mem = int(np.count_nonzero(
+            (chunk.kind == Kind.LOAD) | (chunk.kind == Kind.STORE)))
+        if n_mem != mem_instr.shape[0]:
+            raise ValueError("kind stream and memory view disagree")
+        n_branch = int(np.count_nonzero(chunk.kind == Kind.BRANCH))
+        if n_branch != branch_instr.shape[0]:
+            raise ValueError("kind stream and branch view disagree")
+        for attr in ("mem_line", "mem_pc", "mem_store"):
+            if getattr(chunk, attr).shape != mem_instr.shape:
+                raise ValueError(f"{attr} length mismatch")
+        if chunk.branch_mispred.shape != branch_instr.shape:
+            raise ValueError("branch view length mismatch")
+
+        self._spill.append("kind", chunk.kind)
+        self._spill.append("mem_instr", mem_instr)
+        self._spill.append("mem_line", chunk.mem_line)
+        self._spill.append("mem_pc", chunk.mem_pc)
+        self._spill.append("mem_store", chunk.mem_store)
+        self._spill.append("branch_instr", branch_instr)
+        self._spill.append("branch_mispred", chunk.branch_mispred)
+
+        self.n_instructions = int(chunk.instr_hi)
+        self.n_accesses += n_mem
+        self.n_branches += n_branch
+        if chunk.mem_pc.size:
+            self._max_pc = max(self._max_pc, int(chunk.mem_pc.max()))
+        self._unique_lines.add(chunk.mem_line)
+
+    def extend(self, chunks):
+        """Append every chunk of an iterable; returns self (chaining)."""
+        for chunk in chunks:
+            self.append(chunk)
+        return self
+
+    def views(self):
+        """The canonical arrays as read-only spill memmaps (finishes
+        appending; the views die with :meth:`close`)."""
+        if self._views is None:
+            self._views = self._spill.views()
+        return self._views
+
+    def manifest(self, name, source=None, compressed=False):
+        """The manifest for the accumulated trace (no further I/O).
+
+        Field-for-field what :func:`build_manifest` produces for the
+        materialized equivalent — both feed :func:`_assemble_manifest` —
+        including the content fingerprint (streamed from the spill).
+        """
+        views = self.views()
+        return _assemble_manifest(
+            name=name,
+            content_fingerprint=fingerprint_arrays(views),
+            n_instructions=self.n_instructions,
+            n_accesses=self.n_accesses,
+            n_branches=self.n_branches,
+            n_pcs=self._max_pc + 1,
+            unique_lines=self._unique_lines.table().shape[0],
+            shapes={array_name: view.shape[0]
+                    for array_name, view in views.items()},
+            source=source,
+            compressed=compressed,
+        )
+
+    def write_container(self, path, name=None, source=None,
+                        compress=False):
+        """Publish the accumulated trace as a native container.
+
+        Same atomicity and layout as :func:`write_trace`; array data is
+        copied from the spill files in bounded buffers.  Returns the
+        manifest.
+        """
+        name = name if name is not None else "trace"
+        manifest = self.manifest(name, source=source, compressed=compress)
+        views = self.views()
+
+        def write_payload(handle):
+            compression = (zipfile.ZIP_DEFLATED if compress
+                           else zipfile.ZIP_STORED)
+            with zipfile.ZipFile(handle, "w", compression,
+                                 allowZip64=True) as archive:
+                for array_name, _ in TRACE_ARRAYS:
+                    with archive.open(array_name + ".npy", "w") as member:
+                        np.lib.format.write_array(
+                            member, np.asanyarray(views[array_name]),
+                            allow_pickle=False)
+
+        _publish_container(path, manifest, write_payload)
+        return manifest
+
+    def close(self):
+        """Drop the spill files (invalidates served views)."""
+        self._views = None
+        self._spill.close()
+        shutil.rmtree(self._scratch, ignore_errors=True)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
 
 
 def read_manifest(path):

@@ -95,7 +95,8 @@ def _open_text(path, mode="r"):
 
 # -- shared assembly ---------------------------------------------------------
 
-def synthesize_mispredicts(branch_pcs, branch_taken, config=None):
+def synthesize_mispredicts(branch_pcs, branch_taken, config=None,
+                           predictor=None):
     """Replay a branch stream through the Table 1 tournament predictor.
 
     Returns the per-branch misprediction mask under an initially-cold,
@@ -103,8 +104,13 @@ def synthesize_mispredicts(branch_pcs, branch_taken, config=None):
     view for imported traces (Section 3.1.2 warms all strategies'
     predictors identically, so materializing one outcome stream keeps
     CPI comparisons strategy-independent).
+
+    ``predictor`` lets the chunk-granular importer replay one persistent
+    predictor across bounded batches: the replay is sequential, so
+    feeding the stream in pieces is bit-identical to one call.
     """
-    predictor = TournamentPredictor(config or ProcessorConfig())
+    if predictor is None:
+        predictor = TournamentPredictor(config or ProcessorConfig())
     mispred = np.zeros(len(branch_taken), dtype=bool)
     for i, (pc, taken) in enumerate(zip(branch_pcs, branch_taken)):
         mispred[i] = predictor.update(int(pc), bool(taken))
@@ -239,14 +245,21 @@ def _expand_champsim_records(records):
     )
 
 
-def import_champsim(path, name=None):
-    """Import a ChampSim-style binary trace (optionally gz/bz2/xz)."""
-    kinds_parts, addr_parts, mpc_parts = [], [], []
-    bpc_parts, taken_parts = [], []
+def parse_champsim_events(path, batch_records=None):
+    """Yield event batches of a ChampSim binary trace.
+
+    Each batch is a dict of five aligned event arrays — ``kind`` (one
+    entry per canonical instruction), ``mem_addr``/``mem_pc`` (one row
+    per memory operand, in kind-stream order) and
+    ``branch_pc``/``branch_taken`` (one row per branch) — covering
+    ``batch_records`` input records.  Expansion is per-record, so any
+    record-aligned batching yields the identical event stream.
+    """
+    batch_records = int(batch_records or _CHAMPSIM_CHUNK_RECORDS)
     total = 0
     with _open_binary(path) as handle:
         while True:
-            blob = handle.read(_CHAMPSIM_CHUNK_RECORDS
+            blob = handle.read(max(1, batch_records)
                                * CHAMPSIM_DTYPE.itemsize)
             if not blob:
                 break
@@ -258,27 +271,38 @@ def import_champsim(path, name=None):
             total += len(blob)
             records = np.frombuffer(blob, dtype=CHAMPSIM_DTYPE)
             kinds, addr, mpc, bpc, taken = _expand_champsim_records(records)
-            kinds_parts.append(kinds)
-            addr_parts.append(addr)
-            mpc_parts.append(mpc)
-            bpc_parts.append(bpc)
-            taken_parts.append(taken)
+            yield {"kind": kinds, "mem_addr": addr, "mem_pc": mpc,
+                   "branch_pc": bpc, "branch_taken": taken}
     if total == 0:
         raise TraceImportError(f"{path!r}: empty ChampSim trace")
 
-    def _cat(parts, dtype):
-        if not parts:
+
+def _assemble_batches(batches, path, name):
+    """Materialize an event-batch stream into a canonical Trace."""
+    parts = {key: [] for key in ("kind", "mem_addr", "mem_pc",
+                                 "branch_pc", "branch_taken")}
+    for batch in batches:
+        for key in parts:
+            parts[key].append(batch[key])
+
+    def _cat(key, dtype):
+        if not parts[key]:
             return np.empty(0, dtype=dtype)
-        return np.concatenate(parts)
+        return np.concatenate(parts[key])
 
     return assemble_trace(
-        _cat(kinds_parts, np.uint8),
-        _cat(addr_parts, np.uint64),
-        _cat(mpc_parts, np.uint64),
-        _cat(bpc_parts, np.uint64),
-        _cat(taken_parts, bool),
+        _cat("kind", np.uint8),
+        _cat("mem_addr", np.uint64),
+        _cat("mem_pc", np.uint64),
+        _cat("branch_pc", np.uint64),
+        _cat("branch_taken", bool),
         name=name or _default_name(path),
     )
+
+
+def import_champsim(path, name=None):
+    """Import a ChampSim-style binary trace (optionally gz/bz2/xz)."""
+    return _assemble_batches(parse_champsim_events(path), path, name)
 
 
 def export_champsim(trace, path):
@@ -312,12 +336,24 @@ def export_champsim(trace, path):
 
 # -- Valgrind Lackey / gem5 text ---------------------------------------------
 
-def import_lackey(path, name=None):
-    """Import a Lackey-style text trace (``I/L/S/M`` lines, ``B`` ext)."""
+#: Instructions accumulated per batch by the text-trace parsers.
+_TEXT_BATCH_INSTRUCTIONS = 1 << 18
+
+
+def parse_lackey_events(path, batch_instructions=None):
+    """Yield event batches of a Lackey-style text trace.
+
+    Batches break only at instruction-group boundaries (an open ``I``
+    group is never split), so any batch size yields the identical event
+    stream; see :func:`parse_champsim_events` for the batch schema.
+    """
+    batch_instructions = int(batch_instructions
+                             or _TEXT_BATCH_INSTRUCTIONS)
     kinds, mem_addr, mem_pc = [], [], []
     branch_pc, branch_taken = [], []
     current_pc = 0
     pending_ops = None          # ops collected under the open I line
+    total = 0
 
     def flush():
         nonlocal pending_ops
@@ -340,6 +376,18 @@ def import_lackey(path, name=None):
             mem_addr.append(addr)
             mem_pc.append(current_pc)
 
+    def snapshot():
+        nonlocal total
+        batch = _event_batch(kinds, mem_addr, mem_pc, branch_pc,
+                             branch_taken)
+        total += len(kinds)
+        kinds.clear()
+        mem_addr.clear()
+        mem_pc.clear()
+        branch_pc.clear()
+        branch_taken.clear()
+        return batch
+
     with _open_text(path) as handle:
         for lineno, raw in enumerate(handle, start=1):
             line = raw.strip()
@@ -358,10 +406,14 @@ def import_lackey(path, name=None):
                     f"{path!r}:{lineno}: bad hex address in {line!r}")
             if op == "I":
                 flush()
+                if len(kinds) >= batch_instructions:
+                    yield snapshot()
                 current_pc = value
                 pending_ops = []
             elif op == "B":
                 flush()
+                if len(kinds) >= batch_instructions:
+                    yield snapshot()
                 if len(fields) != 2 or fields[1] not in ("0", "1"):
                     raise TraceImportError(
                         f"{path!r}:{lineno}: branch record needs "
@@ -374,11 +426,28 @@ def import_lackey(path, name=None):
                     pending_ops.append((op, value))
                 else:
                     _emit_mem(op, value)
+                    if len(kinds) >= batch_instructions:
+                        yield snapshot()
         flush()
-    if not kinds:
+    if kinds:
+        yield snapshot()
+    if total == 0:
         raise TraceImportError(f"{path!r}: empty Lackey trace")
-    return assemble_trace(kinds, mem_addr, mem_pc, branch_pc, branch_taken,
-                          name=name or _default_name(path))
+
+
+def _event_batch(kinds, mem_addr, mem_pc, branch_pc, branch_taken):
+    return {
+        "kind": np.asarray(kinds, dtype=np.uint8),
+        "mem_addr": np.asarray(mem_addr, dtype=np.uint64),
+        "mem_pc": np.asarray(mem_pc, dtype=np.uint64),
+        "branch_pc": np.asarray(branch_pc, dtype=np.uint64),
+        "branch_taken": np.asarray(branch_taken, dtype=bool),
+    }
+
+
+def import_lackey(path, name=None):
+    """Import a Lackey-style text trace (``I/L/S/M`` lines, ``B`` ext)."""
+    return _assemble_batches(parse_lackey_events(path), path, name)
 
 
 def export_lackey(trace, path):
@@ -433,10 +502,14 @@ def _parse_int(token, rowno, column, path):
     return value
 
 
-def import_csv(path, name=None):
-    """Import the generic CSV schema (``kind,addr,pc,taken``)."""
+def parse_csv_events(path, batch_instructions=None):
+    """Yield event batches of a generic-CSV trace (one row = one
+    instruction; see :func:`parse_champsim_events` for the schema)."""
+    batch_instructions = int(batch_instructions
+                             or _TEXT_BATCH_INSTRUCTIONS)
     kinds, mem_addr, mem_pc = [], [], []
     branch_pc, branch_taken = [], []
+    total = 0
     with _open_text(path) as handle:
         reader = csv_module.reader(handle)
         for rowno, row in enumerate(reader, start=1):
@@ -470,10 +543,24 @@ def import_csv(path, name=None):
                 branch_taken.append(taken == "1")
             else:
                 kinds.append(Kind.ALU)
-    if not kinds:
+            if len(kinds) >= batch_instructions:
+                total += len(kinds)
+                yield _event_batch(kinds, mem_addr, mem_pc, branch_pc,
+                                   branch_taken)
+                for buffer in (kinds, mem_addr, mem_pc, branch_pc,
+                               branch_taken):
+                    buffer.clear()
+    if kinds:
+        total += len(kinds)
+        yield _event_batch(kinds, mem_addr, mem_pc, branch_pc,
+                           branch_taken)
+    if total == 0:
         raise TraceImportError(f"{path!r}: empty CSV trace")
-    return assemble_trace(kinds, mem_addr, mem_pc, branch_pc, branch_taken,
-                          name=name or _default_name(path))
+
+
+def import_csv(path, name=None):
+    """Import the generic CSV schema (``kind,addr,pc,taken``)."""
+    return _assemble_batches(parse_csv_events(path), path, name)
 
 
 def export_csv(trace, path):
@@ -507,6 +594,16 @@ IMPORTERS = {
     "champsim": import_champsim,
     "lackey": import_lackey,
     "csv": import_csv,
+}
+
+#: Chunk-granular event parsers behind the streamed import pipeline.
+#: Each yields the same event stream its materialized importer consumes,
+#: in bounded batches (record-count granularity for ChampSim,
+#: instruction granularity for the text formats).
+EVENT_PARSERS = {
+    "champsim": parse_champsim_events,
+    "lackey": parse_lackey_events,
+    "csv": parse_csv_events,
 }
 
 EXPORTERS = {

@@ -1,0 +1,205 @@
+"""Chunk-granular trace import: parse → spill → normalize → container.
+
+The materialized importers (:mod:`repro.traceio.formats`) hold the whole
+event stream — and then the whole canonical array set — in RAM.  This
+module is the bounded-memory pipeline behind ``trace import --chunk``:
+
+1. **Parse pass.**  The format's event parser yields bounded batches;
+   each batch spills to append-only column files
+   (:class:`~repro.traceio.spill.ArraySpill`) while the distinct raw
+   memory PCs are merged chunk-by-chunk (O(unique PCs) state — the same
+   bound the spillable index builder accepts for its key tables).
+2. **Intern table.**  The merged PCs are written to a spill file and
+   memory-mapped back: pass 2 interns against the *spilled id table*,
+   so even a pathological million-PC trace costs pages, not RAM.
+3. **Normalize pass.**  The spilled event columns are re-read in
+   instruction windows: addresses collapse to cachelines, raw PCs
+   intern to dense ``int32`` ids (``searchsorted`` against the table —
+   bit-identical to the materialized ``np.unique`` interning), and the
+   branch stream replays through one persistent tournament predictor.
+   Each window becomes a :class:`~repro.trace.record.TraceChunk` fed to
+   the streaming container writer.
+
+Peak transient memory is O(chunk + unique PCs + unique lines); the
+canonical arrays never exist in RAM.  The differential harness asserts
+the resulting container is bit-identical to ``import_trace`` +
+``write_trace`` for every format and chunk size.
+"""
+
+import os
+import shutil
+import tempfile
+
+import numpy as np
+
+from repro.cpu.branch import TournamentPredictor
+from repro.cpu.config import ProcessorConfig
+from repro.trace.record import Kind, TraceChunk
+from repro.traceio.container import TraceStreamWriter
+from repro.traceio.formats import (
+    EVENT_PARSERS,
+    FORMAT_NAMES,
+    TraceImportError,
+    _default_name,
+    synthesize_mispredicts,
+)
+from repro.traceio.spill import ArraySpill, UniqueAccumulator
+from repro.util.units import CACHELINE_SHIFT
+
+#: Default instructions per normalization window (and per parse batch).
+DEFAULT_IMPORT_CHUNK = 1 << 20
+
+_EVENT_COLUMNS = {
+    "kind": np.uint8,
+    "mem_addr": np.uint64,
+    "mem_pc": np.uint64,
+    "branch_pc": np.uint64,
+    "branch_taken": np.bool_,
+}
+
+
+def parse_events(path, fmt, chunk_instructions=None):
+    """The format's event-batch stream, sized to ``chunk_instructions``."""
+    try:
+        parser = EVENT_PARSERS[fmt]
+    except KeyError:
+        raise ValueError(
+            f"unknown trace format {fmt!r} (expected one of {FORMAT_NAMES})")
+    chunk = int(chunk_instructions or DEFAULT_IMPORT_CHUNK)
+    if fmt == "champsim":
+        # ChampSim batches are record-aligned; every record expands to
+        # at least one canonical instruction, so ``chunk`` records bound
+        # the batch from below at roughly chunk instructions.
+        return parser(path, batch_records=chunk)
+    return parser(path, batch_instructions=chunk)
+
+
+def import_trace_streamed(path, fmt, out_path, name=None, source=None,
+                          chunk_instructions=None, compress=False,
+                          spill_dir=None, config=None):
+    """Import an external trace into a container with bounded memory.
+
+    The produced container (npz + manifest sidecar at ``out_path``) is
+    bit-identical in content and fingerprint to
+    ``write_trace(import_trace(path, fmt))``.  Returns the manifest.
+    ``spill_dir`` names the *parent* for the scratch directory; the
+    scratch itself is always removed, success or failure.  The default
+    parent is the output container's directory — same filesystem as the
+    trace being built, where the system temp dir is commonly a
+    RAM-backed tmpfs that would defeat the bounded-memory point.
+    """
+    chunk = max(1, int(chunk_instructions or DEFAULT_IMPORT_CHUNK))
+    name = name or _default_name(path)
+    if spill_dir is None:
+        spill_dir = os.path.dirname(os.path.abspath(out_path))
+    os.makedirs(spill_dir, exist_ok=True)
+
+    scratch = tempfile.mkdtemp(prefix="trace-import-", dir=spill_dir)
+    try:
+        events = ArraySpill(_EVENT_COLUMNS,
+                            directory=os.path.join(scratch, "events"))
+        # Pass 1: parse + spill, folding the per-batch counts and
+        # merging the distinct raw PCs (amortized — per-chunk union
+        # against the full table would be quadratic over a long ingest).
+        pcs = UniqueAccumulator(np.uint64)
+        n_mem = 0
+        n_branches = 0
+        for batch in parse_events(path, fmt, chunk):
+            events.append_batch(batch)
+            pcs.add(batch["mem_pc"])
+            kind = batch["kind"]
+            n_mem += int(np.count_nonzero(
+                (kind == Kind.LOAD) | (kind == Kind.STORE)))
+            n_branches += int(np.count_nonzero(kind == Kind.BRANCH))
+        views = events.views()
+
+        n_instructions = int(views["kind"].shape[0])
+        n_mem_events = int(views["mem_addr"].shape[0])
+        n_branch_events = int(views["branch_pc"].shape[0])
+        if n_mem_events != n_mem:
+            raise TraceImportError(
+                f"{n_mem_events} memory operands for "
+                f"{n_mem} memory instructions")
+        if n_branch_events != n_branches:
+            raise TraceImportError(
+                f"{n_branch_events} branch records for "
+                f"{n_branches} branch instructions")
+
+        # The interning table serves pass 2 from disk.
+        table = _spill_pc_table(pcs.table(), scratch)
+        del pcs
+
+        # Branch outcomes: one persistent predictor over the spilled
+        # branch stream, chunk by chunk (sequential, so bit-identical
+        # to the materialized single replay).
+        mispred_spill = ArraySpill({"branch_mispred": np.bool_},
+                                   directory=os.path.join(scratch,
+                                                          "mispred"))
+        predictor = TournamentPredictor(config or ProcessorConfig())
+        for lo in range(0, n_branch_events, chunk):
+            hi = min(n_branch_events, lo + chunk)
+            mispred_spill.append("branch_mispred", synthesize_mispredicts(
+                views["branch_pc"][lo:hi], views["branch_taken"][lo:hi],
+                predictor=predictor))
+        mispred = mispred_spill.views()["branch_mispred"]
+
+        # Pass 2: normalize instruction windows into canonical chunks.
+        writer = TraceStreamWriter(
+            spill_dir=os.path.join(scratch, "canonical"))
+        writer.extend(_normalized_chunks(
+            views, mispred, table, chunk, n_instructions))
+        return writer.write_container(out_path, name=name, source=source,
+                                      compress=compress)
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+
+
+def _spill_pc_table(pc_table, directory):
+    """Write the sorted-unique PC ids to disk; a memory-mapped view."""
+    if pc_table.size == 0:
+        return np.empty(0, dtype=np.uint64)
+    path = os.path.join(directory, "pc_table.npy")
+    table = np.lib.format.open_memmap(path, mode="w+", dtype=np.uint64,
+                                      shape=pc_table.shape)
+    table[:] = pc_table
+    table.flush()
+    return np.lib.format.open_memmap(path, mode="r")
+
+
+def _normalized_chunks(views, mispred, pc_table, chunk, n_instructions):
+    kind = views["kind"]
+    mem_cursor = 0
+    branch_cursor = 0
+    for lo in range(0, n_instructions, chunk):
+        hi = min(n_instructions, lo + chunk)
+        window = np.array(kind[lo:hi], copy=True)
+        mem_mask = (window == Kind.LOAD) | (window == Kind.STORE)
+        n_mem = int(np.count_nonzero(mem_mask))
+        n_branch = int(np.count_nonzero(window == Kind.BRANCH))
+        mem_pos = np.flatnonzero(mem_mask)
+        branch_pos = np.flatnonzero(window == Kind.BRANCH)
+
+        addr = np.asarray(views["mem_addr"][mem_cursor:mem_cursor + n_mem],
+                          dtype=np.uint64)
+        raw_pc = np.asarray(views["mem_pc"][mem_cursor:mem_cursor + n_mem],
+                            dtype=np.uint64)
+        if raw_pc.size:
+            interned = np.searchsorted(pc_table, raw_pc).astype(np.int32)
+        else:
+            interned = np.empty(0, dtype=np.int32)
+
+        yield TraceChunk(
+            instr_lo=lo,
+            instr_hi=hi,
+            kind=window,
+            mem_instr=mem_pos.astype(np.int64) + lo,
+            mem_line=(addr >> CACHELINE_SHIFT).astype(np.int64),
+            mem_pc=interned,
+            mem_store=window[mem_pos] == Kind.STORE,
+            branch_instr=branch_pos.astype(np.int64) + lo,
+            branch_mispred=np.array(
+                mispred[branch_cursor:branch_cursor + n_branch],
+                copy=True),
+        )
+        mem_cursor += n_mem
+        branch_cursor += n_branch

@@ -24,7 +24,6 @@ mapped; the reader transparently falls back to buffered loads and
 
 import io
 import zipfile
-from dataclasses import dataclass
 
 import numpy as np
 
@@ -33,7 +32,7 @@ from repro.traceio.container import (
     TraceFormatError,
     read_manifest,
 )
-from repro.trace.record import Trace
+from repro.trace.record import Trace, TraceChunk
 
 #: Default ``iter_chunks`` budget: the worst-case bytes a single chunk
 #: may materialize.
@@ -67,54 +66,6 @@ def _member_memmap(path, info):
         return np.empty(shape, dtype=dtype)
     return np.memmap(path, mode="r", dtype=dtype, shape=shape,
                      offset=offset, order="F" if fortran else "C")
-
-
-@dataclass
-class TraceChunk:
-    """One bounded window of a streamed trace.
-
-    Access/branch coordinates are *absolute* (trace-global); use
-    :meth:`to_trace` for a self-contained window with local coordinates.
-    """
-
-    instr_lo: int
-    instr_hi: int
-    kind: np.ndarray
-    mem_instr: np.ndarray
-    mem_line: np.ndarray
-    mem_pc: np.ndarray
-    mem_store: np.ndarray
-    branch_instr: np.ndarray
-    branch_mispred: np.ndarray
-
-    @property
-    def n_instructions(self):
-        return self.instr_hi - self.instr_lo
-
-    @property
-    def n_accesses(self):
-        return int(self.mem_instr.shape[0])
-
-    def nbytes(self):
-        """Materialized size of this chunk."""
-        return sum(a.nbytes for a in (
-            self.kind, self.mem_instr, self.mem_line, self.mem_pc,
-            self.mem_store, self.branch_instr, self.branch_mispred))
-
-    def to_trace(self, name="chunk"):
-        """A standalone, validated Trace of this window (local coords)."""
-        trace = Trace(
-            kind=self.kind,
-            mem_instr=self.mem_instr - self.instr_lo,
-            mem_line=self.mem_line,
-            mem_pc=self.mem_pc,
-            mem_store=self.mem_store,
-            branch_instr=self.branch_instr - self.instr_lo,
-            branch_mispred=self.branch_mispred,
-            name=name,
-        )
-        trace.validate()
-        return trace
 
 
 class TraceReader:

@@ -26,6 +26,7 @@ from repro.traceio.container import (
     manifest_path,
     read_manifest,
     trace_fingerprint,
+    write_manifest_sidecar,
     write_trace,
 )
 from repro.traceio.reader import TraceReader
@@ -186,6 +187,36 @@ class TraceLibrary:
                 "different content (pass force=True / --force to replace)")
         return write_trace(trace, self.path(name), name=name, source=source,
                            compress=compress)
+
+    def add_container(self, path, name=None, force=False):
+        """Adopt a finished container (npz + sidecar) into the library.
+
+        The bounded-memory counterpart of :meth:`add` for containers the
+        streamed importer already wrote to a scratch path: the same
+        one-time-import semantics apply — re-adding identical content is
+        a no-op (the scratch files are simply discarded), different
+        content under an existing name needs ``force=True`` — but the
+        decision reads only the manifests, never the arrays.  Files move
+        sidecar-first, mirroring :func:`write_trace`'s crash ordering.
+        Returns the manifest now served under ``name``.
+        """
+        manifest = read_manifest(path)
+        name = _check_not_spec_name(_check_name(name or manifest["name"]))
+        if self.contains(name) and not force:
+            existing = self.manifest(name)
+            if existing["fingerprint"] == manifest["fingerprint"]:
+                return existing
+            raise FileExistsError(
+                f"trace {name!r} already exists in {self.root} with "
+                "different content (pass force=True / --force to replace)")
+        destination = self.path(name)
+        os.makedirs(self.root, exist_ok=True)
+        if manifest["name"] != name:
+            manifest = dict(manifest, name=name)
+            write_manifest_sidecar(manifest_path(path), manifest)
+        os.replace(manifest_path(path), manifest_path(destination))
+        os.replace(str(path), destination)
+        return manifest
 
     def remove(self, name):
         """Delete a container (and sidecar); True if anything was removed."""

@@ -32,3 +32,17 @@ def stream_seed(seed, *labels):
 def child_rng(seed, *labels):
     """Return a ``numpy.random.Generator`` for the labelled child stream."""
     return np.random.default_rng(stream_seed(seed, *labels))
+
+
+def clone_rng(rng):
+    """An independent Generator frozen at ``rng``'s current position.
+
+    Draws from the clone reproduce exactly what draws from ``rng`` would
+    have produced, without advancing ``rng`` — including any buffered
+    half-word the bit generator holds for 32-bit draws.  This is what
+    lets chunked trace generation split one monolithic draw sequence
+    into per-site streams that stay bit-identical at every chunk size.
+    """
+    bit_generator = type(rng.bit_generator)()
+    bit_generator.state = rng.bit_generator.state
+    return np.random.Generator(bit_generator)

@@ -94,3 +94,189 @@ def test_trace_cli_import_info_ls_convert(capsys, tmp_path, monkeypatch):
 def test_trace_cli_rejects_unknown_format(tmp_path):
     with pytest.raises(SystemExit):
         main(["trace", "import", str(tmp_path / "x"), "--format", "elf"])
+
+
+#: Keys every container manifest must expose to tooling.
+MANIFEST_SCHEMA = {
+    "format", "format_version", "name", "fingerprint", "n_instructions",
+    "n_accesses", "n_branches", "n_pcs", "unique_lines",
+    "footprint_bytes", "mem_fraction", "compressed", "source", "arrays",
+}
+
+
+def _csv_fixture(tmp_path, n_instructions=4_000, seed=3,
+                 filename="fixture.csv"):
+    from repro.traceio import export_trace
+    from tests.test_traceio import random_trace
+
+    trace = random_trace(seed, n_instructions=n_instructions)
+    src = tmp_path / filename
+    export_trace(trace, src, "csv")
+    return trace, src
+
+
+def test_trace_info_json_schema(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE_DIR", str(tmp_path / "lib"))
+    trace, src = _csv_fixture(tmp_path)
+    assert main(["trace", "import", str(src), "--format", "csv",
+                 "--name", "schemafix"]) == 0
+    capsys.readouterr()
+    assert main(["trace", "info", "schemafix", "--json"]) == 0
+    manifest = json.loads(capsys.readouterr().out)
+    assert set(manifest) == MANIFEST_SCHEMA
+    assert manifest["format"] == "repro-trace"
+    assert manifest["n_instructions"] == trace.n_instructions
+    assert manifest["n_accesses"] == trace.n_accesses
+    assert manifest["source"] == {"path": str(src), "format": "csv"}
+    assert set(manifest["arrays"]) == {
+        "kind", "mem_instr", "mem_line", "mem_pc", "mem_store",
+        "branch_instr", "branch_mispred"}
+    for entry in manifest["arrays"].values():
+        assert set(entry) == {"dtype", "shape"}
+
+
+def test_trace_ls_json_schema(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE_DIR", str(tmp_path / "lib"))
+    _, src = _csv_fixture(tmp_path)
+    assert main(["trace", "import", str(src), "--format", "csv",
+                 "--name", "lsfix"]) == 0
+    capsys.readouterr()
+    assert main(["trace", "ls", "--json"]) == 0
+    listing = json.loads(capsys.readouterr().out)
+    assert len(listing) == 1
+    assert set(listing[0]) == MANIFEST_SCHEMA
+    assert listing[0]["name"] == "lsfix"
+
+
+def test_cache_gc_json(capsys, tmp_path):
+    assert main(["cache", "gc", "--dir", str(tmp_path), "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert set(payload) == {"root", "removed", "reclaimed_bytes"}
+    assert payload["root"] == str(tmp_path)
+    assert payload["removed"] == 0 and payload["reclaimed_bytes"] == 0
+    # A stale-schema blob is reclaimable and must be counted.
+    from repro.store import ArtifactStore
+
+    old = ArtifactStore(root=tmp_path, enabled=True, schema_version=0)
+    old.save({"k": 1}, {"x": np.arange(8)}, label="stale")
+    assert main(["cache", "gc", "--dir", str(tmp_path), "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["removed"] == 1 and payload["reclaimed_bytes"] > 0
+
+
+def test_trace_import_chunked_matches_materialized(capsys, tmp_path,
+                                                   monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE_DIR", str(tmp_path / "lib"))
+    _, src = _csv_fixture(tmp_path)
+    assert main(["trace", "import", str(src), "--format", "csv",
+                 "--name", "whole"]) == 0
+    assert main(["trace", "import", str(src), "--format", "csv",
+                 "--name", "chunked", "--chunk", "257"]) == 0
+    capsys.readouterr()
+    assert main(["trace", "info", "whole", "--json"]) == 0
+    whole = json.loads(capsys.readouterr().out)
+    assert main(["trace", "info", "chunked", "--json", "--verify"]) == 0
+    chunked = json.loads(capsys.readouterr().out)
+    assert chunked["fingerprint"] == whole["fingerprint"]
+    assert chunked["n_instructions"] == whole["n_instructions"]
+    # Re-importing identical content under the same name is a no-op...
+    assert main(["trace", "import", str(src), "--format", "csv",
+                 "--name", "chunked", "--chunk", "400"]) == 0
+    # ...but different content needs --force.
+    _, src2 = _csv_fixture(tmp_path, seed=9, filename="other.csv")
+    capsys.readouterr()
+    assert main(["trace", "import", str(src2), "--format", "csv",
+                 "--name", "chunked", "--chunk", "400"]) == 1
+    assert "already exists" in capsys.readouterr().err
+    assert main(["trace", "import", str(src2), "--format", "csv",
+                 "--name", "chunked", "--chunk", "400", "--force"]) == 0
+
+
+def test_trace_import_chunked_rejects_bad_inputs(capsys, tmp_path,
+                                                 monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE_DIR", str(tmp_path / "lib"))
+    _, src = _csv_fixture(tmp_path)
+    # Non-positive chunk is a usage error, not a crash.
+    assert main(["trace", "import", str(src), "--format", "csv",
+                 "--name", "bad", "--chunk", "0"]) == 1
+    assert "--chunk" in capsys.readouterr().err
+    # A synthetic-suite-shadowing name fails before the import runs.
+    assert main(["trace", "import", str(src), "--format", "csv",
+                 "--name", "mcf", "--chunk", "64"]) == 1
+    assert "shadows" in capsys.readouterr().err
+    # Malformed rows fail cleanly and leave no library entry behind.
+    broken = tmp_path / "broken.csv"
+    broken.write_text("kind,addr,pc,taken\nL,0x40,0x1,\nQ,,,\n")
+    assert main(["trace", "import", str(broken), "--format", "csv",
+                 "--name", "bad", "--chunk", "64"]) == 1
+    assert "unknown kind" in capsys.readouterr().err
+    # Truncated binary input likewise.
+    stub = tmp_path / "trunc.champsim"
+    stub.write_bytes(b"\x00" * 37)
+    assert main(["trace", "import", str(stub), "--format", "champsim",
+                 "--name", "bad", "--chunk", "64"]) == 1
+    assert "truncated" in capsys.readouterr().err
+    assert main(["trace", "ls", "--json"]) == 0
+    assert json.loads(capsys.readouterr().out) == []
+
+
+def test_synth_export_cli(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE_DIR", str(tmp_path / "lib"))
+    assert main(["synth", "export", "bwaves", "--instructions", "50000",
+                 "--chunk", "9000", "--seed", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "exported bwaves" in out
+    assert main(["trace", "info", "bwaves.synth", "--json",
+                 "--verify"]) == 0
+    manifest = json.loads(capsys.readouterr().out)
+    assert manifest["n_instructions"] == 50_000
+    assert manifest["source"]["generator"] == "synthetic"
+    assert manifest["source"]["spec_fingerprint"]
+    # The container matches the monolithic build bit for bit.
+    from repro.trace.spec import benchmark_spec
+    from repro.traceio import trace_fingerprint
+
+    reference = benchmark_spec("bwaves").workload(
+        n_instructions=50_000, seed=2).trace
+    assert manifest["fingerprint"] == trace_fingerprint(reference)
+    # Imported names run through the suite machinery unchanged.
+    assert main(["trace", "ls", "--json"]) == 0
+    assert [e["name"] for e in json.loads(capsys.readouterr().out)] == \
+        ["bwaves.synth"]
+
+
+def test_synth_export_noop_and_conflict_short_circuit(capsys, tmp_path,
+                                                      monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE_DIR", str(tmp_path / "lib"))
+    args = ["synth", "export", "gamess", "--instructions", "30000"]
+    assert main(args) == 0
+    capsys.readouterr()
+    # Identical parameters: settled from the manifest, no regeneration.
+    assert main(args) == 0
+    assert "already exported" in capsys.readouterr().out
+    # Different parameters under the same name: refused upfront...
+    assert main(["synth", "export", "gamess", "--instructions", "40000"]) \
+        == 1
+    assert "different generator parameters" in capsys.readouterr().err
+    # ...unless forced.
+    assert main(["synth", "export", "gamess", "--instructions", "40000",
+                 "--force"]) == 0
+    capsys.readouterr()
+    assert main(["trace", "info", "gamess.synth", "--json"]) == 0
+    assert json.loads(capsys.readouterr().out)["n_instructions"] == 40_000
+
+
+def test_synth_export_rejections(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE_DIR", str(tmp_path / "lib"))
+    assert main(["synth", "export", "nonesuch"]) == 1
+    assert "unknown synthetic benchmark" in capsys.readouterr().err
+    # Exporting *under a synthetic suite name* would shadow the
+    # calibrated benchmark; the library refuses.
+    assert main(["synth", "export", "bwaves", "--instructions", "20000",
+                 "--name", "mcf"]) == 1
+    assert "shadows" in capsys.readouterr().err
+    assert main(["synth", "export", "bwaves", "--chunk", "-3"]) == 1
+    assert "--chunk" in capsys.readouterr().err
+    assert main(["synth", "export", "bwaves",
+                 "--instructions", "0"]) == 1
+    assert "--instructions" in capsys.readouterr().err

@@ -6,7 +6,8 @@ Usage::
     python -m repro table1
     python -m repro fig5 [--quick] [--benchmarks mcf,lbm] [--out FILE]
     python -m repro all --quick
-    python -m repro cache stats|ls|gc|clear [--dir DIR] [--json]
+    python -m repro cache stats|ls|gc|clear|verify [--dir DIR] [--json]
+                                                   [--repair]
     python -m repro trace import|info|convert|ls ...
     python -m repro synth export BENCH [--instructions N] [--chunk C] ...
 
@@ -85,7 +86,7 @@ def list_exhibits():
         summary = doc[0] if doc else ""
         print(f"{name:<{width}}  {summary}")
     print(f"{'cache':<{width}}  Inspect/maintain the artifact store "
-          "(stats, ls, gc, clear)")
+          "(stats, ls, gc, clear, verify)")
     print(f"{'trace':<{width}}  Import/inspect external memory traces "
           "(import, info, convert, ls)")
     print(f"{'synth':<{width}}  Stream synthetic benchmarks into native "
@@ -97,14 +98,21 @@ def build_cache_parser():
         prog="python -m repro cache",
         description="Inspect and maintain the persistent artifact store "
                     "(REPRO_CACHE_DIR, default ~/.cache/repro).")
-    parser.add_argument("action", choices=("stats", "ls", "gc", "clear"),
+    parser.add_argument("action",
+                        choices=("stats", "ls", "gc", "clear", "verify"),
                         help="stats: tier summary; ls: list entries; "
                              "gc: drop stale-schema blobs and temp litter; "
-                             "clear: remove everything")
+                             "clear: remove everything; "
+                             "verify: re-hash every blob against its "
+                             "recorded checksum")
     parser.add_argument("--dir", default=None,
                         help="store root (overrides REPRO_CACHE_DIR)")
     parser.add_argument("--json", action="store_true",
-                        help="machine-readable output (stats, ls and gc)")
+                        help="machine-readable output "
+                             "(stats, ls, gc and verify)")
+    parser.add_argument("--repair", action="store_true",
+                        help="verify: quarantine corrupt blobs so the "
+                             "next run recomputes them")
     return parser
 
 
@@ -164,6 +172,36 @@ def cache_main(argv):
     elif args.action == "clear":
         removed = store.disk.clear()
         print(f"removed {removed} entries from {store.root}")
+    elif args.action == "verify":
+        results = list(store.verify(repair=args.repair))
+        counts = {}
+        for entry in results:
+            counts[entry["status"]] = counts.get(entry["status"], 0) + 1
+        bad = [e for e in results if e["status"] == "corrupt"]
+        if args.json:
+            print(json.dumps({
+                "root": store.root,
+                "checked": len(results),
+                "counts": counts,
+                "corrupt": bad,
+                "repaired": args.repair,
+            }, indent=2, sort_keys=True))
+        else:
+            for entry in results:
+                if entry["status"] == "ok":
+                    continue
+                print(f"{entry['digest'][:16]}  {entry['label']:<18s} "
+                      f"{entry['status']}")
+            summary = ", ".join(f"{counts[s]} {s}"
+                                for s in sorted(counts)) or "empty store"
+            action = (" (quarantined)" if args.repair and bad else
+                      " (re-run with --repair to quarantine)" if bad
+                      else "")
+            print(f"checked {len(results)} entries in {store.root}: "
+                  f"{summary}{action}")
+        # Corrupt blobs that are still in place are an error state;
+        # quarantined ones will transparently recompute.
+        return 1 if bad and not args.repair else 0
     return 0
 
 

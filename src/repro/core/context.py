@@ -249,3 +249,8 @@ class ExecutionContext:
         self._index = None
         self._owns_index = True
         self.workload.release()
+        # With no mapped views left on our side, drop the store's shared
+        # reader lock so maintenance (``cache gc``) can proceed.
+        release_locks = getattr(self.store, "release_locks", None)
+        if release_locks is not None:
+            release_locks()

@@ -29,6 +29,20 @@ every requested strategy against it).  Workers share the parent's cache
 directory — the disk tier's atomic writes make that safe — and hand back
 store digests rather than pickled results when the store is enabled.
 
+The pool is **resilient** (:mod:`repro.reliability`): every dispatched
+task gets a per-task timeout (``REPRO_TASK_TIMEOUT``) and a retry
+budget (``REPRO_TASK_RETRIES``, default 2) with exponential backoff and
+deterministic jitter (``REPRO_RETRY_BACKOFF``); a killed or crashed
+worker breaks one round, not the campaign — the pool is rebuilt and the
+unfinished tasks re-dispatched, resuming from any result digests a
+dying worker already published.  Every attempt is recorded in a
+:class:`~repro.reliability.report.MatrixReport`
+(``runner.last_matrix_report``); tasks that remain failed after the
+budget raise one structured
+:class:`~repro.reliability.report.MatrixExecutionError` naming each
+failed benchmark and its last failure, instead of whichever raw
+traceback the pool happened to surface first.
+
 Imported workloads run **end-to-end in streaming mode**: every strategy
 executes on one shared :class:`~repro.core.context.ExecutionContext`
 whose trace is the container's memory-mapped view and whose
@@ -41,12 +55,30 @@ sampled regions rather than the trace length.
 """
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+import signal
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 
 from repro.caches.hierarchy import paper_hierarchy
 from repro.core.context import ExecutionContext, index_spill_mode, wants_spill
 from repro.core.delorean import DeLorean
 from repro.core.dse import DesignSpaceExploration
+from repro.reliability.faults import InjectedFault, active_plan, fault_point
+from repro.reliability.report import (
+    KIND_ABORTED,
+    KIND_CRASH,
+    KIND_ERROR,
+    KIND_TIMEOUT,
+    MatrixExecutionError,
+    MatrixReport,
+)
+from repro.reliability.retry import (
+    pool_backoff,
+    pool_retries,
+    pool_timeout,
+    sleep_before_retry,
+)
 from repro.sampling.coolsim import CoolSim
 from repro.sampling.plan import SamplingPlan
 from repro.sampling.smarts import Smarts
@@ -66,8 +98,48 @@ STRATEGIES = {
 }
 
 
+def _visit_task_seam(name, stage):
+    """One ``pool.task`` fault seam visit (worker entry / exit).
+
+    ``crash`` SIGKILLs the worker — indistinguishable from an OOM kill
+    or a batch scheduler's reaping; ``hang`` sleeps past any sane task
+    timeout; ``slow`` delays but completes; ``error`` raises.  The exit
+    visit models a worker dying *after* publishing its results — the
+    checkpoint/resume path the parent recovers through without
+    recomputation.
+    """
+    rule = fault_point("pool.task")
+    if rule is None:
+        return
+    if rule.mode == "crash":
+        os.kill(os.getpid(), signal.SIGKILL)
+    elif rule.mode == "hang":
+        time.sleep(rule.param("seconds", 30.0))
+    elif rule.mode == "slow":
+        time.sleep(rule.param("seconds", 0.5))
+    elif rule.mode == "error":
+        raise InjectedFault(
+            f"injected pool.task error at {stage} of {name!r}")
+
+
+def _kill_pool_workers(pool):
+    """Forcibly end a pool whose task exceeded its deadline.
+
+    ``ProcessPoolExecutor`` cannot interrupt a running call; killing the
+    worker processes is the only way to reclaim a hung task.  The pool
+    is broken afterwards and discarded by the caller (the dispatch loop
+    rebuilds one for the retry round).
+    """
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.kill()
+        except (OSError, AttributeError):
+            pass
+
+
 def _run_benchmark_worker(config, name, strategies, llc, options, backend,
-                          store_root):
+                          store_root, fault_spec=None):
     """Run the requested strategies for one benchmark (worker process).
 
     Module-level so it pickles; builds the workload/index once and
@@ -77,11 +149,21 @@ def _run_benchmark_worker(config, name, strategies, llc, options, backend,
     interpreter would otherwise fall back to the environment default.
 
     With a shared store (``store_root``), each result is published to
-    disk and only its digest crosses the process boundary; without one,
-    the pickled results travel over the pipe as before.
+    disk and only its digest crosses the process boundary; without one
+    — or when the publish failed (full disk) — the pickled results
+    travel over the pipe as before.
+
+    ``fault_spec`` re-arms the parent's fault plan in this worker on
+    every task attempt (campaign-global ``times=`` limits live in the
+    plan's shared state dir); the ``pool.task`` seam is visited at entry
+    and again before returning.
     """
     from repro import kernels
+    from repro.reliability.faults import inject
 
+    if fault_spec is not None:
+        inject(fault_spec)
+    _visit_task_seam(name, "entry")
     kernels.set_backend(backend)
     store = (ArtifactStore(root=store_root, enabled=True)
              if store_root else ArtifactStore(enabled=False))
@@ -89,13 +171,18 @@ def _run_benchmark_worker(config, name, strategies, llc, options, backend,
     results = {}
     for strategy in strategies:
         result = runner.run(name, strategy, llc, **options)
+        digest = None
         if store.enabled:
             digest = store.digest(
                 runner._result_store_key(name, strategy, llc, options))
+        if digest is not None and store.disk.contains(digest):
             results[strategy] = ("digest", digest)
         else:
+            # Store off, or the publish was dropped (ENOSPC/EIO
+            # degradation): ship the result itself.
             results[strategy] = ("result", result)
     runner.release()
+    _visit_task_seam(name, "exit")
     return name, results
 
 
@@ -109,6 +196,9 @@ class SuiteRunner:
         self._active_workload = None
         self._active_index = None
         self._active_context = None
+        #: The :class:`MatrixReport` of the most recent pooled
+        #: ``run_matrix`` dispatch (None before the first one).
+        self.last_matrix_report = None
 
     @property
     def names(self):
@@ -392,38 +482,195 @@ class SuiteRunner:
                     # in-process.
                     missing[name] = tuple(todo)
             if missing:
-                from repro import kernels
-
-                backend = kernels.get_backend()
-                store_root = self.store.root if self.store.enabled else None
-                workers = max_workers or os.cpu_count() or 1
-                workers = min(workers, len(missing))
-                with ProcessPoolExecutor(max_workers=workers) as pool:
-                    futures = [
-                        pool.submit(_run_benchmark_worker, self.config,
-                                    name, todo, llc, strategy_options,
-                                    backend, store_root)
-                        for name, todo in missing.items()
-                    ]
-                    for future in futures:
-                        name, payloads = future.result()
-                        fingerprint = self._imported_fingerprint(name)
-                        for strategy, (tag, value) in payloads.items():
-                            if tag == "digest":
-                                result = self.store.load_digest(value)
-                                if result is None:
-                                    continue     # gc raced us; recompute below
-                            else:
-                                result = value
-                            self._results[
-                                (name, fingerprint, strategy, llc,
-                                 opts_key)] = result
+                self._dispatch_matrix_pool(missing, llc, strategy_options,
+                                           max_workers, opts_key)
         matrix = {strategy: {} for strategy in strategies}
         for name in self.names:
             for strategy in strategies:
                 matrix[strategy][name] = self.run(
                     name, strategy, llc, **strategy_options)
         return matrix
+
+    # -- resilient pool dispatch ---------------------------------------------
+
+    def _dispatch_matrix_pool(self, missing, llc, strategy_options,
+                              max_workers, opts_key):
+        """Fan the missing tasks over a process pool with fault recovery.
+
+        Rounds of dispatch: every pending task is submitted, harvested
+        with a per-task timeout, and — on a crash, hang, or error —
+        retried in the next round against a fresh pool, after a
+        checkpoint pass that adopts any result digests a dying worker
+        already published.  Collateral casualties of a torn-down pool
+        (``aborted``) do not consume retry budget; real failures do.
+        Raises :class:`MatrixExecutionError` when tasks remain failed
+        after ``REPRO_TASK_RETRIES``.
+        """
+        from repro import kernels
+
+        backend = kernels.get_backend()
+        store_root = self.store.root if self.store.enabled else None
+        plan = active_plan()
+        fault_spec = plan.spec if plan is not None else None
+        max_pool = max_workers or os.cpu_count() or 1
+        timeout = pool_timeout()
+        retries = pool_retries()
+        backoff = pool_backoff()
+        report = MatrixReport()
+        self.last_matrix_report = report
+        pending = {}
+        for name, todo in missing.items():
+            report.task(name, todo)
+            pending[name] = tuple(todo)
+
+        while pending:
+            report.rounds += 1
+            if report.rounds > 1:
+                # Checkpoint/resume: a worker that died *after*
+                # publishing costs nothing — its digests are already in
+                # the shared store.
+                pending = self._resume_from_store(
+                    pending, llc, strategy_options, opts_key, report)
+                if not pending:
+                    break
+                report.backoff_seconds += sleep_before_retry(
+                    report.rounds - 1, base=backoff,
+                    seed=self.config.seed,
+                    label=",".join(sorted(pending)))
+            workers = min(max_pool, len(pending))
+            pool = ProcessPoolExecutor(max_workers=workers)
+            futures = {}
+            for name, todo in sorted(pending.items()):
+                report.task(name).attempts += 1
+                futures[pool.submit(
+                    _run_benchmark_worker, self.config, name, todo, llc,
+                    strategy_options, backend, store_root,
+                    fault_spec)] = name
+            completed, torn_down = self._harvest_round(
+                pool, futures, report, llc, timeout, opts_key)
+            if torn_down:
+                report.pool_rebuilds += 1
+            for name in completed:
+                report.task(name).status = "completed"
+                del pending[name]
+            for name in sorted(pending):
+                record = report.task(name)
+                real = [f for f in record.failures
+                        if f.kind != KIND_ABORTED]
+                if len(real) > retries:
+                    record.status = "failed"
+            pending = {name: todo for name, todo in pending.items()
+                       if report.task(name).status != "failed"}
+        if report.failed:
+            raise MatrixExecutionError(report)
+
+    def _resume_from_store(self, pending, llc, strategy_options, opts_key,
+                           report):
+        """Adopt store-resident results; the still-missing remainder."""
+        remaining = {}
+        for name, todo in pending.items():
+            fingerprint = self._imported_fingerprint(name)
+            left = []
+            for strategy in todo:
+                cached = self.store.load(self._result_store_key(
+                    name, strategy, llc, strategy_options))
+                if cached is None:
+                    left.append(strategy)
+                else:
+                    self._results[(name, fingerprint, strategy, llc,
+                                   opts_key)] = cached
+            if left:
+                remaining[name] = tuple(left)
+            else:
+                report.task(name).status = "completed"
+        return remaining
+
+    def _harvest_round(self, pool, futures, report, llc, timeout,
+                       opts_key):
+        """Collect one dispatch round; ``(completed names, torn_down)``.
+
+        A worker death surfaces as ``BrokenProcessPool`` on *every*
+        outstanding future — tasks observed running just before are
+        recorded as ``crash`` (their work is lost either way), the rest
+        as ``aborted`` collateral that retries for free.  A task
+        exceeding the deadline gets ``timeout`` and the pool's workers
+        are killed (a running call cannot be interrupted); queued tasks
+        cancel cleanly and ride the next round as ``aborted``.
+        """
+        completed = set()
+        torn_down = False
+        not_done = set(futures)
+        deadline = (None if timeout is None
+                    else {f: time.monotonic() + timeout for f in futures})
+        try:
+            while not_done:
+                wait_for = None
+                if deadline is not None:
+                    wait_for = max(0.0,
+                                   min(deadline[f] for f in not_done)
+                                   - time.monotonic())
+                running = {f for f in not_done if f.running()}
+                done, not_done = wait(not_done, timeout=wait_for,
+                                      return_when=FIRST_COMPLETED)
+                for future in done:
+                    name = futures[future]
+                    record = report.task(name)
+                    try:
+                        _, payloads = future.result()
+                    except BrokenProcessPool:
+                        torn_down = True
+                        if future in running:
+                            record.record_failure(
+                                KIND_CRASH,
+                                "worker process died abruptly")
+                        else:
+                            record.record_failure(
+                                KIND_ABORTED,
+                                "pool torn down before the task ran")
+                    except Exception as exc:
+                        record.record_failure(
+                            KIND_ERROR, f"{type(exc).__name__}: {exc}")
+                    else:
+                        self._adopt_worker_payloads(name, payloads, llc,
+                                                    opts_key)
+                        completed.add(name)
+                if deadline is not None and not_done:
+                    now = time.monotonic()
+                    expired = {f for f in not_done if deadline[f] <= now}
+                    if expired:
+                        torn_down = True
+                        for future in not_done:
+                            record = report.task(futures[future])
+                            if future in expired and not future.cancel():
+                                record.record_failure(
+                                    KIND_TIMEOUT,
+                                    f"exceeded the {timeout:g}s "
+                                    "per-task timeout")
+                            else:
+                                record.record_failure(
+                                    KIND_ABORTED,
+                                    "pool torn down around a "
+                                    "timed-out task")
+                        _kill_pool_workers(pool)
+                        not_done = set()
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+        return completed, torn_down
+
+    def _adopt_worker_payloads(self, name, payloads, llc, opts_key):
+        fingerprint = self._imported_fingerprint(name)
+        for strategy, (tag, value) in payloads.items():
+            if tag == "digest":
+                result = self.store.load_digest(value)
+                if result is None:
+                    # gc raced us, or the blob failed its checksum and
+                    # was quarantined: the sequential sweep recomputes
+                    # this strategy in-process.
+                    continue
+            else:
+                result = value
+            self._results[(name, fingerprint, strategy, llc,
+                           opts_key)] = result
 
     def run_dse(self, name, llc_paper_bytes_list=None, **options):
         """Design-space sweep for one benchmark (shared warm-up).
@@ -478,3 +725,8 @@ class SuiteRunner:
         """Drop the active workload/trace/index — closing streaming
         readers and mapped index views (results stay memoized)."""
         self._release_active()
+        # No mapped store views remain: release the shared reader lock
+        # so another process's ``cache gc`` is not held up by us.
+        release_locks = getattr(self.store, "release_locks", None)
+        if release_locks is not None:
+            release_locks()

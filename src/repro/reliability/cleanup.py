@@ -1,0 +1,82 @@
+"""Scratch-directory cleanup that survives interrupts and SIGTERM.
+
+The chunked pipelines (streamed import, synthetic generation, index
+spilling) stage gigabytes in scratch directories.  Their ``finally``
+blocks already clean up on exceptions — including ``KeyboardInterrupt``
+— but a SIGTERM (a batch scheduler's kill, a supervisor timeout) tears
+the process down without unwinding the stack, leaving orphaned spill
+files behind.
+
+This registry closes that hole: every owned scratch directory is
+registered at creation and unregistered when its owner removes it; an
+``atexit`` hook plus a chaining SIGTERM handler sweep whatever is still
+registered when the process dies.  The handler re-raises the default
+SIGTERM disposition after sweeping, so exit codes and parent-observed
+signals are unchanged.
+"""
+
+import atexit
+import os
+import shutil
+import signal
+import threading
+
+_REGISTRY = set()
+_LOCK = threading.Lock()
+_INSTALLED = False
+_PREVIOUS_HANDLER = None
+
+
+def _sweep():
+    """Remove every still-registered scratch directory (idempotent)."""
+    with _LOCK:
+        paths = sorted(_REGISTRY)
+        _REGISTRY.clear()
+    for path in paths:
+        shutil.rmtree(path, ignore_errors=True)
+
+
+def _on_sigterm(signum, frame):
+    _sweep()
+    previous = _PREVIOUS_HANDLER
+    if callable(previous):
+        previous(signum, frame)
+        return
+    # Restore the default disposition and re-deliver, so the process
+    # still dies *by SIGTERM* (wait status, not a plain exit code).
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    os.kill(os.getpid(), signal.SIGTERM)
+
+
+def _install():
+    global _INSTALLED, _PREVIOUS_HANDLER
+    if _INSTALLED:
+        return
+    _INSTALLED = True
+    atexit.register(_sweep)
+    try:
+        _PREVIOUS_HANDLER = signal.signal(signal.SIGTERM, _on_sigterm)
+    except ValueError:
+        # Not the main thread (or no signal support): atexit still
+        # covers orderly interpreter shutdown.
+        _PREVIOUS_HANDLER = None
+
+
+def register_scratch(path):
+    """Track ``path`` for sweep-on-exit; returns ``path`` unchanged."""
+    with _LOCK:
+        _REGISTRY.add(str(path))
+    _install()
+    return path
+
+
+def unregister_scratch(path):
+    """Stop tracking ``path`` (its owner removed it normally)."""
+    with _LOCK:
+        _REGISTRY.discard(str(path))
+
+
+def registered_scratch():
+    """Currently tracked scratch paths (sorted; for tests/diagnostics)."""
+    with _LOCK:
+        return sorted(_REGISTRY)

@@ -1,0 +1,319 @@
+"""Deterministic fault injection at the pipeline's real seams.
+
+A :class:`FaultPlan` is a small set of rules — *which seam*, *which
+failure mode*, *when to fire* — parsed from a compact spec string
+(``REPRO_FAULTS`` in the environment, or :func:`inject` in code) and
+evaluated with a seeded hash, so every chaos run is replayable: the same
+spec produces the same faults at the same seam visits, independent of
+Python hash randomization or wall-clock.
+
+Spec grammar (clauses separated by ``;``)::
+
+    REPRO_FAULTS = "seed=7;state=/tmp/faults;store.write:torn@p=0.5"
+
+* ``seed=<int>`` — seeds the probabilistic draws (default 0);
+* ``state=<dir>`` — a directory for cross-process fire counters, so a
+  rule with ``times=k`` fires at most ``k`` times across *every*
+  process sharing the plan (pool workers re-arm their per-process
+  counters on each task attempt — without a state dir a ``crash`` rule
+  would kill every retry forever);
+* ``<site>:<mode>[@k=v[,k=v...]]`` — one rule.
+
+Sites and their modes (:data:`SITES`):
+
+========== =============================== ==============================
+site        where it fires                  modes
+========== =============================== ==============================
+store.write ``DiskStore.put``/``put_stream`` ``torn`` (truncate the
+                                            payload, ``frac=0.5``),
+                                            ``flip`` (flip one payload
+                                            bit), ``enospc``, ``eio``
+store.read  ``DiskStore._read_blob``        ``eio``
+reader.open ``TraceReader._open``           ``eio``
+pool.task   ``run_matrix`` worker entry     ``crash`` (SIGKILL itself),
+                                            ``hang`` (``seconds=30``),
+                                            ``slow`` (``seconds=0.5``),
+                                            ``error`` (raise)
+========== =============================== ==============================
+
+Firing parameters (all optional; default is *fire on every visit*):
+
+* ``n=<k>`` — fire on exactly the k-th visit of the seam (1-based);
+* ``after=<k>`` — fire from the k-th visit onward;
+* ``p=<float>`` — fire with probability ``p`` per visit, drawn
+  deterministically from ``(seed, site, mode, visit)``;
+* ``times=<k>`` — fire at most ``k`` times (globally with a state dir,
+  per process otherwise).
+
+Seams are *pull*-based: production code calls
+:func:`fault_point(site) <fault_point>` and gets back the firing
+:class:`FaultRule` (or ``None`` — the overwhelmingly common case, a
+single global-is-None check).  The seam applies the mode itself; error
+modes use :meth:`FaultRule.os_error`.
+"""
+
+import errno
+import hashlib
+import os
+
+try:
+    import fcntl
+except ImportError:                               # non-POSIX: counters
+    fcntl = None                                  # degrade to per-process
+
+#: Injectable seams and the failure modes each understands.
+SITES = {
+    "store.write": ("torn", "flip", "enospc", "eio"),
+    "store.read": ("eio",),
+    "reader.open": ("eio",),
+    "pool.task": ("crash", "hang", "slow", "error"),
+}
+
+_ERRNO = {"enospc": errno.ENOSPC, "eio": errno.EIO}
+
+
+class FaultSpecError(ValueError):
+    """A ``REPRO_FAULTS`` spec that cannot be parsed."""
+
+
+class InjectedFault(RuntimeError):
+    """Raised by ``pool.task:error`` — a worker failing loudly."""
+
+
+class FaultRule:
+    """One parsed ``site:mode@params`` clause of a fault plan."""
+
+    _FIRING_KEYS = ("p", "n", "after", "times")
+
+    def __init__(self, site, mode, params, index=0):
+        if site not in SITES:
+            raise FaultSpecError(
+                f"unknown fault site {site!r} (expected one of "
+                f"{sorted(SITES)})")
+        if mode not in SITES[site]:
+            raise FaultSpecError(
+                f"site {site!r} has no mode {mode!r} (expected one of "
+                f"{SITES[site]})")
+        self.site = site
+        self.mode = mode
+        self.params = dict(params)
+        self.index = int(index)
+        self.p = self._float_param("p")
+        self.n = self._int_param("n")
+        self.after = self._int_param("after")
+        self.times = self._int_param("times")
+        self.hits = 0
+        self.fired = 0
+
+    def _float_param(self, key):
+        value = self.params.get(key)
+        return None if value is None else float(value)
+
+    def _int_param(self, key):
+        value = self.params.get(key)
+        return None if value is None else int(value)
+
+    def param(self, key, default=None):
+        """A mode-specific parameter (``frac``, ``seconds``, ...),
+        coerced to the default's type when one is given."""
+        value = self.params.get(key)
+        if value is None:
+            return default
+        return type(default)(value) if default is not None else value
+
+    def os_error(self):
+        """The OSError this rule's mode injects (``eio``/``enospc``)."""
+        code = _ERRNO.get(self.mode, errno.EIO)
+        return OSError(code, f"injected fault: {self.site}:{self.mode}")
+
+    def __repr__(self):
+        extra = "".join(f",{k}={v}" for k, v in sorted(self.params.items()))
+        return f"FaultRule({self.site}:{self.mode}{extra})"
+
+
+def _uniform(seed, site, mode, index, hit):
+    """A deterministic U[0,1) draw for one rule visit."""
+    token = f"{seed}:{site}:{mode}:{index}:{hit}".encode()
+    digest = hashlib.sha256(token).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
+class FaultPlan:
+    """A seeded, replayable set of fault rules over the named seams."""
+
+    def __init__(self, rules, seed=0, state_dir=None, spec=None):
+        self.rules = list(rules)
+        self.seed = int(seed)
+        self.state_dir = str(state_dir) if state_dir else None
+        #: The originating spec string (ships the plan to pool workers).
+        self.spec = spec if spec is not None else self.to_spec()
+
+    @classmethod
+    def from_spec(cls, spec):
+        """Parse a ``REPRO_FAULTS`` spec string (see module docstring)."""
+        seed = 0
+        state_dir = None
+        rules = []
+        for clause in str(spec).split(";"):
+            clause = clause.strip()
+            if not clause:
+                continue
+            if clause.startswith("seed="):
+                seed = int(clause[len("seed="):])
+                continue
+            if clause.startswith("state="):
+                state_dir = clause[len("state="):]
+                continue
+            if ":" not in clause:
+                raise FaultSpecError(
+                    f"bad fault clause {clause!r} (expected "
+                    "'site:mode[@k=v,...]', 'seed=N' or 'state=DIR')")
+            site, _, rest = clause.partition(":")
+            mode, _, param_text = rest.partition("@")
+            params = {}
+            if param_text:
+                for pair in param_text.split(","):
+                    key, sep, value = pair.partition("=")
+                    if not sep or not key:
+                        raise FaultSpecError(
+                            f"bad fault parameter {pair!r} in {clause!r}")
+                    params[key.strip()] = value.strip()
+            rules.append(FaultRule(site.strip(), mode.strip(), params,
+                                   index=len(rules)))
+        return cls(rules, seed=seed, state_dir=state_dir, spec=str(spec))
+
+    def to_spec(self):
+        """A spec string that re-parses to this plan."""
+        clauses = [f"seed={self.seed}"]
+        if self.state_dir:
+            clauses.append(f"state={self.state_dir}")
+        for rule in self.rules:
+            clause = f"{rule.site}:{rule.mode}"
+            if rule.params:
+                clause += "@" + ",".join(
+                    f"{k}={v}" for k, v in sorted(rule.params.items()))
+            clauses.append(clause)
+        return ";".join(clauses)
+
+    # -- firing decisions ----------------------------------------------------
+
+    def _claim_global(self, rule):
+        """Atomically claim one global firing slot for ``rule``.
+
+        Counter files live in the state dir, locked with ``flock`` so
+        concurrent pool workers cannot both claim the last slot.  True
+        if the rule may fire (and the slot is consumed).
+        """
+        os.makedirs(self.state_dir, exist_ok=True)
+        path = os.path.join(
+            self.state_dir,
+            f"{rule.site}.{rule.mode}.{rule.index}.count")
+        with open(path, "a+") as handle:
+            if fcntl is not None:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            handle.seek(0)
+            raw = handle.read().strip()
+            count = int(raw) if raw else 0
+            if count >= rule.times:
+                return False
+            handle.seek(0)
+            handle.truncate()
+            handle.write(str(count + 1))
+            return True
+
+    def _should_fire(self, rule):
+        rule.hits += 1
+        if rule.n is not None and rule.hits != rule.n:
+            return False
+        if rule.after is not None and rule.hits < rule.after:
+            return False
+        if rule.p is not None and _uniform(
+                self.seed, rule.site, rule.mode, rule.index,
+                rule.hits) >= rule.p:
+            return False
+        if rule.times is not None:
+            if self.state_dir is not None:
+                if not self._claim_global(rule):
+                    return False
+            elif rule.fired >= rule.times:
+                return False
+        rule.fired += 1
+        return True
+
+    def check(self, site):
+        """Visit ``site`` once; the firing rule, or None.
+
+        Every rule attached to the site counts the visit (so ``n=3`` on
+        two rules of one site stays aligned); the first rule that
+        decides to fire wins.
+        """
+        fired = None
+        for rule in self.rules:
+            if rule.site != site:
+                continue
+            if self._should_fire(rule) and fired is None:
+                fired = rule
+        return fired
+
+    def __repr__(self):
+        return f"FaultPlan({self.to_spec()!r})"
+
+
+# -- process-global plan -------------------------------------------------------
+
+_UNSET = object()
+_PLAN = _UNSET
+
+
+def inject(plan_or_spec):
+    """Install the process-global fault plan (None disables injection).
+
+    Accepts a :class:`FaultPlan` or a spec string.  Returns the
+    installed plan.  Pool workers call this with the parent plan's
+    ``spec`` on every task attempt, re-arming per-process counters —
+    use ``times=`` plus a ``state=`` dir for campaign-global limits.
+    """
+    global _PLAN
+    if plan_or_spec is None:
+        _PLAN = None
+    elif isinstance(plan_or_spec, FaultPlan):
+        _PLAN = plan_or_spec
+    else:
+        _PLAN = FaultPlan.from_spec(plan_or_spec)
+    return _PLAN
+
+
+def clear_plan():
+    """Forget any installed plan; the next seam visit re-reads the env."""
+    global _PLAN
+    _PLAN = _UNSET
+
+
+def active_plan():
+    """The installed plan, else one parsed from ``REPRO_FAULTS``, else
+    None.  The parse result is cached until :func:`clear_plan`."""
+    global _PLAN
+    if _PLAN is _UNSET:
+        spec = os.environ.get("REPRO_FAULTS", "").strip()
+        _PLAN = FaultPlan.from_spec(spec) if spec else None
+    return _PLAN
+
+
+def fault_point(site):
+    """Visit one seam: the firing :class:`FaultRule`, or None.
+
+    This is the only call production seams make; with no plan installed
+    it is one global load and an identity check.
+    """
+    plan = active_plan()
+    if plan is None:
+        return None
+    return plan.check(site)
+
+
+def raise_io_fault(site):
+    """Raise the injected OSError for ``site`` if an error mode fires."""
+    rule = fault_point(site)
+    if rule is not None and rule.mode in _ERRNO:
+        raise rule.os_error()
+    return rule

@@ -1,0 +1,89 @@
+"""Advisory inter-process file locks for the artifact store.
+
+``flock``-based, so the kernel releases everything when a process dies —
+no stale-lock recovery needed.  Readers of memory-mapped artifacts hold
+the store's lock *shared* (many readers coexist, and writers publishing
+new blobs share too — content-addressed publishes never conflict with
+each other); destructive maintenance (``cache gc``/``clear``) asks for
+it *exclusive*, so it waits for live memmaps and in-flight publishers
+instead of sweeping files out from under them.
+
+The locks are advisory and non-POSIX platforms degrade to no-ops: they
+coordinate cooperating ``repro`` processes, they do not defend against
+arbitrary writers in the cache directory.
+"""
+
+import os
+import time
+
+try:
+    import fcntl
+except ImportError:                       # non-POSIX: locks are no-ops
+    fcntl = None
+
+_POLL_SECONDS = 0.05
+
+
+class FileLock:
+    """One advisory lock file, shared or exclusive, with timeouts.
+
+    Not reentrant; one acquire per instance.  Distinct instances on the
+    same path conflict even within one process (``flock`` locks are per
+    open file description), which is exactly what the reader-vs-gc
+    coordination wants.
+    """
+
+    def __init__(self, path):
+        self.path = str(path)
+        self._handle = None
+        self.exclusive = False
+
+    @property
+    def held(self):
+        return self._handle is not None
+
+    def acquire(self, exclusive=False, timeout=0.0):
+        """Take the lock; True on success, False on timeout.
+
+        ``timeout=0`` is a single non-blocking attempt; ``timeout=None``
+        blocks indefinitely.  Without ``fcntl`` this always succeeds.
+        """
+        if self._handle is not None:
+            raise RuntimeError(f"lock {self.path!r} already held")
+        if fcntl is None:
+            self._handle = object()      # placeholder: no-op platform
+            self.exclusive = bool(exclusive)
+            return True
+        os.makedirs(os.path.dirname(self.path) or ".", exist_ok=True)
+        handle = open(self.path, "a+")
+        flags = fcntl.LOCK_EX if exclusive else fcntl.LOCK_SH
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            try:
+                fcntl.flock(handle.fileno(), flags | fcntl.LOCK_NB)
+                self._handle = handle
+                self.exclusive = bool(exclusive)
+                return True
+            except OSError:
+                if deadline is not None and time.monotonic() >= deadline:
+                    handle.close()
+                    return False
+                time.sleep(_POLL_SECONDS)
+
+    def release(self):
+        """Drop the lock (idempotent)."""
+        handle = self._handle
+        self._handle = None
+        self.exclusive = False
+        if handle is None or fcntl is None:
+            return
+        try:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+        finally:
+            handle.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.release()

@@ -1,0 +1,153 @@
+"""Structured per-task failure reporting for the resilient pool.
+
+``run_matrix`` used to surface a worker problem as whatever traceback
+the future happened to re-raise.  The resilient pool instead records
+every attempt of every dispatched task in a :class:`MatrixReport` —
+what failed, how (crash / timeout / error), whether a retry recovered
+it — and raises one :class:`MatrixExecutionError` carrying the report
+when tasks remain failed after the retry budget, so a chaos run (or an
+operator's log) sees *which* benchmarks died and why, not a raw
+``BrokenProcessPool`` stack.
+"""
+
+import json
+from dataclasses import dataclass, field
+
+#: Failure kinds a task attempt can record.
+KIND_CRASH = "crash"          # worker process died (BrokenProcessPool)
+KIND_TIMEOUT = "timeout"      # exceeded the per-task timeout
+KIND_ERROR = "error"          # worker raised an exception
+KIND_ABORTED = "aborted"      # collateral: pool torn down around it
+
+
+@dataclass
+class TaskFailure:
+    """One failed attempt of one pool task."""
+
+    attempt: int
+    kind: str
+    message: str
+
+    def as_dict(self):
+        return {"attempt": self.attempt, "kind": self.kind,
+                "message": self.message}
+
+
+@dataclass
+class TaskRecord:
+    """The dispatch history of one (benchmark, strategies) pool task."""
+
+    benchmark: str
+    strategies: tuple
+    attempts: int = 0
+    status: str = "pending"          # pending | completed | failed
+    failures: list = field(default_factory=list)
+
+    @property
+    def recovered(self):
+        """Completed, but only after at least one failed attempt."""
+        return self.status == "completed" and bool(self.failures)
+
+    def record_failure(self, kind, message):
+        self.failures.append(TaskFailure(self.attempts, kind, str(message)))
+
+    def as_dict(self):
+        return {
+            "benchmark": self.benchmark,
+            "strategies": list(self.strategies),
+            "attempts": self.attempts,
+            "status": self.status,
+            "recovered": self.recovered,
+            "failures": [f.as_dict() for f in self.failures],
+        }
+
+
+class MatrixReport:
+    """Everything the resilient pool did for one ``run_matrix`` call."""
+
+    def __init__(self):
+        self.tasks = {}              # benchmark -> TaskRecord
+        self.rounds = 0
+        self.pool_rebuilds = 0
+        self.backoff_seconds = 0.0
+
+    def task(self, benchmark, strategies=()):
+        record = self.tasks.get(benchmark)
+        if record is None:
+            record = TaskRecord(benchmark, tuple(strategies))
+            self.tasks[benchmark] = record
+        return record
+
+    @property
+    def completed(self):
+        return sorted(name for name, t in self.tasks.items()
+                      if t.status == "completed")
+
+    @property
+    def failed(self):
+        return sorted(name for name, t in self.tasks.items()
+                      if t.status == "failed")
+
+    @property
+    def recovered(self):
+        return sorted(name for name, t in self.tasks.items() if t.recovered)
+
+    @property
+    def total_failures(self):
+        return sum(len(t.failures) for t in self.tasks.values())
+
+    def as_dict(self):
+        return {
+            "rounds": self.rounds,
+            "pool_rebuilds": self.pool_rebuilds,
+            "backoff_seconds": round(self.backoff_seconds, 3),
+            "completed": self.completed,
+            "recovered": self.recovered,
+            "failed": self.failed,
+            "tasks": {name: t.as_dict()
+                      for name, t in sorted(self.tasks.items())},
+        }
+
+    def to_json(self, **kwargs):
+        kwargs.setdefault("indent", 2)
+        kwargs.setdefault("sort_keys", True)
+        return json.dumps(self.as_dict(), **kwargs)
+
+    def summary(self):
+        """One human line per noteworthy task."""
+        lines = [f"pool dispatch: {len(self.tasks)} tasks, "
+                 f"{self.rounds} round(s), "
+                 f"{self.pool_rebuilds} pool rebuild(s)"]
+        for name in self.recovered:
+            task = self.tasks[name]
+            kinds = ",".join(f.kind for f in task.failures)
+            lines.append(f"  recovered {name} after {kinds} "
+                         f"({task.attempts} attempts)")
+        for name in self.failed:
+            task = self.tasks[name]
+            last = task.failures[-1] if task.failures else None
+            cause = f"{last.kind}: {last.message}" if last else "unknown"
+            lines.append(f"  FAILED {name} after {task.attempts} "
+                         f"attempts ({cause})")
+        return "\n".join(lines)
+
+
+class MatrixExecutionError(RuntimeError):
+    """Tasks remained failed after the retry budget.
+
+    Carries the full :class:`MatrixReport` (``.report``); the message
+    names each failed benchmark with its last failure, so the error is
+    actionable without spelunking worker tracebacks.
+    """
+
+    def __init__(self, report):
+        self.report = report
+        failed = []
+        for name in report.failed:
+            task = report.tasks[name]
+            last = task.failures[-1] if task.failures else None
+            cause = f"{last.kind}: {last.message}" if last else "unknown"
+            failed.append(f"{name} ({cause})")
+        super().__init__(
+            f"{len(report.failed)} of {len(report.tasks)} pool task(s) "
+            f"failed after retries: " + "; ".join(failed))

@@ -18,9 +18,21 @@ Configuration comes from the environment by default:
 Bumping :data:`SCHEMA_VERSION` invalidates every existing entry at once:
 addresses change (the version is part of every fingerprint) and old
 blobs are refused by the disk tier and reclaimed by ``gc``.
+
+**Reliability.**  The store degrades, never crashes a run:
+
+* an unwritable (or un-creatable) root is detected at open — one
+  warning, then the store behaves exactly like ``REPRO_CACHE=off``;
+* a write failure mid-run (disk full, I/O error) drops that save —
+  one warning, ``write_errors`` counts them — and the run continues on
+  recomputation;
+* a corrupt blob (torn write, flipped bit) fails its checksum on read,
+  is quarantined by the disk tier and reported as a miss; ``verify``
+  (``python -m repro cache verify``) is the batch scrubber.
 """
 
 import os
+import warnings
 
 from repro.store.disk import DiskStore
 from repro.store.fingerprint import fingerprint
@@ -57,6 +69,39 @@ def cache_enabled_by_env():
         "REPRO_CACHE", "on").strip().lower() not in _DISABLED_VALUES
 
 
+#: Roots already warned about (one warning per root per process).
+_WARNED_ROOTS = set()
+
+
+def _root_writable(root):
+    """Probe-write the store root; False for read-only/broken paths.
+
+    ``os.access`` lies for privileged users and network mounts, so the
+    check is an actual create-and-unlink of a probe file.
+    """
+    try:
+        os.makedirs(root, exist_ok=True)
+        probe = os.path.join(
+            root, f".writable.{os.getpid()}.{os.urandom(4).hex()}")
+        with open(probe, "w"):
+            pass
+        os.unlink(probe)
+    except OSError:
+        return False
+    return True
+
+
+def _warn_unusable_root(root, reason):
+    if root in _WARNED_ROOTS:
+        return
+    _WARNED_ROOTS.add(root)
+    warnings.warn(
+        f"artifact store root {root!r} is {reason}; continuing with the "
+        "cache disabled (REPRO_CACHE=off behavior) — set REPRO_CACHE_DIR "
+        "to a writable directory to re-enable warm starts",
+        RuntimeWarning, stacklevel=3)
+
+
 def _resident_size(obj, payload_size):
     """Bytes an entry is charged in the memory tier.
 
@@ -88,6 +133,13 @@ class ArtifactStore:
         self.disk_hits = 0
         self.disk_misses = 0
         self.saves = 0
+        #: Disk writes dropped because of I/O failures (ENOSPC, EIO...).
+        self.write_errors = 0
+        if self.enabled and not _root_writable(self.root):
+            # Unwritable/read-only cache dir: warn once, then behave
+            # exactly like REPRO_CACHE=off instead of raising mid-run.
+            _warn_unusable_root(self.root, "not writable")
+            self.enabled = False
 
     # -- addressing ----------------------------------------------------------
 
@@ -118,22 +170,49 @@ class ArtifactStore:
         try:
             obj = decode(header["kind"], payload)
         except Exception:
-            # Truncated/corrupt payload behind a valid header (e.g. a
-            # torn write on a crashed host): every artifact is
-            # recomputable, so treat it as a miss.
+            # Truncated/corrupt payload behind a valid header *and*
+            # checksum (pre-checksum blob, or a codec-level defect):
+            # every artifact is recomputable, so quarantine and miss.
+            self.disk.quarantine(digest)
             self.disk_misses += 1
             return None
         self.memory.put(digest, obj, _resident_size(obj, len(payload)))
         self.disk_hits += 1
         return obj
 
+    def _publish_failed(self, label, exc):
+        """Degrade one failed disk publish to a dropped save (warn once).
+
+        A full or failing disk mid-campaign must not kill the run — the
+        artifact is recomputable and the atomic-write protocol guarantees
+        the failed publish left no partial entry behind.
+        """
+        self.write_errors += 1
+        if self.write_errors == 1:
+            warnings.warn(
+                f"artifact store write failed ({label or 'artifact'}: "
+                f"{exc}); this and any further failed saves are dropped — "
+                "the run continues without persisting them",
+                RuntimeWarning, stacklevel=3)
+
     def save(self, key, obj, label=""):
-        """Publish ``obj`` under ``key``; returns its digest (or None)."""
+        """Publish ``obj`` under ``key``; returns its digest (or None).
+
+        A disk-tier I/O failure (ENOSPC, EIO) drops the save — one
+        warning, counted in ``write_errors`` — rather than aborting the
+        run; the memory tier still holds the object for this process.
+        """
         if not self.enabled:
             return None
         digest = self.digest(key)
         kind, payload = encode(obj)
-        self.disk.put(digest, kind, payload, label=label)
+        try:
+            self.disk.put(digest, kind, payload, label=label)
+        except OSError as exc:
+            self._publish_failed(label, exc)
+            self.memory.put(digest, obj,
+                            _resident_size(obj, len(payload)))
+            return None
         self.memory.put(digest, obj, _resident_size(obj, len(payload)))
         self.saves += 1
         return digest
@@ -146,14 +225,20 @@ class ArtifactStore:
         bounded by the I/O buffer rather than the table size.  The
         memory tier is bypassed — mapped artifacts are meant to be
         *served from disk*, not to evict everything else from the LRU.
+        Like :meth:`save`, an I/O failure drops the publish (the caller
+        sees the miss on reopen and falls back to its in-RAM path).
         """
         if not self.enabled:
             return None
         digest = self.digest(key)
-        self.disk.put_stream(
-            digest, KIND_NPZ_MAPPED,
-            lambda handle: write_arrays_stream(handle, arrays),
-            label=label)
+        try:
+            self.disk.put_stream(
+                digest, KIND_NPZ_MAPPED,
+                lambda handle: write_arrays_stream(handle, arrays),
+                label=label)
+        except OSError as exc:
+            self._publish_failed(label, exc)
+            return None
         self.saves += 1
         return digest
 
@@ -164,10 +249,19 @@ class ArtifactStore:
         any other kind falls back to a regular :meth:`load` so callers
         need not care how the artifact was published.  Returns None on a
         miss.  Views are *not* promoted to the memory tier.
+
+        The payload is *not* re-hashed here — that would fault the whole
+        blob in, defeating streaming (``cache verify`` is the scrubber
+        that does) — but a structurally torn blob fails the archive open
+        and is quarantined like any other corrupt entry.  While views
+        are live the process holds the store's advisory lock *shared*,
+        so destructive maintenance (``cache gc``/``clear``) in another
+        process waits instead of deleting blobs under the memmaps.
         """
         if not self.enabled:
             return None
         digest = self.digest(key)
+        self.disk.acquire_reader_lock()
         located = self.disk.locate(digest)
         if located is None:
             self.disk_misses += 1
@@ -179,11 +273,34 @@ class ArtifactStore:
             views = mapped_arrays(path, offset)
         except Exception:
             # Torn write / corrupt archive: every artifact is
-            # recomputable, so treat it as a miss.
+            # recomputable, so quarantine it and report a miss.
+            self.disk.quarantine(digest)
             self.disk_misses += 1
             return None
         self.disk_hits += 1
         return views
+
+    def release_locks(self):
+        """Drop the shared reader lock once mapped views are closed.
+
+        Called by :meth:`ExecutionContext.release
+        <repro.core.context.ExecutionContext.release>` / the suite
+        runner after unmapping; a crashed process needs no cleanup (the
+        kernel drops ``flock`` locks with it).
+        """
+        self.disk.release_reader_lock()
+
+    def verify(self, repair=False):
+        """Scrub the disk tier: re-hash every blob against its header.
+
+        Yields one record per blob (see :meth:`DiskStore.verify
+        <repro.store.disk.DiskStore.verify>`); with ``repair``, corrupt
+        blobs are quarantined as they are found.  A disabled store
+        yields nothing.
+        """
+        if not self.enabled:
+            return
+        yield from self.disk.verify(repair=repair)
 
     def delete(self, key):
         """Drop ``key`` from both tiers; True if anything was removed.
@@ -220,7 +337,7 @@ class ArtifactStore:
         """Combined tier statistics (process counters + disk census)."""
         disk = self.disk.stats() if self.enabled else {
             "root": self.root, "entries": 0, "bytes": 0,
-            "stale_entries": 0, "by_label": {},
+            "stale_entries": 0, "quarantined": 0, "by_label": {},
             "schema": self.schema_version}
         return {
             "enabled": self.enabled,
@@ -229,6 +346,7 @@ class ArtifactStore:
             "disk_hits": self.disk_hits,
             "disk_misses": self.disk_misses,
             "saves": self.saves,
+            "write_errors": self.write_errors,
         }
 
 

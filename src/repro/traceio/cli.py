@@ -33,6 +33,7 @@ import shutil
 import sys
 import tempfile
 
+from repro.reliability.cleanup import register_scratch, unregister_scratch
 from repro.traceio.container import (
     TraceFormatError,
     TraceStreamWriter,
@@ -122,7 +123,8 @@ def _stage_into_library(library, write_container, name=None, force=False,
     manifest now served by the library.
     """
     os.makedirs(library.root, exist_ok=True)
-    scratch = tempfile.mkdtemp(prefix=prefix, dir=library.root)
+    scratch = register_scratch(
+        tempfile.mkdtemp(prefix=prefix, dir=library.root))
     try:
         staged = os.path.join(scratch, "staged.trace.npz")
         manifest = write_container(staged)
@@ -130,6 +132,7 @@ def _stage_into_library(library, write_container, name=None, force=False,
                                      force=force)
     finally:
         shutil.rmtree(scratch, ignore_errors=True)
+        unregister_scratch(scratch)
 
 
 def _import_streamed(args, library, source):

@@ -23,6 +23,7 @@ import zipfile
 
 import numpy as np
 
+from repro.reliability.cleanup import register_scratch, unregister_scratch
 from repro.store.fingerprint import fingerprint, fingerprint_arrays
 from repro.trace.record import Kind, Trace
 from repro.traceio.spill import ArraySpill, UniqueAccumulator
@@ -200,8 +201,8 @@ class TraceStreamWriter:
         # tmpfs, which would defeat the bounded-memory point.
         if spill_dir is not None:
             os.makedirs(spill_dir, exist_ok=True)
-        self._scratch = tempfile.mkdtemp(prefix="trace-writer-",
-                                         dir=spill_dir)
+        self._scratch = register_scratch(
+            tempfile.mkdtemp(prefix="trace-writer-", dir=spill_dir))
         self._spill = ArraySpill(dict(
             (name, dtype) for name, dtype in TRACE_ARRAYS),
             directory=self._scratch)
@@ -327,6 +328,7 @@ class TraceStreamWriter:
         self._views = None
         self._spill.close()
         shutil.rmtree(self._scratch, ignore_errors=True)
+        unregister_scratch(self._scratch)
 
     def __enter__(self):
         return self

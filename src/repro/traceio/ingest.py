@@ -33,6 +33,7 @@ import tempfile
 import numpy as np
 
 from repro.cpu.branch import TournamentPredictor
+from repro.reliability.cleanup import register_scratch, unregister_scratch
 from repro.cpu.config import ProcessorConfig
 from repro.trace.record import Kind, TraceChunk
 from repro.traceio.container import TraceStreamWriter
@@ -94,7 +95,10 @@ def import_trace_streamed(path, fmt, out_path, name=None, source=None,
         spill_dir = os.path.dirname(os.path.abspath(out_path))
     os.makedirs(spill_dir, exist_ok=True)
 
-    scratch = tempfile.mkdtemp(prefix="trace-import-", dir=spill_dir)
+    # Registered for sweep-on-exit: a SIGTERM mid-import must not leak
+    # gigabytes of spilled event columns next to the output container.
+    scratch = register_scratch(
+        tempfile.mkdtemp(prefix="trace-import-", dir=spill_dir))
     try:
         events = ArraySpill(_EVENT_COLUMNS,
                             directory=os.path.join(scratch, "events"))
@@ -152,6 +156,7 @@ def import_trace_streamed(path, fmt, out_path, name=None, source=None,
                                       compress=compress)
     finally:
         shutil.rmtree(scratch, ignore_errors=True)
+        unregister_scratch(scratch)
 
 
 def _spill_pc_table(pc_table, directory):

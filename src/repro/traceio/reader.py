@@ -27,6 +27,7 @@ import zipfile
 
 import numpy as np
 
+from repro.reliability.faults import raise_io_fault
 from repro.traceio.container import (
     TRACE_ARRAYS,
     TraceFormatError,
@@ -85,6 +86,7 @@ class TraceReader:
         views = {}
         streaming = True
         try:
+            raise_io_fault("reader.open")
             archive = zipfile.ZipFile(self.path)
         except (OSError, zipfile.BadZipFile) as exc:
             raise TraceFormatError(f"cannot open container {self.path!r}: "

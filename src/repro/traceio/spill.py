@@ -15,6 +15,8 @@ import tempfile
 
 import numpy as np
 
+from repro.reliability.cleanup import register_scratch, unregister_scratch
+
 
 class UniqueAccumulator:
     """Amortized sorted-unique merge over chunked key batches.
@@ -70,7 +72,8 @@ class ArraySpill:
         self.columns = {name: np.dtype(dtype)
                         for name, dtype in dict(columns).items()}
         self._owned = directory is None
-        self.directory = (tempfile.mkdtemp(prefix="trace-spill-")
+        self.directory = (register_scratch(
+            tempfile.mkdtemp(prefix="trace-spill-"))
                           if directory is None else str(directory))
         os.makedirs(self.directory, exist_ok=True)
         self._handles = {
@@ -135,6 +138,7 @@ class ArraySpill:
         self._flush()
         if self._owned:
             shutil.rmtree(self.directory, ignore_errors=True)
+            unregister_scratch(self.directory)
 
     def __enter__(self):
         return self

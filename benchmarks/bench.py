@@ -1,0 +1,317 @@
+"""Unified benchmark runner: one schema, one history, one gate.
+
+``bench.py`` fronts the three perf suites that seed the repo's perf
+trajectory — ``kernels`` (vector-vs-scalar kernel timings),
+``store`` (cold-vs-warm artifact-store wins) and ``stream``
+(bounded-memory scaling) — behind one history-carrying record written
+to the repo root (``BENCH_kernels.json``, ``BENCH_store.json``,
+``BENCH_stream.json``)::
+
+    {
+      "schema_version": 2,
+      "suite": "kernels",
+      "profile": "full" | "quick",
+      "generated_utc": "...",
+      "metrics": { ... suite-specific report, unchanged shape ... },
+      "gate":    { "<metric>": <seconds or MB>, ... },   # lower = better
+      "history": [ {"generated_utc": ..., "profile": ..., "gate": ...} ]
+    }
+
+The flat ``gate`` dict is the regression surface: every entry is a
+wall-clock or RSS number where *lower is better*, so one rule covers
+all three suites.  ``--check`` exits 1 when any gate metric regresses
+more than 15% **and** more than an absolute floor (0.25 s wall, 8 MB
+RSS — sub-floor jitter never trips the gate) against the committed
+``benchmarks/BASELINE.json`` for the active profile.
+``--update-baseline`` records the current numbers as the new baseline.
+Prior runs (including pre-schema-v2 files) are folded into ``history``
+so the trajectory survives regeneration.
+
+Usage::
+
+    python benchmarks/bench.py [kernels store stream ...]
+                               [--quick] [--check] [--update-baseline]
+                               [--report FILE]
+
+``--quick`` (or ``REPRO_BENCH_PROFILE=quick``) shrinks every suite to
+smoke size — the profile the CI perf gate runs on every push.  The
+committed ``BENCH_*.json`` files use the full profile.  With
+``REPRO_TELEMETRY`` enabled each suite runs under a ``phase.bench.*``
+span, so ``python -m repro telemetry report`` profiles the bench run
+itself.
+"""
+
+import argparse
+import importlib
+import json
+import os
+import pathlib
+import sys
+import time
+
+BENCH_DIR = pathlib.Path(__file__).resolve().parent
+REPO_ROOT = BENCH_DIR.parent
+SRC_DIR = REPO_ROOT / "src"
+BASELINE_PATH = BENCH_DIR / "BASELINE.json"
+
+for _entry in (str(SRC_DIR), str(BENCH_DIR)):
+    if _entry not in sys.path:
+        sys.path.insert(0, _entry)
+
+from repro import telemetry  # noqa: E402
+
+SCHEMA_VERSION = 2
+HISTORY_LIMIT = 20
+#: A gate metric regresses when it grows past both bounds: >15%
+#: relative AND more than an absolute floor.  The floors keep
+#: sub-second quick-profile metrics from flaking on scheduler jitter
+#: (a broken optimization still blows far past both).
+REGRESSION_RATIO = 1.15
+FLOOR_SECONDS = 0.25
+FLOOR_MB = 8.0
+
+
+def _gate_kernels(metrics):
+    return {f"{name}.vector_seconds": entry["vector_seconds"]
+            for name, entry in metrics["kernels"].items()}
+
+
+def _gate_store(metrics):
+    return {
+        "exhibit.cold_seconds": metrics["exhibit"]["cold_seconds"],
+        "exhibit.warm_seconds": metrics["exhibit"]["warm_seconds"],
+        "dse_sweep.cold_seconds": metrics["dse_sweep"]["cold_seconds"],
+        "dse_sweep.warm_seconds": metrics["dse_sweep"]["warm_seconds"],
+        "warmup_replay.replay_512mb_seconds":
+            metrics["warmup_replay"]["replay_512mb_seconds"],
+    }
+
+
+def _gate_stream(metrics):
+    gate = {}
+    for entry in metrics["sizes"]:
+        size = entry["n_accesses"]
+        build = entry["index_build"]["chunked_spilled"]
+        run = entry["delorean_run"]["streaming_spilled"]
+        gate[f"{size}.index_spilled.wall_seconds"] = build["wall_seconds"]
+        gate[f"{size}.index_spilled.peak_rss_mb"] = build["peak_rss_mb"]
+        gate[f"{size}.delorean_streaming.wall_seconds"] = \
+            run["wall_seconds"]
+        gate[f"{size}.delorean_streaming.peak_rss_mb"] = \
+            run["peak_rss_mb"]
+    return gate
+
+
+SUITES = {
+    "kernels": {"module": "bench_perf_kernels",
+                "result": "BENCH_kernels.json", "gate": _gate_kernels},
+    "store": {"module": "bench_store",
+              "result": "BENCH_store.json", "gate": _gate_store},
+    "stream": {"module": "bench_stream",
+               "result": "BENCH_stream.json", "gate": _gate_stream},
+}
+
+
+def active_profile():
+    return ("quick" if os.environ.get("REPRO_BENCH_PROFILE") == "quick"
+            else "full")
+
+
+def result_path(suite):
+    return REPO_ROOT / SUITES[suite]["result"]
+
+
+def _history_from(prior, suite):
+    """Prior runs to carry forward, folding pre-v2 files into history."""
+    if not isinstance(prior, dict):
+        return []
+    history = list(prior.get("history") or [])
+    if "gate" in prior:                       # schema v2 record
+        history.append({
+            "generated_utc": prior.get("generated_utc"),
+            "profile": prior.get("profile"),
+            "gate": prior["gate"],
+        })
+    else:                                     # legacy flat report
+        try:
+            gate = SUITES[suite]["gate"](prior)
+        except (KeyError, TypeError):
+            gate = None
+        if gate:
+            history.append({
+                "generated_utc": None,
+                "profile": prior.get("profile", "full"),
+                "gate": gate,
+            })
+    return history[-HISTORY_LIMIT:]
+
+
+def write_suite(suite, metrics, profile=None):
+    """Wrap a suite's raw report in the v2 schema and write it out.
+
+    Carries the previous record (v2 or legacy) into ``history`` so the
+    perf trajectory survives regeneration.  Returns the full document.
+    """
+    profile = profile or active_profile()
+    path = result_path(suite)
+    prior = None
+    if path.exists():
+        try:
+            prior = json.loads(path.read_text())
+        except (OSError, ValueError):
+            prior = None
+    doc = {
+        "schema_version": SCHEMA_VERSION,
+        "suite": suite,
+        "profile": profile,
+        "generated_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ",
+                                       time.gmtime()),
+        "metrics": metrics,
+        "gate": SUITES[suite]["gate"](metrics),
+        "history": _history_from(prior, suite),
+    }
+    path.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"wrote {path}")
+    return doc
+
+
+def run_suite(suite):
+    module = importlib.import_module(SUITES[suite]["module"])
+    with telemetry.span(f"phase.bench.{suite}", rss=True):
+        metrics = module.collect()
+    return write_suite(suite, metrics)
+
+
+# -- regression gate ---------------------------------------------------------
+
+def _floor(name):
+    return FLOOR_MB if name.endswith("_mb") else FLOOR_SECONDS
+
+
+def load_baseline():
+    if not BASELINE_PATH.exists():
+        return {"schema_version": SCHEMA_VERSION, "profiles": {}}
+    return json.loads(BASELINE_PATH.read_text())
+
+
+def check_doc(doc, baseline, profile=None):
+    """Regressions of ``doc['gate']`` against the committed baseline.
+
+    Returns ``(regressions, notes)`` — regressions are gate failures,
+    notes are informational (new/removed metrics, improvements beyond
+    the floor worth folding into the baseline).
+    """
+    profile = profile or doc["profile"]
+    base = baseline.get("profiles", {}).get(profile, {}).get(doc["suite"])
+    if base is None:
+        return [], [f"{doc['suite']}: no {profile} baseline "
+                    f"(run --update-baseline)"]
+    regressions, notes = [], []
+    for name, current in sorted(doc["gate"].items()):
+        reference = base.get(name)
+        if reference is None:
+            notes.append(f"{doc['suite']}.{name}: new metric "
+                         f"({current:g}), not in baseline")
+            continue
+        delta = current - reference
+        if delta > _floor(name) and current > reference * REGRESSION_RATIO:
+            regressions.append(
+                f"{doc['suite']}.{name}: {current:g} vs baseline "
+                f"{reference:g} (+{100 * delta / reference:.0f}%, "
+                f"threshold +{100 * (REGRESSION_RATIO - 1):.0f}%)")
+        elif -delta > _floor(name) and current * REGRESSION_RATIO \
+                < reference:
+            notes.append(f"{doc['suite']}.{name}: improved {reference:g} "
+                         f"-> {current:g}")
+    for name in sorted(set(base) - set(doc["gate"])):
+        notes.append(f"{doc['suite']}.{name}: in baseline but not "
+                     "measured")
+    return regressions, notes
+
+
+def update_baseline(docs, profile=None):
+    baseline = load_baseline()
+    baseline["schema_version"] = SCHEMA_VERSION
+    profiles = baseline.setdefault("profiles", {})
+    for doc in docs:
+        slot = profiles.setdefault(profile or doc["profile"], {})
+        slot[doc["suite"]] = doc["gate"]
+    BASELINE_PATH.write_text(
+        json.dumps(baseline, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {BASELINE_PATH}")
+    return baseline
+
+
+# -- CLI ---------------------------------------------------------------------
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="python benchmarks/bench.py",
+        description="Run the perf suites under one schema and gate "
+                    "them against benchmarks/BASELINE.json.")
+    parser.add_argument("suites", nargs="*", metavar="suite",
+                        choices=sorted(SUITES) + [[]],
+                        help=f"suites to run: {', '.join(sorted(SUITES))} "
+                             "(default: all)")
+    parser.add_argument("--quick", action="store_true",
+                        help="smoke-size profile "
+                             "(same as REPRO_BENCH_PROFILE=quick)")
+    parser.add_argument("--check", action="store_true",
+                        help="fail (exit 1) on >15%% wall/RSS regression "
+                             "vs the committed baseline")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="record the measured gate metrics as the "
+                             "new baseline for this profile")
+    parser.add_argument("--report", default=None,
+                        help="also write the combined run documents "
+                             "to this JSON file")
+    return parser
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    if args.quick:
+        os.environ["REPRO_BENCH_PROFILE"] = "quick"
+    suites = list(args.suites) or sorted(SUITES)
+    profile = active_profile()
+    print(f"profile: {profile}; suites: {', '.join(suites)}")
+
+    docs = []
+    for suite in suites:
+        print(f"== {suite} ==")
+        docs.append(run_suite(suite))
+    telemetry.flush()
+
+    if args.report:
+        pathlib.Path(args.report).write_text(
+            json.dumps({"schema_version": SCHEMA_VERSION,
+                        "profile": profile,
+                        "suites": {doc["suite"]: doc for doc in docs}},
+                       indent=2) + "\n")
+        print(f"wrote {args.report}")
+
+    if args.update_baseline:
+        update_baseline(docs, profile)
+        return 0
+
+    if args.check:
+        baseline = load_baseline()
+        failed = False
+        for doc in docs:
+            regressions, notes = check_doc(doc, baseline, profile)
+            for note in notes:
+                print(f"note: {note}")
+            for regression in regressions:
+                print(f"REGRESSION: {regression}")
+                failed = True
+        if failed:
+            print("perf gate failed: regressions above; if intended, "
+                  "re-run with --update-baseline and commit "
+                  "benchmarks/BASELINE.json")
+            return 1
+        print("perf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -16,17 +16,28 @@ Informational entries cover the two-level hierarchy warm and the batched
 watchpoint window profile, plus a thrash-heavy warm trace (the regime
 the dispatcher's adaptive bailout hands back to the scalar loop).
 
-Run standalone (``python benchmarks/bench_perf_kernels.py``) or through
-pytest (``python -m pytest benchmarks/bench_perf_kernels.py``).
-Equivalence is asserted on every measurement — the speedups only count
-because the results are bit-identical.
+Run standalone (``python benchmarks/bench_perf_kernels.py``), through
+pytest (``python -m pytest benchmarks/bench_perf_kernels.py``) or via
+the unified runner (``python benchmarks/bench.py kernels``), which owns
+the schema, the history and the regression gate.  Equivalence is
+asserted on every measurement — the speedups only count because the
+results are bit-identical.  ``REPRO_BENCH_PROFILE=quick`` shrinks the
+traces for the CI perf gate (the speedup floors only gate the full
+profile; short traces under-amortize the vector setup).
 """
 
-import json
+import os
 import pathlib
+import sys
 import time
 
 import numpy as np
+
+BENCH_DIR = pathlib.Path(__file__).resolve().parent
+if str(BENCH_DIR) not in sys.path:
+    sys.path.insert(0, str(BENCH_DIR))
+if str(BENCH_DIR.parent / "src") not in sys.path:
+    sys.path.insert(0, str(BENCH_DIR.parent / "src"))
 
 from repro import kernels
 from repro.caches.cache import CacheConfig, SetAssocCache
@@ -37,10 +48,9 @@ from repro.kernels.stackdist import reuse_and_stack_distances_vector
 from repro.vff.index import TraceIndex
 from repro.vff.watchpoint import WatchpointEngine
 
-RESULT_PATH = pathlib.Path(__file__).resolve().parent.parent / \
-    "BENCH_kernels.json"
+QUICK_PROFILE = os.environ.get("REPRO_BENCH_PROFILE") == "quick"
 
-N_ACCESSES = 1_000_000
+N_ACCESSES = 200_000 if QUICK_PROFILE else 1_000_000
 
 
 def steady_state_trace(rng, n_sets=1024, assoc=16, hot_per_set=4):
@@ -70,7 +80,7 @@ def mixed_trace(rng):
 
 
 #: Best-of reps per measurement (container timing jitter).
-REPS = 3
+REPS = 2 if QUICK_PROFILE else 3
 
 
 def timed(f):
@@ -170,7 +180,8 @@ def bench_watchpoints(rng):
     return times["scalar"], times["vector"]
 
 
-def main():
+def collect():
+    """Measure every kernel; the raw suite report (no file I/O)."""
     report = {"n_accesses": N_ACCESSES, "kernels": {}}
     benches = [
         ("bulk_warm", bench_bulk_warm, 0),
@@ -190,17 +201,22 @@ def main():
         }
         print(f"{name}: scalar {t_scalar:.3f}s vector {t_vector:.3f}s "
               f"-> {t_scalar / t_vector:.1f}x")
-    RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
-    print(f"wrote {RESULT_PATH}")
     return report
 
 
+def main():
+    import bench
+
+    return bench.write_suite("kernels", collect())
+
+
 def test_perf_kernels():
-    report = main()
+    doc = main()
     speedups = {name: entry["speedup"]
-                for name, entry in report["kernels"].items()}
-    assert speedups["bulk_warm"] >= 5.0, speedups
-    assert speedups["stack_distances"] >= 3.0, speedups
+                for name, entry in doc["metrics"]["kernels"].items()}
+    if not QUICK_PROFILE:
+        assert speedups["bulk_warm"] >= 5.0, speedups
+        assert speedups["stack_distances"] >= 3.0, speedups
 
 
 if __name__ == "__main__":

@@ -14,14 +14,15 @@ store's wall-clock wins, written to ``BENCH_store.json``:
   size: the LLC-independent warm-up bundle replays, only the Analyst
   executes.
 
-Run standalone (``python benchmarks/bench_store.py``) or through pytest
-(``python -m pytest benchmarks/bench_store.py``).  Set
-``REPRO_BENCH_PROFILE=quick`` for a reduced exhibit size (smoke-testing
-the harness); the committed JSON is generated with the default profile,
-i.e. the real ``fig5 --quick`` geometry.
+Run standalone (``python benchmarks/bench_store.py``), through pytest
+(``python -m pytest benchmarks/bench_store.py``) or via the unified
+runner (``python benchmarks/bench.py store``), which owns the schema,
+the history and the regression gate.  Set ``REPRO_BENCH_PROFILE=quick``
+for a reduced exhibit size (smoke-testing the harness); the committed
+JSON is generated with the default profile, i.e. the real ``fig5
+--quick`` geometry.
 """
 
-import json
 import os
 import pathlib
 import shutil
@@ -30,12 +31,14 @@ import sys
 import tempfile
 import time
 
-REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH_DIR = pathlib.Path(__file__).resolve().parent
+REPO_ROOT = BENCH_DIR.parent
 SRC_DIR = REPO_ROOT / "src"
-RESULT_PATH = REPO_ROOT / "BENCH_store.json"
 
 if str(SRC_DIR) not in sys.path:
     sys.path.insert(0, str(SRC_DIR))
+if str(BENCH_DIR) not in sys.path:
+    sys.path.insert(0, str(BENCH_DIR))
 
 QUICK_PROFILE = os.environ.get("REPRO_BENCH_PROFILE") == "quick"
 #: CLI geometry of the measured exhibit run.
@@ -157,7 +160,8 @@ def bench_warmup_replay(cache_dir):
     }
 
 
-def main():
+def collect():
+    """Measure every store scenario; the raw suite report (no file I/O)."""
     report = {"profile": "quick" if QUICK_PROFILE else "full"}
     cache_dir = tempfile.mkdtemp(prefix="repro-bench-store-")
     try:
@@ -182,15 +186,19 @@ def main():
         "warm exhibit run must be at least 3x faster than cold")
     assert report["dse_sweep"]["speedup"] >= 3.0, (
         "warm DSE sweep must be at least 3x faster than cold")
-    RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
-    print(f"wrote {RESULT_PATH}")
     return report
 
 
+def main():
+    import bench
+
+    return bench.write_suite("store", collect())
+
+
 def test_store_benchmark():
-    report = main()
-    assert report["exhibit"]["warm_simulations"] == 0
-    assert report["exhibit"]["speedup"] >= 3.0
+    doc = main()
+    assert doc["metrics"]["exhibit"]["warm_simulations"] == 0
+    assert doc["metrics"]["exhibit"]["speedup"] >= 3.0
 
 
 if __name__ == "__main__":

@@ -24,12 +24,13 @@ clean per configuration (``VmHWM`` from ``/proc/self/status`` — unlike
 inherits the parent's peak); a do-nothing child's RSS is subtracted as
 the interpreter baseline.
 
-Run standalone (``python benchmarks/bench_stream.py``) or through
-pytest.  ``REPRO_BENCH_PROFILE=quick`` shrinks the trace sizes (harness
-smoke; the committed JSON uses the default profile).
+Run standalone (``python benchmarks/bench_stream.py``), through pytest
+or via the unified runner (``python benchmarks/bench.py stream``),
+which owns the schema, the history and the regression gate.
+``REPRO_BENCH_PROFILE=quick`` shrinks the trace sizes (harness smoke;
+the committed JSON uses the default profile).
 """
 
-import json
 import multiprocessing
 import os
 import pathlib
@@ -41,12 +42,14 @@ import time
 
 import numpy as np
 
-REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH_DIR = pathlib.Path(__file__).resolve().parent
+REPO_ROOT = BENCH_DIR.parent
 SRC_DIR = REPO_ROOT / "src"
-RESULT_PATH = REPO_ROOT / "BENCH_stream.json"
 
 if str(SRC_DIR) not in sys.path:
     sys.path.insert(0, str(SRC_DIR))
+if str(BENCH_DIR) not in sys.path:
+    sys.path.insert(0, str(BENCH_DIR))
 
 QUICK_PROFILE = os.environ.get("REPRO_BENCH_PROFILE") == "quick"
 ACCESS_SIZES = (200_000,) if QUICK_PROFILE else (1_000_000, 10_000_000)
@@ -263,7 +266,8 @@ def measure(target, container, cache_dir, n_instructions):
     return payload
 
 
-def main():
+def collect():
+    """Measure every trace size; the raw suite report (no file I/O)."""
     report = {"profile": "quick" if QUICK_PROFILE else "default",
               "n_regions": N_REGIONS, "sizes": []}
     for n_accesses in ACCESS_SIZES:
@@ -378,15 +382,19 @@ def main():
             0.25 * run["materialized"]["peak_alloc_mb"], run
         assert run["streaming_spilled"]["peak_rss_mb"] < \
             run["materialized"]["peak_rss_mb"], run
-    RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
-    print(f"wrote {RESULT_PATH}")
     return report
 
 
+def main():
+    import bench
+
+    return bench.write_suite("stream", collect())
+
+
 def test_stream_benchmark():
-    report = main()
-    assert report["sizes"], "no measurements"
-    for entry in report["sizes"]:
+    doc = main()
+    assert doc["metrics"]["sizes"], "no measurements"
+    for entry in doc["metrics"]["sizes"]:
         assert entry["delorean_run"]["bit_identical"]
 
 

@@ -10,6 +10,8 @@ Usage::
                                                    [--repair]
     python -m repro trace import|info|convert|ls ...
     python -m repro synth export BENCH [--instructions N] [--chunk C] ...
+    python -m repro telemetry report|summary|ls [--json|--csv|--html]
+    python -m repro matrix report|run [--json] ...
 
 Each exhibit command runs the corresponding harness from
 :mod:`repro.experiments.figures` and prints the rendered table/chart
@@ -21,6 +23,13 @@ Exhibit runs warm-start from the persistent artifact store
 (``REPRO_CACHE_DIR``, default ``~/.cache/repro``; ``REPRO_CACHE=off``
 disables): a repeated exhibit replays stored results instead of
 re-simulating.  ``cache`` inspects and maintains that store.
+
+``telemetry`` aggregates the per-process event logs written when
+``REPRO_TELEMETRY=counters|trace`` is set (sink root
+``REPRO_TELEMETRY_DIR``, default ``~/.cache/repro/telemetry``) into a
+per-run profile: time/RSS by phase, store hit rates, kernel timings,
+pool retry budgets, fault firings.  ``matrix`` runs or replays the
+resilient pool's :class:`MatrixReport` without touching Python.
 
 ``trace`` ingests external memory traces (ChampSim binary,
 Valgrind-Lackey text, generic CSV) into native streamable containers;
@@ -91,6 +100,10 @@ def list_exhibits():
           "(import, info, convert, ls)")
     print(f"{'synth':<{width}}  Stream synthetic benchmarks into native "
           "containers (export)")
+    print(f"{'telemetry':<{width}}  Aggregate/render telemetry run "
+          "reports (report, summary, ls)")
+    print(f"{'matrix':<{width}}  Run or replay the resilient pool's "
+          "MatrixReport (report, run)")
 
 
 def build_cache_parser():
@@ -216,6 +229,12 @@ def main(argv=None):
     if argv and argv[0] == "synth":
         from repro.traceio.cli import synth_main
         return synth_main(argv[1:])
+    if argv and argv[0] == "telemetry":
+        from repro.telemetry.cli import telemetry_main
+        return telemetry_main(argv[1:])
+    if argv and argv[0] == "matrix":
+        from repro.telemetry.cli import matrix_main
+        return matrix_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.exhibit == "list":
         list_exhibits()

@@ -13,11 +13,12 @@ Two internal representations are used, chosen at construction:
   pluggable :mod:`~repro.caches.replacement` policy object.
 """
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro import kernels
+from repro import kernels, telemetry
 from repro.caches.replacement import make_policy
 from repro.kernels.lru import warm_lru_sets
 from repro.util.units import CACHELINE_BYTES, format_size
@@ -135,17 +136,31 @@ class SetAssocCache:
         scalar loop); the scalar backend — and thrash-heavy batches the
         kernel bails out of — run the per-access reference loop.
         """
+        s = telemetry.session()
         if (self._is_lru and len(lines)
                 and kernels.get_backend() == "vector"):
+            t0 = time.perf_counter() if s is not None else 0.0
             result = warm_lru_sets(
                 self._sets, lines, self._mask, self.assoc,
                 max_long_window_fraction=VECTOR_BAILOUT_FRACTION)
+            if s is not None:
+                s.add_time("kernel.bulk_warm",
+                           time.perf_counter() - t0)
+                s.count("kernel.bulk_warm.calls")
+                if result is None:
+                    s.count("kernel.bulk_warm.bailout")
             if result is not None:
                 hits = result[0]
                 misses = len(lines) - hits
                 self.hits += hits
                 self.misses += misses
                 return hits, misses
+        if s is not None:
+            t0 = time.perf_counter()
+            out = self.warm_scalar(lines)
+            s.add_time("kernel.bulk_warm.scalar",
+                       time.perf_counter() - t0)
+            return out
         return self.warm_scalar(lines)
 
     def warm_scalar(self, lines):
@@ -190,9 +205,14 @@ class SetAssocCache:
             raise ValueError("warm_profile requires an LRU cache")
         n = len(lines)
         if n and kernels.get_backend() == "vector":
+            s = telemetry.session()
+            t0 = time.perf_counter() if s is not None else 0.0
             hits, hit_mask, occupancy = warm_lru_sets(
                 self._sets, lines, self._mask, self.assoc,
                 want_access_info=True)
+            if s is not None:
+                s.add_time("kernel.warm_profile",
+                           time.perf_counter() - t0)
             self.hits += hits
             self.misses += n - hits
             return hits, hit_mask, occupancy

@@ -10,9 +10,10 @@ DESIGN.md as part of the workload substitution.
 LRU updates into one loop.
 """
 
+import time
 from dataclasses import dataclass, field
 
-from repro import kernels
+from repro import kernels, telemetry
 from repro.caches.cache import (
     CacheConfig,
     SetAssocCache,
@@ -95,10 +96,18 @@ class CacheHierarchy:
             return l1_hits, llc_hits, mem
 
         if len(lines) and kernels.get_backend() == "vector":
+            s = telemetry.session()
+            t0 = time.perf_counter() if s is not None else 0.0
             result = warm_lru_sets(
                 self.l1d._sets, lines, self.l1d._mask, self.l1d.assoc,
                 want_access_info=True,
                 max_long_window_fraction=VECTOR_BAILOUT_FRACTION)
+            if s is not None:
+                s.add_time("kernel.hierarchy_warm",
+                           time.perf_counter() - t0)
+                s.count("kernel.hierarchy_warm.calls")
+                if result is None:
+                    s.count("kernel.hierarchy_warm.bailout")
             if result is not None:
                 l1_hits, l1_mask, _ = result
                 self.l1d.hits += l1_hits

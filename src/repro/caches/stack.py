@@ -18,9 +18,11 @@ These routines serve three roles:
   positive and how many false positives precede it).
 """
 
+import time
+
 import numpy as np
 
-from repro import kernels
+from repro import kernels, telemetry
 
 
 def previous_access_index(lines):
@@ -70,10 +72,21 @@ def reuse_and_stack_distances(lines):
     merge-count kernel (:mod:`repro.kernels.stackdist`), the scalar
     backend the Fenwick-tree reference below; results are bit-identical.
     """
+    s = telemetry.session()
     if kernels.get_backend() == "vector":
         from repro.kernels.stackdist import reuse_and_stack_distances_vector
-        return reuse_and_stack_distances_vector(lines)
-    return reuse_and_stack_distances_scalar(lines)
+        if s is None:
+            return reuse_and_stack_distances_vector(lines)
+        t0 = time.perf_counter()
+        out = reuse_and_stack_distances_vector(lines)
+        s.add_time("kernel.stack_distances", time.perf_counter() - t0)
+        return out
+    if s is None:
+        return reuse_and_stack_distances_scalar(lines)
+    t0 = time.perf_counter()
+    out = reuse_and_stack_distances_scalar(lines)
+    s.add_time("kernel.stack_distances.scalar", time.perf_counter() - t0)
+    return out
 
 
 def reuse_and_stack_distances_scalar(lines):

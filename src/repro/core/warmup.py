@@ -147,7 +147,7 @@ class WarmupPipeline:
         else:
             self.key["workload"] = self.workload.name
             self.key["workload_seed"] = self.workload.seed
-        self.bundle = (self.store.load(self.key)
+        self.bundle = (self.store.load(self.key, label="warmup")
                        if self.store is not None else None)
         self.replayed = self.bundle is not None
 

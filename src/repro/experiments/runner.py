@@ -54,12 +54,14 @@ cross the process boundary, and a run's resident set scales with the
 sampled regions rather than the trace length.
 """
 
+import json
 import os
 import signal
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 
+from repro import telemetry
 from repro.caches.hierarchy import paper_hierarchy
 from repro.core.context import ExecutionContext, index_spill_mode, wants_spill
 from repro.core.delorean import DeLorean
@@ -165,24 +167,32 @@ def _run_benchmark_worker(config, name, strategies, llc, options, backend,
         inject(fault_spec)
     _visit_task_seam(name, "entry")
     kernels.set_backend(backend)
-    store = (ArtifactStore(root=store_root, enabled=True)
-             if store_root else ArtifactStore(enabled=False))
-    runner = SuiteRunner(config, store=store)
-    results = {}
-    for strategy in strategies:
-        result = runner.run(name, strategy, llc, **options)
-        digest = None
-        if store.enabled:
-            digest = store.digest(
-                runner._result_store_key(name, strategy, llc, options))
-        if digest is not None and store.disk.contains(digest):
-            results[strategy] = ("digest", digest)
-        else:
-            # Store off, or the publish was dropped (ENOSPC/EIO
-            # degradation): ship the result itself.
-            results[strategy] = ("result", result)
-    runner.release()
+    telemetry.counter("pool.task.started")
+    with telemetry.span("pool.task", rss=True, benchmark=name,
+                        strategies=list(strategies)):
+        store = (ArtifactStore(root=store_root, enabled=True)
+                 if store_root else ArtifactStore(enabled=False))
+        runner = SuiteRunner(config, store=store)
+        results = {}
+        for strategy in strategies:
+            result = runner.run(name, strategy, llc, **options)
+            digest = None
+            if store.enabled:
+                digest = store.digest(
+                    runner._result_store_key(name, strategy, llc, options))
+            if digest is not None and store.disk.contains(digest):
+                results[strategy] = ("digest", digest)
+            else:
+                # Store off, or the publish was dropped (ENOSPC/EIO
+                # degradation): ship the result itself.
+                results[strategy] = ("result", result)
+        runner.release()
+    telemetry.counter("pool.task.completed")
     _visit_task_seam(name, "exit")
+    # The parent merges per-PID event files whenever it reads the run;
+    # flushing here (not only at interpreter exit) keeps this worker's
+    # totals visible even if the pool later SIGKILLs it.
+    telemetry.flush()
     return name, results
 
 
@@ -328,13 +338,14 @@ class SuiteRunner:
             return imported
         materialize = not (index_spill_mode() == "always"
                            and self.store.enabled)
-        return benchmark_spec(name).workload(
-            n_instructions=self.config.n_instructions,
-            seed=self.config.seed,
-            scale=self.config.footprint_scale,
-            materialize=materialize,
-            store=self.store,
-        )
+        with telemetry.span("phase.workload", rss=True, benchmark=name):
+            return benchmark_spec(name).workload(
+                n_instructions=self.config.n_instructions,
+                seed=self.config.seed,
+                scale=self.config.footprint_scale,
+                materialize=materialize,
+                store=self.store,
+            )
 
     def _plan_for(self, workload):
         """The sampling plan for one workload.
@@ -363,20 +374,24 @@ class SuiteRunner:
             # sharing the store root open the same blob by digest — the
             # first builder publishes, everyone else maps.
             key = self._index_store_key(name, artifact="trace-index-spill")
-            if self.store.enabled:
-                self._active_index = TraceIndex.build_spilled(
-                    workload.trace, self.store, key)
-            else:
-                self._active_index = TraceIndex.build_chunked(
-                    workload.trace)
+            with telemetry.span("phase.index", rss=True, benchmark=name,
+                                spilled=self.store.enabled):
+                if self.store.enabled:
+                    self._active_index = TraceIndex.build_spilled(
+                        workload.trace, self.store, key)
+                else:
+                    self._active_index = TraceIndex.build_chunked(
+                        workload.trace)
         else:
             key = self._index_store_key(name)
-            tables = self.store.load(key)
+            tables = self.store.load(key, label="trace-index")
             if tables is not None:
                 self._active_index = TraceIndex.from_tables(
                     workload.trace, tables)
             else:
-                self._active_index = TraceIndex(workload.trace)
+                with telemetry.span("phase.index", rss=True,
+                                    benchmark=name, spilled=False):
+                    self._active_index = TraceIndex(workload.trace)
                 self.store.save(key, self._active_index.tables(),
                                 label="trace-index")
         return self._active_index
@@ -409,7 +424,7 @@ class SuiteRunner:
             return self._results[key]
         store_key = self._result_store_key(name, strategy, llc,
                                            strategy_options)
-        cached = self.store.load(store_key)
+        cached = self.store.load(store_key, label="strategy-result")
         if cached is not None:
             self._results[key] = cached
             return cached
@@ -419,8 +434,10 @@ class SuiteRunner:
         plan = self._plan_for(workload)
         hierarchy = paper_hierarchy(llc, scale=self.config.footprint_scale)
         strat = STRATEGIES[strategy](**strategy_options)
-        result = strat.run(workload, plan, hierarchy,
-                           seed=self.config.seed, context=context)
+        with telemetry.span(f"phase.strategy.{strategy}", rss=True,
+                            benchmark=name, llc=llc):
+            result = strat.run(workload, plan, hierarchy,
+                               seed=self.config.seed, context=context)
         self._results[key] = result
         self.store.save(store_key, result, label="strategy-result")
         return result
@@ -468,8 +485,10 @@ class SuiteRunner:
                     key = (name, fingerprint, strategy, llc, opts_key)
                     if key in self._results:
                         continue
-                    cached = self.store.load(self._result_store_key(
-                        name, strategy, llc, strategy_options))
+                    cached = self.store.load(
+                        self._result_store_key(
+                            name, strategy, llc, strategy_options),
+                        label="strategy-result")
                     if cached is not None:
                         self._results[key] = cached
                         continue
@@ -522,7 +541,49 @@ class SuiteRunner:
         for name, todo in missing.items():
             report.task(name, todo)
             pending[name] = tuple(todo)
+        telemetry.counter("pool.task.queued", len(pending))
 
+        span_handle = None
+        s = telemetry.session()
+        if s is not None:
+            span_handle = s.begin("phase.pool")
+        try:
+            self._dispatch_rounds(pending, report, llc, strategy_options,
+                                  opts_key, max_pool, timeout, retries,
+                                  backoff, backend, store_root, fault_spec)
+        finally:
+            if s is not None:
+                s.count("pool.rounds", report.rounds)
+                if report.pool_rebuilds:
+                    s.count("pool.rebuilds", report.pool_rebuilds)
+                s.end(span_handle, {"tasks": len(report.tasks),
+                                    "rounds": report.rounds}, True, True)
+            self._persist_matrix_report(report)
+            telemetry.flush()
+        if report.failed:
+            raise MatrixExecutionError(report)
+
+    def _persist_matrix_report(self, report):
+        """Append this dispatch's MatrixReport to the telemetry run.
+
+        ``python -m repro matrix report`` replays it after the fact; a
+        failed dispatch is persisted too (the report is most valuable
+        exactly then).
+        """
+        run_dir = telemetry.run_dir()
+        if run_dir is None:
+            return
+        try:
+            with open(os.path.join(run_dir, "matrix-reports.jsonl"),
+                      "a", encoding="utf-8") as handle:
+                handle.write(json.dumps(report.as_dict(),
+                                        sort_keys=True) + "\n")
+        except OSError:
+            pass
+
+    def _dispatch_rounds(self, pending, report, llc, strategy_options,
+                         opts_key, max_pool, timeout, retries, backoff,
+                         backend, store_root, fault_spec):
         while pending:
             report.rounds += 1
             if report.rounds > 1:
@@ -538,10 +599,15 @@ class SuiteRunner:
                     seed=self.config.seed,
                     label=",".join(sorted(pending)))
             workers = min(max_pool, len(pending))
+            telemetry.event("pool.round", round=report.rounds,
+                            pending=len(pending), workers=workers)
             pool = ProcessPoolExecutor(max_workers=workers)
             futures = {}
             for name, todo in sorted(pending.items()):
                 report.task(name).attempts += 1
+                telemetry.counter("pool.task.submitted")
+                if report.rounds > 1:
+                    telemetry.counter("pool.task.resubmitted")
                 futures[pool.submit(
                     _run_benchmark_worker, self.config, name, todo, llc,
                     strategy_options, backend, store_root,
@@ -552,6 +618,7 @@ class SuiteRunner:
                 report.pool_rebuilds += 1
             for name in completed:
                 report.task(name).status = "completed"
+                telemetry.counter("pool.task.done")
                 del pending[name]
             for name in sorted(pending):
                 record = report.task(name)
@@ -561,8 +628,6 @@ class SuiteRunner:
                     record.status = "failed"
             pending = {name: todo for name, todo in pending.items()
                        if report.task(name).status != "failed"}
-        if report.failed:
-            raise MatrixExecutionError(report)
 
     def _resume_from_store(self, pending, llc, strategy_options, opts_key,
                            report):
@@ -572,8 +637,10 @@ class SuiteRunner:
             fingerprint = self._imported_fingerprint(name)
             left = []
             for strategy in todo:
-                cached = self.store.load(self._result_store_key(
-                    name, strategy, llc, strategy_options))
+                cached = self.store.load(
+                    self._result_store_key(
+                        name, strategy, llc, strategy_options),
+                    label="strategy-result")
                 if cached is None:
                     left.append(strategy)
                 else:
@@ -661,7 +728,8 @@ class SuiteRunner:
         fingerprint = self._imported_fingerprint(name)
         for strategy, (tag, value) in payloads.items():
             if tag == "digest":
-                result = self.store.load_digest(value)
+                result = self.store.load_digest(
+                    value, label="strategy-result")
                 if result is None:
                     # gc raced us, or the blob failed its checksum and
                     # was quarantined: the sequential sweep recomputes
@@ -686,7 +754,7 @@ class SuiteRunner:
         if key in self._results:
             return self._results[key]
         store_key = self._dse_store_key(name, sizes, options)
-        cached = self.store.load(store_key)
+        cached = self.store.load(store_key, label="dse-report")
         if cached is not None:
             self._results[key] = cached
             return cached
@@ -695,9 +763,11 @@ class SuiteRunner:
         plan = self._plan_for(workload)
         configs = [paper_hierarchy(size, scale=self.config.footprint_scale)
                    for size in sizes]
-        report = DesignSpaceExploration(**options).run(
-            workload, plan, configs, seed=self.config.seed,
-            context=context)
+        with telemetry.span("phase.dse", rss=True, benchmark=name,
+                            sizes=len(configs)):
+            report = DesignSpaceExploration(**options).run(
+                workload, plan, configs, seed=self.config.seed,
+                context=context)
         self._results[key] = report
         self.store.save(store_key, report, label="dse-report")
         return report

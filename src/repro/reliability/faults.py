@@ -56,6 +56,8 @@ import errno
 import hashlib
 import os
 
+from repro import telemetry
+
 try:
     import fcntl
 except ImportError:                               # non-POSIX: counters
@@ -238,6 +240,9 @@ class FaultPlan:
             elif rule.fired >= rule.times:
                 return False
         rule.fired += 1
+        telemetry.counter(f"fault.fired.{rule.site}.{rule.mode}")
+        telemetry.event("fault.fired", site=rule.site, mode=rule.mode,
+                        visit=rule.hits)
         return True
 
     def check(self, site):

@@ -13,6 +13,8 @@ operator's log) sees *which* benchmarks died and why, not a raw
 import json
 from dataclasses import dataclass, field
 
+from repro import telemetry
+
 #: Failure kinds a task attempt can record.
 KIND_CRASH = "crash"          # worker process died (BrokenProcessPool)
 KIND_TIMEOUT = "timeout"      # exceeded the per-task timeout
@@ -50,6 +52,9 @@ class TaskRecord:
 
     def record_failure(self, kind, message):
         self.failures.append(TaskFailure(self.attempts, kind, str(message)))
+        telemetry.counter(f"pool.task.{kind}")
+        telemetry.event("pool.task.failure", benchmark=self.benchmark,
+                        kind=kind, attempt=self.attempts)
 
     def as_dict(self):
         return {
@@ -107,6 +112,24 @@ class MatrixReport:
             "tasks": {name: t.as_dict()
                       for name, t in sorted(self.tasks.items())},
         }
+
+    @classmethod
+    def from_dict(cls, payload):
+        """Rebuild a report from :meth:`as_dict` output (CLI replay)."""
+        report = cls()
+        report.rounds = payload.get("rounds", 0)
+        report.pool_rebuilds = payload.get("pool_rebuilds", 0)
+        report.backoff_seconds = payload.get("backoff_seconds", 0.0)
+        for name, entry in payload.get("tasks", {}).items():
+            record = report.task(name, tuple(entry.get("strategies", ())))
+            record.attempts = entry.get("attempts", 0)
+            record.status = entry.get("status", "pending")
+            record.failures = [
+                TaskFailure(f.get("attempt", 0), f.get("kind", "?"),
+                            f.get("message", ""))
+                for f in entry.get("failures", ())
+            ]
+        return report
 
     def to_json(self, **kwargs):
         kwargs.setdefault("indent", 2)

@@ -29,11 +29,12 @@ evicted within its own miss window, so in practice this costs nothing —
 and the scalar path remains bit-identical and selectable by flag.
 """
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro import kernels
+from repro import kernels, telemetry
 from repro.caches.hierarchy import CacheHierarchy
 from repro.caches.mshr import MSHRFile
 from repro.caches.stats import (
@@ -119,12 +120,26 @@ class WarmingClassifier:
         access updates the lukewarm cache and MSHRs (Figure 3's "fetch
         block" arrow).
         """
+        s = telemetry.session()
         if (kernels.get_backend() == "vector"
                 and self.prefetcher is None
                 and self.lukewarm.l1d._is_lru
                 and self.lukewarm.llc._is_lru):
-            return self._classify_region_vector(lines, pcs, instr_offsets)
-        return self._classify_region_scalar(lines, pcs, instr_offsets)
+            if s is None:
+                return self._classify_region_vector(
+                    lines, pcs, instr_offsets)
+            t0 = time.perf_counter()
+            out = self._classify_region_vector(lines, pcs, instr_offsets)
+            s.add_time("kernel.classify_region",
+                       time.perf_counter() - t0)
+            return out
+        if s is None:
+            return self._classify_region_scalar(lines, pcs, instr_offsets)
+        t0 = time.perf_counter()
+        out = self._classify_region_scalar(lines, pcs, instr_offsets)
+        s.add_time("kernel.classify_region.scalar",
+                   time.perf_counter() - t0)
+        return out
 
     # -- scalar reference --------------------------------------------------
 

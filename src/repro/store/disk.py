@@ -44,6 +44,7 @@ import pathlib
 import struct
 import time
 
+from repro import telemetry
 from repro.reliability.faults import fault_point
 from repro.reliability.locks import FileLock
 
@@ -372,6 +373,8 @@ class DiskStore:
         except OSError:
             return None
         self.quarantined += 1
+        telemetry.counter("store.quarantine")
+        telemetry.event("store.quarantine", digest=digest[:16])
         return target
 
     # -- maintenance ---------------------------------------------------------

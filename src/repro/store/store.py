@@ -34,6 +34,7 @@ blobs are refused by the disk tier and reclaimed by ``gc``.
 import os
 import warnings
 
+from repro import telemetry
 from repro.store.disk import DiskStore
 from repro.store.fingerprint import fingerprint
 from repro.store.memory import LRUCache
@@ -92,6 +93,9 @@ def _root_writable(root):
 
 
 def _warn_unusable_root(root, reason):
+    # The counter fires per degradation event (visible post-run in the
+    # telemetry report) even though the warning stays once-per-root.
+    telemetry.counter("store.degraded_root")
     if root in _WARNED_ROOTS:
         return
     _WARNED_ROOTS.add(root)
@@ -149,22 +153,36 @@ class ArtifactStore:
 
     # -- core operations -----------------------------------------------------
 
-    def load(self, key):
+    @staticmethod
+    def _count_lookup(outcome, label, tier=None):
+        """``store.hit``/``store.miss`` counters, attributed by label."""
+        s = telemetry.session()
+        if s is None:
+            return
+        s.count(f"store.{outcome}")
+        if tier:
+            s.count(f"store.{outcome}.{tier}")
+        if label:
+            s.count(f"store.{outcome}.{label}")
+
+    def load(self, key, label=""):
         """The artifact stored under ``key``, or None."""
         if not self.enabled:
             return None
-        return self.load_digest(self.digest(key))
+        return self.load_digest(self.digest(key), label=label)
 
-    def load_digest(self, digest):
+    def load_digest(self, digest, label=""):
         """Like :meth:`load` but addressed by a precomputed digest."""
         if not self.enabled:
             return None
         cached = self.memory.get(digest)
         if cached is not None:
+            self._count_lookup("hit", label, tier="memory")
             return cached
         blob = self.disk.get(digest)
         if blob is None:
             self.disk_misses += 1
+            self._count_lookup("miss", label)
             return None
         header, payload = blob
         try:
@@ -175,9 +193,11 @@ class ArtifactStore:
             # every artifact is recomputable, so quarantine and miss.
             self.disk.quarantine(digest)
             self.disk_misses += 1
+            self._count_lookup("miss", label)
             return None
         self.memory.put(digest, obj, _resident_size(obj, len(payload)))
         self.disk_hits += 1
+        self._count_lookup("hit", label or header.get("label"))
         return obj
 
     def _publish_failed(self, label, exc):
@@ -188,6 +208,9 @@ class ArtifactStore:
         the failed publish left no partial entry behind.
         """
         self.write_errors += 1
+        telemetry.counter("store.dropped_save")
+        telemetry.event("store.dropped_save", label=label or "artifact",
+                        error=str(exc))
         if self.write_errors == 1:
             warnings.warn(
                 f"artifact store write failed ({label or 'artifact'}: "
@@ -215,6 +238,7 @@ class ArtifactStore:
             return None
         self.memory.put(digest, obj, _resident_size(obj, len(payload)))
         self.saves += 1
+        self._count_lookup("save", label)
         return digest
 
     def save_arrays(self, key, arrays, label=""):
@@ -240,9 +264,10 @@ class ArtifactStore:
             self._publish_failed(label, exc)
             return None
         self.saves += 1
+        self._count_lookup("save", label)
         return digest
 
-    def load_mapped(self, key):
+    def load_mapped(self, key, label=""):
         """Read-only memory-mapped views of an array-mapping artifact.
 
         Works for ``npzm`` blobs (zero-copy views inside the blob file);
@@ -265,10 +290,11 @@ class ArtifactStore:
         located = self.disk.locate(digest)
         if located is None:
             self.disk_misses += 1
+            self._count_lookup("miss", label)
             return None
         header, path, offset = located
         if header.get("kind") != KIND_NPZ_MAPPED:
-            return self.load_digest(digest)
+            return self.load_digest(digest, label=label)
         try:
             views = mapped_arrays(path, offset)
         except Exception:
@@ -276,8 +302,11 @@ class ArtifactStore:
             # recomputable, so quarantine it and report a miss.
             self.disk.quarantine(digest)
             self.disk_misses += 1
+            self._count_lookup("miss", label)
             return None
         self.disk_hits += 1
+        self._count_lookup("hit", label or header.get("label"),
+                           tier="mapped")
         return views
 
     def release_locks(self):
@@ -324,7 +353,7 @@ class ArtifactStore:
 
     def get_or_create(self, key, compute, label=""):
         """``load(key)`` or ``compute()``-then-``save`` on a miss."""
-        cached = self.load(key)
+        cached = self.load(key, label=label)
         if cached is not None:
             return cached
         obj = compute()

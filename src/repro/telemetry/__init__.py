@@ -1,0 +1,181 @@
+"""Repro telemetry: near-zero-overhead counters, timers, and spans.
+
+Facade over :mod:`repro.telemetry.core`.  Instrumented modules do::
+
+    from repro import telemetry
+
+    telemetry.counter("store.hit")
+
+    with telemetry.span("phase.index", rss=True, benchmark=name):
+        ...
+
+    s = telemetry.session()          # hot paths: hoist the None check
+    t0 = time.perf_counter() if s is not None else 0.0
+    result = kernel(...)
+    if s is not None:
+        s.add_time("kernel.bulk_warm", time.perf_counter() - t0)
+
+The session is built lazily from ``REPRO_TELEMETRY`` on first use;
+``off`` (the default) resolves to ``None`` and every facade call
+reduces to one global load + ``is None`` branch.  This module imports
+only the standard library so any subsystem (store, kernels, pool
+workers, fault plans) can import it without cycles.
+
+See :mod:`repro.telemetry.core` for modes and the on-disk layout, and
+:mod:`repro.telemetry.report` for aggregation.
+"""
+
+import atexit
+import contextlib
+import os
+
+from repro.telemetry.core import (  # noqa: F401  (re-exported)
+    ENV_DIR,
+    ENV_MODE,
+    ENV_RUN,
+    MODES,
+    TelemetrySession,
+    default_sink_dir,
+    mode_from_env,
+    read_rss,
+)
+
+_UNSET = object()
+_session = _UNSET
+
+
+def _build_from_env():
+    env_mode = mode_from_env()
+    if env_mode == "off":
+        return None
+    # counters mode only opens a sink when a run is already in flight
+    # or a directory was explicitly configured; trace mode always
+    # needs somewhere to stream events.
+    if (env_mode == "trace" or os.environ.get(ENV_RUN)
+            or os.environ.get(ENV_DIR)):
+        sink = default_sink_dir()
+    else:
+        sink = None
+    return TelemetrySession(env_mode, sink_dir=sink)
+
+
+def session():
+    """The active :class:`TelemetrySession`, or ``None`` when off."""
+    global _session
+    if _session is _UNSET:
+        _session = _build_from_env()
+    return _session
+
+
+def enabled():
+    return session() is not None
+
+
+def mode():
+    s = session()
+    return "off" if s is None else s.mode
+
+
+def run_dir():
+    s = session()
+    return None if s is None else s.run_dir
+
+
+def counter(name, n=1):
+    s = session()
+    if s is not None:
+        s.count(name, n)
+
+
+def add_time(name, wall, cpu=0.0, n=1):
+    s = session()
+    if s is not None:
+        s.add_time(name, wall, cpu, n)
+
+
+def event(name, **fields):
+    s = session()
+    if s is not None:
+        s.event(name, fields or None)
+
+
+@contextlib.contextmanager
+def span(name, rss=False, emit=True, **fields):
+    """Time a phase; in trace mode also emit a span record.
+
+    ``rss=True`` samples ``/proc/self/status`` at span end (use on
+    phase-level spans only).  ``emit=False`` aggregates into timers
+    without writing a trace record (for mid-frequency paths).
+    """
+    s = session()
+    if s is None:
+        yield None
+        return
+    handle = s.begin(name)
+    try:
+        yield s
+    finally:
+        s.end(handle, fields or None, emit, rss)
+
+
+def flush():
+    """Write this process's snapshot record to its event file."""
+    s = session()
+    if s is not None:
+        s.flush()
+
+
+def configure(mode=None, directory=None):
+    """(Re)build the session explicitly — for tests and CLIs.
+
+    ``mode=None`` re-reads the environment.  Returns the new session
+    (or ``None``).  Closes (and snapshot-flushes) any prior session.
+    """
+    global _session
+    if _session not in (None, _UNSET):
+        _session.close()
+    if mode is None:
+        _session = _UNSET
+        return session()
+    if mode not in MODES:
+        raise ValueError(f"mode must be one of {'|'.join(MODES)}: {mode!r}")
+    if mode == "off":
+        _session = None
+        return None
+    if directory is None and mode == "trace":
+        directory = default_sink_dir()
+    _session = TelemetrySession(mode, sink_dir=directory)
+    return _session
+
+
+def shutdown():
+    """Close the active session and return to lazy env resolution."""
+    global _session
+    if _session not in (None, _UNSET):
+        _session.close()
+    _session = _UNSET
+
+
+def _atexit_flush():
+    global _session
+    if _session not in (None, _UNSET):
+        _session.close()
+        _session = None
+
+
+atexit.register(_atexit_flush)
+
+
+def _after_fork():
+    # A forked pool worker must not share the parent's counters or its
+    # event-file handle: rebuild from env (ENV_RUN keeps it in the
+    # same run directory).  The parent's file object is dropped
+    # without close() — it is unbuffered, so nothing is replayed.
+    global _session
+    if _session not in (None, _UNSET):
+        _session._file = None
+        _session = _UNSET
+
+
+if hasattr(os, "register_at_fork"):
+    os.register_at_fork(after_in_child=_after_fork)

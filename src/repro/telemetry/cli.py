@@ -1,0 +1,177 @@
+"""``python -m repro telemetry`` — render run reports from event logs."""
+
+import argparse
+import json
+import os
+import sys
+
+from repro.telemetry import core, report as report_mod
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="python -m repro telemetry",
+        description="Aggregate and render telemetry run reports "
+                    "(REPRO_TELEMETRY=counters|trace writes per-process "
+                    "event logs under REPRO_TELEMETRY_DIR).")
+    parser.add_argument("action", choices=("report", "summary", "ls"),
+                        help="report: full per-run profile; "
+                             "summary: one-line digest; "
+                             "ls: list run directories")
+    parser.add_argument("--dir", default=None,
+                        help="telemetry sink root (overrides "
+                             "REPRO_TELEMETRY_DIR)")
+    parser.add_argument("--run", default=None,
+                        help="specific run directory "
+                             "(default: most recent under the sink root)")
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument("--json", action="store_true",
+                       help="machine-readable report")
+    group.add_argument("--csv", action="store_true",
+                       help="counters/timers as CSV rows")
+    group.add_argument("--html", action="store_true",
+                       help="static HTML page")
+    parser.add_argument("--out", default=None,
+                        help="write the rendered report to this file")
+    return parser
+
+
+def resolve_run(args):
+    if args.run:
+        if not os.path.isdir(args.run):
+            raise FileNotFoundError(f"no such run directory: {args.run}")
+        return args.run
+    root = args.dir or core.default_sink_dir()
+    return report_mod.latest_run(root)
+
+
+def telemetry_main(argv):
+    args = build_parser().parse_args(argv)
+    root = args.dir or core.default_sink_dir()
+    if args.action == "ls":
+        runs = report_mod.list_runs(root)
+        for run in runs:
+            print(run)
+        if not runs:
+            print(f"no telemetry runs under {root}", file=sys.stderr)
+        return 0
+    try:
+        run_dir = resolve_run(args)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    run = report_mod.RunReport.from_dir(run_dir)
+    if args.action == "summary":
+        print(run.summary())
+        return 0
+    if args.json:
+        text = run.to_json()
+    elif args.csv:
+        text = run.to_csv()
+    elif args.html:
+        text = run.render_html()
+    else:
+        text = run.render_text()
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text if text.endswith("\n") else text + "\n")
+        print(f"written to {args.out}", file=sys.stderr)
+    else:
+        print(text, end="" if text.endswith("\n") else "\n")
+    return 0
+
+
+def build_matrix_parser():
+    parser = argparse.ArgumentParser(
+        prog="python -m repro matrix",
+        description="Run or inspect the resilient SMARTS/CoolSim/DeLorean "
+                    "matrix.  'report' renders the MatrixReport persisted "
+                    "into the latest telemetry run by a previous "
+                    "run_matrix (requires REPRO_TELEMETRY!=off during "
+                    "that run); 'run' executes a matrix now and reports "
+                    "it directly.")
+    parser.add_argument("action", choices=("report", "run"),
+                        help="report: last persisted MatrixReport; "
+                             "run: execute a matrix and report it")
+    parser.add_argument("--json", action="store_true",
+                        help="machine-readable MatrixReport")
+    parser.add_argument("--dir", default=None,
+                        help="telemetry sink root (report; overrides "
+                             "REPRO_TELEMETRY_DIR)")
+    parser.add_argument("--run-dir", default=None,
+                        help="specific telemetry run directory (report)")
+    parser.add_argument("--all", action="store_true",
+                        help="report every dispatch in the run, not just "
+                             "the last")
+    parser.add_argument("--quick", action="store_true",
+                        help="run: six-benchmark sweep instead of all 24")
+    parser.add_argument("--benchmarks", default=None,
+                        help="run: comma-separated benchmark subset")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="run: pool size (default 2)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="run: top-level seed (default 1)")
+    parser.add_argument("--instructions", type=int, default=None,
+                        help="run: trace length per benchmark "
+                             "(default 6M)")
+    return parser
+
+
+def _render_matrix(payload, as_json):
+    from repro.reliability.report import MatrixReport
+
+    if as_json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(MatrixReport.from_dict(payload).summary())
+
+
+def matrix_main(argv):
+    args = build_matrix_parser().parse_args(argv)
+    if args.action == "report":
+        try:
+            if args.run_dir:
+                run_dir = args.run_dir
+            else:
+                root = args.dir or core.default_sink_dir()
+                run_dir = report_mod.latest_run(root)
+        except FileNotFoundError as exc:
+            print(f"error: {exc} (matrix reports are persisted only when "
+                  "REPRO_TELEMETRY is enabled during run_matrix)",
+                  file=sys.stderr)
+            return 1
+        payloads = report_mod._read_jsonl(
+            os.path.join(run_dir, report_mod.MATRIX_NAME))
+        if not payloads:
+            print(f"error: no matrix reports in {run_dir} (was "
+                  "run_matrix executed with telemetry enabled?)",
+                  file=sys.stderr)
+            return 1
+        for payload in (payloads if args.all else payloads[-1:]):
+            _render_matrix(payload, args.json)
+        return 0
+
+    # action == "run"
+    from repro.experiments import ExperimentConfig, SuiteRunner
+
+    names = None
+    if args.benchmarks:
+        names = tuple(name.strip() for name in args.benchmarks.split(","))
+    elif args.quick:
+        names = ("perlbench", "bwaves", "mcf", "povray", "GemsFDTD", "lbm")
+    overrides = {"names": names}
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if args.instructions:
+        overrides["n_instructions"] = args.instructions
+    runner = SuiteRunner(ExperimentConfig(**overrides))
+    runner.run_matrix(max_workers=args.workers)
+    report = runner.last_matrix_report
+    if report is None:
+        print("error: matrix produced no report", file=sys.stderr)
+        return 1
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.summary())
+    return 0

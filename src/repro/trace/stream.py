@@ -28,6 +28,7 @@ and remains the default for RAM-resident workloads.
 
 import numpy as np
 
+from repro import telemetry
 from repro.trace.record import Kind, TraceChunk
 from repro.trace.workload import Workload
 from repro.util.rng import child_rng, clone_rng
@@ -97,6 +98,7 @@ def generate_chunks(phases, seed, name="trace",
             br_pos = np.flatnonzero(branch_mask)
             mispred = rng_br.random(br_pos.size) < phase.mispredict_rate
 
+            telemetry.counter("stream.generate.chunks")
             yield TraceChunk(
                 instr_lo=instr_offset + lo,
                 instr_hi=instr_offset + hi,
@@ -192,6 +194,11 @@ class SyntheticStreamWorkload(Workload):
 
     def _generate(self):
         """Stream the trace into the store (or an owned spill)."""
+        with telemetry.span("phase.generate", rss=True,
+                            benchmark=self.name):
+            return self._generate_stream()
+
+    def _generate_stream(self):
         from repro.traceio.container import TraceStreamWriter
 
         store = self.store
@@ -227,7 +234,8 @@ class SyntheticStreamWorkload(Workload):
                                   label="synthetic-trace")
                 store.save(manifest_key, manifest,
                            label="synthetic-trace")
-                views = store.load_mapped(blob_key)
+                views = store.load_mapped(blob_key,
+                                          label="synthetic-trace")
                 if views is not None \
                         and self._manifest_matches(manifest, views):
                     writer.close()
@@ -245,9 +253,11 @@ class SyntheticStreamWorkload(Workload):
         store = self.store
         if store is not None and store.enabled:
             blob_key, manifest_key = self._store_keys()
-            views = store.load_mapped(blob_key)
+            views = store.load_mapped(blob_key,
+                                      label="synthetic-trace")
             if views is not None:
-                manifest = store.load(manifest_key)
+                manifest = store.load(manifest_key,
+                                      label="synthetic-trace")
                 if self._manifest_matches(manifest, views):
                     return views, manifest
         return self._generate()

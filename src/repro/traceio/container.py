@@ -23,6 +23,7 @@ import zipfile
 
 import numpy as np
 
+from repro import telemetry
 from repro.reliability.cleanup import register_scratch, unregister_scratch
 from repro.store.fingerprint import fingerprint, fingerprint_arrays
 from repro.trace.record import Kind, Trace
@@ -215,6 +216,7 @@ class TraceStreamWriter:
 
     def append(self, chunk):
         """Validate and spill one chunk (must follow its predecessor)."""
+        telemetry.counter("stream.writer.chunks")
         if self._views is not None:
             raise ValueError("writer already finished")
         if chunk.instr_lo != self.n_instructions:

@@ -32,6 +32,7 @@ import tempfile
 
 import numpy as np
 
+from repro import telemetry
 from repro.cpu.branch import TournamentPredictor
 from repro.reliability.cleanup import register_scratch, unregister_scratch
 from repro.cpu.config import ProcessorConfig
@@ -91,6 +92,14 @@ def import_trace_streamed(path, fmt, out_path, name=None, source=None,
     """
     chunk = max(1, int(chunk_instructions or DEFAULT_IMPORT_CHUNK))
     name = name or _default_name(path)
+    with telemetry.span("phase.ingest", rss=True, trace=name, fmt=fmt):
+        return _import_trace_streamed(
+            path, fmt, out_path, name, source, chunk, compress,
+            spill_dir, config)
+
+
+def _import_trace_streamed(path, fmt, out_path, name, source, chunk,
+                           compress, spill_dir, config):
     if spill_dir is None:
         spill_dir = os.path.dirname(os.path.abspath(out_path))
     os.makedirs(spill_dir, exist_ok=True)
@@ -109,6 +118,7 @@ def import_trace_streamed(path, fmt, out_path, name=None, source=None,
         n_mem = 0
         n_branches = 0
         for batch in parse_events(path, fmt, chunk):
+            telemetry.counter("ingest.parse_batches")
             events.append_batch(batch)
             pcs.add(batch["mem_pc"])
             kind = batch["kind"]
@@ -176,6 +186,7 @@ def _normalized_chunks(views, mispred, pc_table, chunk, n_instructions):
     mem_cursor = 0
     branch_cursor = 0
     for lo in range(0, n_instructions, chunk):
+        telemetry.counter("ingest.chunks")
         hi = min(n_instructions, lo + chunk)
         window = np.array(kind[lo:hi], copy=True)
         mem_mask = (window == Kind.LOAD) | (window == Kind.STORE)

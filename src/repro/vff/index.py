@@ -25,11 +25,12 @@ Two construction modes exist:
 import os
 import shutil
 import tempfile
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro import kernels
+from repro import kernels, telemetry
 from repro.util.units import CACHELINE_SHIFT, PAGE_SHIFT
 
 #: Default accesses per construction chunk (~24 MiB of transient arrays
@@ -255,6 +256,7 @@ def build_index_tables(trace, chunk_accesses=None, allocate=None):
 
     Returns ``(tables, stats)``.
     """
+    build_t0 = time.perf_counter()
     n = int(trace.n_accesses)
     chunk = max(1, int(chunk_accesses if chunk_accesses is not None
                        else default_chunk_accesses()))
@@ -369,6 +371,17 @@ def build_index_tables(trace, chunk_accesses=None, allocate=None):
                                 for g in granularities)),
         table_bytes=int(sum(t.nbytes for t in tables.values())),
     )
+    s = telemetry.session()
+    if s is not None:
+        s.add_time("index.build", time.perf_counter() - build_t0)
+        s.count("index.build.chunks", stats.n_chunks)
+        s.event("index.build", {
+            "n_accesses": stats.n_accesses,
+            "n_chunks": stats.n_chunks,
+            "chunk_accesses": stats.chunk_accesses,
+            "peak_transient_bytes": stats.peak_transient_bytes,
+            "table_bytes": stats.table_bytes,
+        })
     return tables, stats
 
 
@@ -379,9 +392,13 @@ class TraceIndex:
     build_stats = None
 
     def __init__(self, trace):
+        s = telemetry.session()
+        t0 = time.perf_counter() if s is not None else 0.0
         self.trace = trace
         self.lines = _PositionIndex(trace.mem_line)
         self.pages = _PositionIndex(trace.mem_page)
+        if s is not None:
+            s.add_time("index.build.argsort", time.perf_counter() - t0)
 
     def tables(self):
         """Flat array mapping for the artifact store (npz-friendly)."""
@@ -416,7 +433,7 @@ class TraceIndex:
         Queries against the returned index never require the tables in
         RAM: binary searches and gathers touch only the pages they hit.
         """
-        tables = store.load_mapped(key)
+        tables = store.load_mapped(key, label="trace-index-spill")
         if tables is None:
             return None
         return cls.from_tables(trace, tables)

@@ -14,11 +14,12 @@ stops (true + false) the run took.  Everything is derived from the
 window access-by-access.
 """
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro import kernels
+from repro import kernels, telemetry
 
 
 @dataclass
@@ -59,12 +60,17 @@ class WatchpointEngine:
             profile.unresolved = tuple(int(l) for l in watched)
             return profile
 
+        s = telemetry.session()
+        t0 = time.perf_counter() if s is not None else 0.0
         if kernels.get_backend() == "vector":
             # One vectorized pass over the window resolves every watched
             # line at once (identical counts/positions to the per-line
             # binary searches below).
             counts, last = self.index.window_access_counts(
                 watched, access_lo, access_hi)
+            if s is not None:
+                s.add_time("kernel.watchpoint_profile",
+                           time.perf_counter() - t0)
             true_stops = int(counts.sum())
             resolved = counts > 0
             profile.last_access = dict(
@@ -81,6 +87,9 @@ class WatchpointEngine:
                         line, access_lo, access_hi)
                 else:
                     unresolved.append(line)
+            if s is not None:
+                s.add_time("kernel.watchpoint_profile.scalar",
+                           time.perf_counter() - t0)
 
         pages = self.index.pages_of_lines(watched)
         page_stops = self.index.page_stops_in(pages, access_lo, access_hi)

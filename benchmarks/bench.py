@@ -1,6 +1,6 @@
 """Unified benchmark runner: one schema, one history, one gate.
 
-``bench.py`` fronts the three perf suites that seed the repo's perf
+``bench.py`` fronts the perf suites that seed the repo's perf
 trajectory — ``kernels`` (vector-vs-scalar kernel timings),
 ``store`` (cold-vs-warm artifact-store wins) and ``stream``
 (bounded-memory scaling) — behind one history-carrying record written
@@ -13,19 +13,35 @@ to the repo root (``BENCH_kernels.json``, ``BENCH_store.json``,
       "profile": "full" | "quick",
       "generated_utc": "...",
       "metrics": { ... suite-specific report, unchanged shape ... },
-      "gate":    { "<metric>": <seconds or MB>, ... },   # lower = better
+      "gate":    { "<metric>": <number>, ... },   # flat gate surface
       "history": [ {"generated_utc": ..., "profile": ..., "gate": ...} ]
     }
 
-The flat ``gate`` dict is the regression surface: every entry is a
-wall-clock or RSS number where *lower is better*, so one rule covers
-all three suites.  ``--check`` exits 1 when any gate metric regresses
-more than 15% **and** more than an absolute floor (0.25 s wall, 8 MB
-RSS — sub-floor jitter never trips the gate) against the committed
-``benchmarks/BASELINE.json`` for the active profile.
-``--update-baseline`` records the current numbers as the new baseline.
-Prior runs (including pre-schema-v2 files) are folded into ``history``
-so the trajectory survives regeneration.
+The flat ``gate`` dict is the regression surface.  The policy lives in
+:mod:`repro.reporting.gates` so ``--check``, the trend report and
+``python -m repro report gate`` agree: a metric regresses when it
+worsens by more than 15% **and** more than its unit's absolute floor
+(0.25 s wall, 8 MB RSS, 0.02 for rates, 2 for behavioral event
+counts — sub-floor jitter never trips the gate) against the committed
+``benchmarks/BASELINE.json`` for the active profile.  Direction is
+metric-aware: hit rates are higher-is-better, everything else
+lower-is-better.  ``--update-baseline`` records the current numbers
+as the new baseline.
+
+When ``REPRO_TELEMETRY`` is enabled and *all* runnable suites ran, a
+fourth record — the ``behavior`` pseudo-suite, ``BENCH_behavior.json``
+— derives behavioral gate metrics from the run's telemetry counters
+(kernel bailout rate, store hit rate overall and per label, pool
+retry/requeue and failure counts, fault firings).  Those counts are
+deterministic for a fixed profile, so behavioral drift fails the gate
+even when wall time stays flat.
+
+Prior runs (including pre-schema-v2 files) are folded into
+``history`` so the trajectory survives regeneration; entries are
+deduplicated by ``generated_utc`` (re-running and rewriting within
+the same stamp never double-appends) and trimmed to the newest
+``HISTORY_LIMIT`` (20) runs.  ``python -m repro report trends``
+renders that history as per-metric trend lines.
 
 Usage::
 
@@ -59,16 +75,17 @@ for _entry in (str(SRC_DIR), str(BENCH_DIR)):
         sys.path.insert(0, _entry)
 
 from repro import telemetry  # noqa: E402
+from repro.reporting import gates  # noqa: E402
+# Re-exported for callers that sized thresholds off this module before
+# the policy moved to repro.reporting.gates.
+from repro.reporting.gates import (  # noqa: E402,F401
+    FLOOR_MB, FLOOR_SECONDS, REGRESSION_RATIO)
 
 SCHEMA_VERSION = 2
+#: ``history`` keeps the newest 20 runs per suite — enough for the
+#: trend report's drift window without the committed records growing
+#: unboundedly.
 HISTORY_LIMIT = 20
-#: A gate metric regresses when it grows past both bounds: >15%
-#: relative AND more than an absolute floor.  The floors keep
-#: sub-second quick-profile metrics from flaking on scheduler jitter
-#: (a broken optimization still blows far past both).
-REGRESSION_RATIO = 1.15
-FLOOR_SECONDS = 0.25
-FLOOR_MB = 8.0
 
 
 def _gate_kernels(metrics):
@@ -102,6 +119,10 @@ def _gate_stream(metrics):
     return gate
 
 
+def _gate_behavior(metrics):
+    return dict(metrics["derived"])
+
+
 SUITES = {
     "kernels": {"module": "bench_perf_kernels",
                 "result": "BENCH_kernels.json", "gate": _gate_kernels},
@@ -109,7 +130,16 @@ SUITES = {
               "result": "BENCH_store.json", "gate": _gate_store},
     "stream": {"module": "bench_stream",
                "result": "BENCH_stream.json", "gate": _gate_stream},
+    # Derived from the run's telemetry counters, not timed directly;
+    # attached automatically after a full runnable sweep under
+    # REPRO_TELEMETRY (see behavior_doc).
+    "behavior": {"module": None,
+                 "result": "BENCH_behavior.json",
+                 "gate": _gate_behavior},
 }
+#: The suites that execute a bench module (``behavior`` is derived).
+RUNNABLE = sorted(name for name, spec in SUITES.items()
+                  if spec["module"])
 
 
 def active_profile():
@@ -122,7 +152,13 @@ def result_path(suite):
 
 
 def _history_from(prior, suite):
-    """Prior runs to carry forward, folding pre-v2 files into history."""
+    """Prior runs to carry forward, folding pre-v2 files into history.
+
+    Idempotent: entries are deduplicated by ``generated_utc`` (first
+    occurrence wins, order preserved), so rewriting a record within
+    the same stamp — or folding the same legacy file twice — never
+    double-appends, and the list is trimmed to ``HISTORY_LIMIT``.
+    """
     if not isinstance(prior, dict):
         return []
     history = list(prior.get("history") or [])
@@ -143,7 +179,15 @@ def _history_from(prior, suite):
                 "profile": prior.get("profile", "full"),
                 "gate": gate,
             })
-    return history[-HISTORY_LIMIT:]
+    seen, deduped = set(), []
+    for entry in history:
+        stamp = entry.get("generated_utc") \
+            if isinstance(entry, dict) else None
+        if stamp in seen:
+            continue
+        seen.add(stamp)
+        deduped.append(entry)
+    return deduped[-HISTORY_LIMIT:]
 
 
 def write_suite(suite, metrics, profile=None):
@@ -184,10 +228,6 @@ def run_suite(suite):
 
 # -- regression gate ---------------------------------------------------------
 
-def _floor(name):
-    return FLOOR_MB if name.endswith("_mb") else FLOOR_SECONDS
-
-
 def load_baseline():
     if not BASELINE_PATH.exists():
         return {"schema_version": SCHEMA_VERSION, "profiles": {}}
@@ -199,34 +239,16 @@ def check_doc(doc, baseline, profile=None):
 
     Returns ``(regressions, notes)`` — regressions are gate failures,
     notes are informational (new/removed metrics, improvements beyond
-    the floor worth folding into the baseline).
+    the floor worth folding into the baseline).  The comparison rule
+    itself (directions, floors, ratio) is
+    :func:`repro.reporting.gates.check_gate`.
     """
     profile = profile or doc["profile"]
     base = baseline.get("profiles", {}).get(profile, {}).get(doc["suite"])
     if base is None:
         return [], [f"{doc['suite']}: no {profile} baseline "
                     f"(run --update-baseline)"]
-    regressions, notes = [], []
-    for name, current in sorted(doc["gate"].items()):
-        reference = base.get(name)
-        if reference is None:
-            notes.append(f"{doc['suite']}.{name}: new metric "
-                         f"({current:g}), not in baseline")
-            continue
-        delta = current - reference
-        if delta > _floor(name) and current > reference * REGRESSION_RATIO:
-            regressions.append(
-                f"{doc['suite']}.{name}: {current:g} vs baseline "
-                f"{reference:g} (+{100 * delta / reference:.0f}%, "
-                f"threshold +{100 * (REGRESSION_RATIO - 1):.0f}%)")
-        elif -delta > _floor(name) and current * REGRESSION_RATIO \
-                < reference:
-            notes.append(f"{doc['suite']}.{name}: improved {reference:g} "
-                         f"-> {current:g}")
-    for name in sorted(set(base) - set(doc["gate"])):
-        notes.append(f"{doc['suite']}.{name}: in baseline but not "
-                     "measured")
-    return regressions, notes
+    return gates.check_gate(doc["suite"], doc["gate"], base)
 
 
 def update_baseline(docs, profile=None):
@@ -250,9 +272,11 @@ def build_parser():
         description="Run the perf suites under one schema and gate "
                     "them against benchmarks/BASELINE.json.")
     parser.add_argument("suites", nargs="*", metavar="suite",
-                        choices=sorted(SUITES) + [[]],
-                        help=f"suites to run: {', '.join(sorted(SUITES))} "
-                             "(default: all)")
+                        choices=RUNNABLE + [[]],
+                        help=f"suites to run: {', '.join(RUNNABLE)} "
+                             "(default: all; the derived 'behavior' "
+                             "record is attached automatically when "
+                             "telemetry is on and all suites ran)")
     parser.add_argument("--quick", action="store_true",
                         help="smoke-size profile "
                              "(same as REPRO_BENCH_PROFILE=quick)")
@@ -268,11 +292,36 @@ def build_parser():
     return parser
 
 
+def behavior_doc(suites_run):
+    """The derived ``behavior`` record, or ``None`` when unavailable.
+
+    Only attached when telemetry captured the run *and* every runnable
+    suite ran — a partial sweep would skew the aggregate hit/bailout
+    rates against a full-sweep baseline.
+    """
+    if not telemetry.enabled() or set(suites_run) != set(RUNNABLE):
+        return None
+    run_dir = telemetry.run_dir()
+    if not run_dir:
+        return None
+    from repro.telemetry.report import RunReport
+    report = RunReport.from_dir(run_dir, write_merged=False)
+    derived = report.gate_metrics()
+    if not derived:
+        return None
+    print("== behavior (derived from telemetry) ==")
+    return write_suite("behavior", {
+        "derived": derived,
+        "source_run": os.path.basename(run_dir),
+        "suites": sorted(suites_run),
+    })
+
+
 def main(argv=None):
     args = build_parser().parse_args(argv)
     if args.quick:
         os.environ["REPRO_BENCH_PROFILE"] = "quick"
-    suites = list(args.suites) or sorted(SUITES)
+    suites = list(args.suites) or list(RUNNABLE)
     profile = active_profile()
     print(f"profile: {profile}; suites: {', '.join(suites)}")
 
@@ -281,6 +330,9 @@ def main(argv=None):
         print(f"== {suite} ==")
         docs.append(run_suite(suite))
     telemetry.flush()
+    behavior = behavior_doc(suites)
+    if behavior is not None:
+        docs.append(behavior)
 
     if args.report:
         pathlib.Path(args.report).write_text(

@@ -12,6 +12,7 @@ Usage::
     python -m repro synth export BENCH [--instructions N] [--chunk C] ...
     python -m repro telemetry report|summary|ls [--json|--csv|--html]
     python -m repro matrix report|run [--json] ...
+    python -m repro report figures|trends|gate [--quick] [--json] ...
 
 Each exhibit command runs the corresponding harness from
 :mod:`repro.experiments.figures` and prints the rendered table/chart
@@ -30,6 +31,14 @@ re-simulating.  ``cache`` inspects and maintains that store.
 per-run profile: time/RSS by phase, store hit rates, kernel timings,
 pool retry budgets, fault firings.  ``matrix`` runs or replays the
 resilient pool's :class:`MatrixReport` without touching Python.
+
+``report`` closes the observability loop: ``report figures`` renders
+the whole paper-figure suite into one self-contained artifact set
+(``report.html`` with inline SVG charts, ``figures.csv``,
+``figures.json``), ``report trends`` draws gate-metric trend lines
+across the committed ``BENCH_*.json`` history, and ``report gate``
+replays the perf/behavior regression check without re-running any
+suite.
 
 ``trace`` ingests external memory traces (ChampSim binary,
 Valgrind-Lackey text, generic CSV) into native streamable containers;
@@ -104,6 +113,8 @@ def list_exhibits():
           "reports (report, summary, ls)")
     print(f"{'matrix':<{width}}  Run or replay the resilient pool's "
           "MatrixReport (report, run)")
+    print(f"{'report':<{width}}  Paper-figure run report, perf trend "
+          "lines, regression gate (figures, trends, gate)")
 
 
 def build_cache_parser():
@@ -235,6 +246,9 @@ def main(argv=None):
     if argv and argv[0] == "matrix":
         from repro.telemetry.cli import matrix_main
         return matrix_main(argv[1:])
+    if argv and argv[0] == "report":
+        from repro.reporting.cli import report_main
+        return report_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.exhibit == "list":
         list_exhibits()

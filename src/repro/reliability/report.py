@@ -101,6 +101,15 @@ class MatrixReport:
     def total_failures(self):
         return sum(len(t.failures) for t in self.tasks.values())
 
+    @property
+    def failures_by_kind(self):
+        """``{kind: count}`` across every attempt of every task."""
+        kinds = {}
+        for task in self.tasks.values():
+            for failure in task.failures:
+                kinds[failure.kind] = kinds.get(failure.kind, 0) + 1
+        return dict(sorted(kinds.items()))
+
     def as_dict(self):
         return {
             "rounds": self.rounds,
@@ -136,11 +145,24 @@ class MatrixReport:
         kwargs.setdefault("sort_keys", True)
         return json.dumps(self.as_dict(), **kwargs)
 
-    def summary(self):
-        """One human line per noteworthy task."""
-        lines = [f"pool dispatch: {len(self.tasks)} tasks, "
-                 f"{self.rounds} round(s), "
-                 f"{self.pool_rebuilds} pool rebuild(s)"]
+    def summary(self, faults_fired=None):
+        """One human line per noteworthy task.
+
+        ``faults_fired`` (optional) is the run's total injected-fault
+        count from telemetry; the pool itself doesn't observe fault
+        sites, so the caller passes it in.
+        """
+        head = (f"pool dispatch: {len(self.tasks)} tasks, "
+                f"{self.rounds} round(s), "
+                f"{self.pool_rebuilds} pool rebuild(s)")
+        if self.total_failures:
+            kinds = ", ".join(f"{count} {kind}" for kind, count
+                              in self.failures_by_kind.items())
+            head += (f", {self.total_failures} failed "
+                     f"attempt(s) ({kinds})")
+        if faults_fired:
+            head += f", {faults_fired} fault(s) fired"
+        lines = [head]
         for name in self.recovered:
             task = self.tasks[name]
             kinds = ",".join(f.kind for f in task.failures)

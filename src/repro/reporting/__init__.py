@@ -1,0 +1,24 @@
+"""Run reporting: paper-figure reports, perf trends, drift gates.
+
+The reporting layer turns the reproduction into a self-documenting
+measurement tool:
+
+* :mod:`repro.reporting.figures` — the declarative paper-figure
+  registry (collector -> table -> inline-SVG chart spec per figure).
+* :mod:`repro.reporting.report` — the per-run artifact set
+  (``report.html`` / ``figures.csv`` / ``figures.json``).
+* :mod:`repro.reporting.trends` — cross-commit gate-metric trend
+  lines over the committed ``BENCH_*.json`` history.
+* :mod:`repro.reporting.gates` — the shared gate policy (directions,
+  floors, regression rule, monotonic-drift flag) that
+  ``benchmarks/bench.py --check`` and the trend report both apply.
+* :mod:`repro.reporting.html` / :mod:`repro.reporting.charts` — the
+  shared standalone-HTML and inline-SVG primitives (also used by the
+  telemetry run report).
+
+CLI: ``python -m repro report figures|trends|gate``.
+"""
+
+from repro.reporting.html import html_page, html_table  # noqa: F401
+from repro.reporting.charts import (  # noqa: F401
+    svg_bar_chart, svg_line_chart)

@@ -1,0 +1,270 @@
+"""Inline-SVG chart primitives for the self-contained HTML reports.
+
+Pure string builders — no matplotlib, no external assets, no script.
+Each function returns one ``<svg>`` element that references the page's
+palette roles (``var(--series-N)``, ``var(--grid)``, ...) declared by
+:mod:`repro.reporting.html`, so the charts restyle with the page in
+light and dark mode.  Marks follow the house chart spec: thin bars
+with rounded data ends anchored to the zero baseline, 2px lines with
+>=8px point markers, a 2px surface gap between adjacent fills,
+recessive grid, a legend whenever there is more than one series, and a
+native ``<title>`` hover on every mark.
+
+Series colors are assigned by slot in declaration order and never
+cycled; callers keep series counts small (the paper figures need at
+most the first few slots).
+"""
+
+import math
+
+from repro.reporting.html import SERIES_SLOTS, escape
+
+MARGIN_LEFT = 64
+MARGIN_RIGHT = 16
+MARGIN_TOP = 28
+MARGIN_BOTTOM = 44
+LEGEND_HEIGHT = 20
+BAR_GAP = 2            # surface gap between adjacent fills
+
+
+def _series_color(index):
+    return f"var(--series-{(index % SERIES_SLOTS) + 1})"
+
+
+def _fmt(value, value_format="{:.3g}"):
+    if value is None or (isinstance(value, float) and math.isnan(value)):
+        return "-"
+    return value_format.format(value)
+
+
+def _ticks(lo, hi, n=4):
+    """A few round tick values covering [lo, hi]."""
+    if hi <= lo:
+        hi = lo + 1.0
+    span = hi - lo
+    step = 10.0 ** math.floor(math.log10(span / max(n, 1)))
+    for mult in (1, 2, 2.5, 5, 10):
+        if span / (step * mult) <= n:
+            step *= mult
+            break
+    first = math.ceil(lo / step) * step
+    ticks = []
+    value = first
+    while value <= hi + 1e-9 * span:
+        ticks.append(round(value, 10))
+        value += step
+    return ticks or [lo, hi]
+
+
+def _finite(values):
+    return [v for v in values
+            if v is not None and not (isinstance(v, float)
+                                      and (math.isnan(v)
+                                           or math.isinf(v)))]
+
+
+def _y_scale(lo, hi, height):
+    span = hi - lo if hi > lo else 1.0
+
+    def to_y(value):
+        frac = (value - lo) / span
+        return MARGIN_TOP + (1.0 - frac) * height
+
+    return to_y
+
+
+def _frame(width, height, plot_h, to_y, ticks, y_label, title,
+           value_format):
+    parts = []
+    if title:
+        parts.append(
+            f'<text x="{MARGIN_LEFT}" y="16" font-weight="600">'
+            f'{escape(title)}</text>')
+    x0, x1 = MARGIN_LEFT, width - MARGIN_RIGHT
+    for tick in ticks:
+        y = to_y(tick)
+        parts.append(f'<line x1="{x0}" y1="{y:.1f}" x2="{x1}" '
+                     f'y2="{y:.1f}" stroke="var(--grid)" '
+                     'stroke-width="1"/>')
+        parts.append(f'<text class="tick-label" x="{x0 - 6}" '
+                     f'y="{y + 4:.1f}" text-anchor="end">'
+                     f'{escape(_fmt(tick, value_format))}</text>')
+    if y_label:
+        parts.append(f'<text class="axis-label" x="{MARGIN_LEFT}" '
+                     f'y="{MARGIN_TOP + plot_h + 34}">'
+                     f'{escape(y_label)}</text>')
+    return parts
+
+
+def _legend(series_names, width, y):
+    if len(series_names) < 2:
+        return []
+    parts = []
+    x = MARGIN_LEFT
+    for index, name in enumerate(series_names):
+        color = _series_color(index)
+        parts.append(f'<rect x="{x}" y="{y - 9}" width="10" '
+                     f'height="10" rx="2" fill="{color}"/>')
+        parts.append(f'<text class="legend-label" x="{x + 14}" '
+                     f'y="{y}">{escape(name)}</text>')
+        x += 14 + 7 * len(str(name)) + 18
+    return parts
+
+
+def _svg(width, height, parts):
+    body = "\n".join(parts)
+    return (f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+            f'height="{height}" viewBox="0 0 {width} {height}" '
+            'role="img" style="font: 11px system-ui, sans-serif;">\n'
+            f"{body}\n</svg>")
+
+
+def _rounded_bar(x, y_top, bar_w, y_base, color, hover):
+    """A bar anchored at the baseline with a rounded data end."""
+    h = y_base - y_top
+    r = min(3.0, bar_w / 2.0, max(h, 0.0))
+    if h <= 0:
+        return ""
+    path = (f"M{x:.1f},{y_base:.1f} "
+            f"V{y_top + r:.1f} Q{x:.1f},{y_top:.1f} {x + r:.1f},"
+            f"{y_top:.1f} H{x + bar_w - r:.1f} "
+            f"Q{x + bar_w:.1f},{y_top:.1f} {x + bar_w:.1f},"
+            f"{y_top + r:.1f} V{y_base:.1f} Z")
+    return (f'<path d="{path}" fill="{color}">'
+            f"<title>{escape(hover)}</title></path>")
+
+
+def svg_bar_chart(categories, series, title=None, y_label="",
+                  value_format="{:.3g}", height=200):
+    """Grouped bars: ``series`` is ``{name: [value per category]}``."""
+    names = list(series)
+    values = _finite(v for vs in series.values() for v in vs)
+    if not values:
+        return "<svg width=\"0\" height=\"0\"></svg>"
+    lo, hi = min(0.0, min(values)), max(0.0, max(values))
+    ticks = _ticks(lo, hi)
+    hi = max(hi, ticks[-1])
+
+    bar_w = max(8, 26 - 4 * len(names))
+    group_w = len(names) * (bar_w + BAR_GAP) + 12
+    width = MARGIN_LEFT + len(categories) * group_w + MARGIN_RIGHT
+    plot_h = height
+    total_h = MARGIN_TOP + plot_h + MARGIN_BOTTOM + LEGEND_HEIGHT
+    to_y = _y_scale(lo, hi, plot_h)
+    y_base = to_y(0.0)
+
+    parts = _frame(width, total_h, plot_h, to_y, ticks, y_label, title,
+                   value_format)
+    for c, category in enumerate(categories):
+        gx = MARGIN_LEFT + c * group_w + 6
+        for s, name in enumerate(names):
+            value = series[name][c]
+            if value is None or (isinstance(value, float)
+                                 and not math.isfinite(value)):
+                continue
+            x = gx + s * (bar_w + BAR_GAP)
+            hover = (f"{category} — {name}: "
+                     f"{_fmt(value, value_format)}")
+            parts.append(_rounded_bar(x, to_y(value), bar_w, y_base,
+                                      _series_color(s), hover))
+        label_x = gx + (len(names) * (bar_w + BAR_GAP)) / 2
+        parts.append(
+            f'<text class="tick-label" text-anchor="end" '
+            f'transform="translate({label_x:.1f},'
+            f'{MARGIN_TOP + plot_h + 12}) rotate(-35)">'
+            f'{escape(category)}</text>')
+    parts.append(f'<line x1="{MARGIN_LEFT}" y1="{y_base:.1f}" '
+                 f'x2="{width - MARGIN_RIGHT}" y2="{y_base:.1f}" '
+                 'stroke="var(--text-secondary)" stroke-width="1"/>')
+    parts.extend(_legend(names, width, total_h - 6))
+    return _svg(width, total_h, parts)
+
+
+def svg_line_chart(x_labels, series, title=None, y_label="",
+                   value_format="{:.3g}", height=200, baseline=None,
+                   logy=False):
+    """Lines with point markers: ``series`` is ``{name: [values]}``.
+
+    ``baseline=(value, label)`` draws an annotated dashed reference
+    line (e.g. the committed gate baseline for a trend chart).
+    """
+    names = list(series)
+    values = _finite(v for vs in series.values() for v in vs)
+    if baseline is not None:
+        values.append(baseline[0])
+    if not values:
+        return "<svg width=\"0\" height=\"0\"></svg>"
+    transform = (lambda v: math.log10(max(v, 1e-12))) if logy \
+        else (lambda v: v)
+    lo, hi = min(map(transform, values)), max(map(transform, values))
+    pad = 0.08 * (hi - lo or abs(hi) or 1.0)
+    lo, hi = lo - pad, hi + pad
+    ticks = _ticks(lo, hi)
+
+    n = max(len(labels_vs) for labels_vs in series.values())
+    n = max(n, len(x_labels), 2)
+    width = max(480, MARGIN_LEFT + 40 * (n - 1) + MARGIN_RIGHT + 80)
+    plot_h = height
+    total_h = MARGIN_TOP + plot_h + MARGIN_BOTTOM + LEGEND_HEIGHT
+    to_y = _y_scale(lo, hi, plot_h)
+    span_x = width - MARGIN_LEFT - MARGIN_RIGHT - 70
+
+    def to_x(i):
+        return MARGIN_LEFT + i * span_x / max(n - 1, 1)
+
+    shown = (lambda v: _fmt(v, value_format))
+    parts = _frame(width, total_h, plot_h, to_y,
+                   [] if logy else ticks, y_label, title, value_format)
+    if logy:
+        for tick in ticks:
+            y = to_y(tick)
+            parts.append(f'<line x1="{MARGIN_LEFT}" y1="{y:.1f}" '
+                         f'x2="{width - MARGIN_RIGHT}" y2="{y:.1f}" '
+                         'stroke="var(--grid)" stroke-width="1"/>')
+            parts.append(f'<text class="tick-label" '
+                         f'x="{MARGIN_LEFT - 6}" y="{y + 4:.1f}" '
+                         f'text-anchor="end">'
+                         f'{escape(_fmt(10 ** tick, value_format))}'
+                         '</text>')
+    if baseline is not None:
+        y = to_y(transform(baseline[0]))
+        parts.append(f'<line x1="{MARGIN_LEFT}" y1="{y:.1f}" '
+                     f'x2="{width - MARGIN_RIGHT}" y2="{y:.1f}" '
+                     'stroke="var(--text-secondary)" stroke-width="1" '
+                     'stroke-dasharray="5,4"/>')
+        parts.append(f'<text class="tick-label" '
+                     f'x="{width - MARGIN_RIGHT}" y="{y - 4:.1f}" '
+                     f'text-anchor="end">{escape(baseline[1])}</text>')
+    for s, name in enumerate(names):
+        color = _series_color(s)
+        points = [(to_x(i), to_y(transform(v)), v, i)
+                  for i, v in enumerate(series[name])
+                  if v is not None and not (isinstance(v, float)
+                                            and not math.isfinite(v))]
+        if not points:
+            continue
+        poly = " ".join(f"{x:.1f},{y:.1f}" for x, y, _, _ in points)
+        parts.append(f'<polyline points="{poly}" fill="none" '
+                     f'stroke="{color}" stroke-width="2"/>')
+        for x, y, v, i in points:
+            label = (x_labels[i] if i < len(x_labels) else i)
+            parts.append(
+                f'<circle cx="{x:.1f}" cy="{y:.1f}" r="4" '
+                f'fill="{color}" stroke="var(--surface-1)" '
+                f'stroke-width="2"><title>'
+                f"{escape(f'{label} — {name}: {shown(v)}')}"
+                "</title></circle>")
+        # selective direct label at the last point: text ink carries
+        # the name, the adjacent colored line carries identity
+        x, y, _, _ = points[-1]
+        parts.append(f'<text class="legend-label" x="{x + 8:.1f}" '
+                     f'y="{y + 4:.1f}">{escape(name)}</text>')
+    step = max(1, (n + 7) // 8)
+    for i in range(0, n, step):
+        if i < len(x_labels):
+            parts.append(
+                f'<text class="tick-label" text-anchor="middle" '
+                f'x="{to_x(i):.1f}" y="{MARGIN_TOP + plot_h + 16}">'
+                f'{escape(x_labels[i])}</text>')
+    parts.extend(_legend(names, width, total_h - 6))
+    return _svg(width, total_h, parts)

@@ -1,0 +1,207 @@
+"""``python -m repro report`` — figure, trend and gate reporting.
+
+Three actions close the observability loop:
+
+* ``figures`` regenerates the paper-figure suite (through the shared
+  memoized :class:`SuiteRunner`, warm-starting from the artifact
+  store) and writes one self-contained per-run artifact set:
+  ``report.html`` (inline SVG charts + tables), ``figures.csv`` and
+  ``figures.json``.
+* ``trends`` renders per-suite gate-metric trend lines across the
+  committed ``BENCH_*.json`` history — wall, RSS and the derived
+  behavioral metrics — annotating the committed baseline and flagging
+  monotonic drift.
+* ``gate`` replays the regression check of the committed bench records
+  against ``benchmarks/BASELINE.json`` (the same policy
+  ``benchmarks/bench.py --check`` enforces in CI) without re-running
+  any suite.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="python -m repro report",
+        description="Paper-figure run reports, cross-commit trend "
+                    "lines and the committed-record regression gate.")
+    parser.add_argument("action", choices=("figures", "trends", "gate"),
+                        help="figures: per-run HTML/CSV/JSON report; "
+                             "trends: gate-metric history lines; "
+                             "gate: check committed records against "
+                             "the baseline")
+    parser.add_argument("--quick", action="store_true",
+                        help="figures: six-benchmark sweep (same "
+                             "profile the CI perf gate renders)")
+    parser.add_argument("--benchmarks", default=None,
+                        help="figures: comma-separated benchmark "
+                             "subset")
+    parser.add_argument("--instructions", type=int, default=None,
+                        help="figures: trace length per benchmark")
+    parser.add_argument("--regions", type=int, default=None,
+                        help="figures: detailed regions per benchmark")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="figures: top-level seed")
+    parser.add_argument("--figures", default="default", dest="fig_ids",
+                        metavar="LIST",
+                        help="figures: comma-separated figure ids, "
+                             "'default' (matrix + DSE figures) or "
+                             "'all' (adds the extra-sweep figures)")
+    parser.add_argument("--out-dir", default=None,
+                        help="figures: artifact directory "
+                             "(default results/report)")
+    parser.add_argument("--profile", default="full",
+                        choices=("full", "quick"),
+                        help="trends: which profile's history to "
+                             "render (default full)")
+    parser.add_argument("--root", default=".",
+                        help="trends/gate: repo root holding the "
+                             "committed BENCH_*.json records")
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument("--json", action="store_true",
+                       help="machine-readable output on stdout")
+    group.add_argument("--html", action="store_true",
+                       help="trends: render the HTML page")
+    parser.add_argument("--out", default=None,
+                        help="trends/gate: write the rendered output "
+                             "to this file")
+    return parser
+
+
+def _emit(text, out):
+    if out:
+        with open(out, "w", encoding="utf-8") as handle:
+            handle.write(text if text.endswith("\n") else text + "\n")
+        print(f"written to {out}", file=sys.stderr)
+    else:
+        print(text, end="" if text.endswith("\n") else "\n")
+
+
+def figures_main(args):
+    from repro import telemetry
+    from repro.__main__ import QUICK_NAMES
+    from repro.experiments import ExperimentConfig, SuiteRunner
+    from repro.reporting.figures import resolve_figures
+    from repro.reporting.report import FigureReport
+
+    quick = args.quick or \
+        os.environ.get("REPRO_BENCH_PROFILE") == "quick"
+    names = None
+    if args.benchmarks:
+        names = tuple(name.strip()
+                      for name in args.benchmarks.split(","))
+    elif quick:
+        names = QUICK_NAMES
+    overrides = {"names": names}
+    if args.instructions:
+        overrides["n_instructions"] = args.instructions
+    if args.regions:
+        overrides["n_regions"] = args.regions
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    try:
+        fig_ids = resolve_figures(args.fig_ids)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    runner = SuiteRunner(ExperimentConfig(**overrides))
+    profile = "quick" if quick else "full"
+    with telemetry.span("phase.report.figures", rss=True,
+                        profile=profile, figures=len(fig_ids)):
+        report = FigureReport.build(runner, fig_ids, profile=profile)
+    runner.release()
+    telemetry.flush()
+    if args.json:
+        print(report.to_json())
+        return 0
+    out_dir = args.out_dir or os.path.join("results", "report")
+    paths = report.write(out_dir)
+    total = sum(s["seconds"] for s in report.sections)
+    print(f"collected {len(report.sections)} figure(s) "
+          f"({profile} profile) in {total:.1f}s")
+    for path in paths.values():
+        print(f"wrote {path}")
+    return 0
+
+
+def trends_main(args):
+    from repro.reporting.trends import TrendReport
+
+    report = TrendReport(args.root)
+    if not report.suites:
+        print(f"error: no BENCH_*.json records under {args.root}",
+              file=sys.stderr)
+        return 1
+    if args.json:
+        text = json.dumps(report.as_dict(args.profile), indent=2,
+                          sort_keys=True)
+    elif args.html:
+        text = report.render_html(args.profile)
+    else:
+        text = report.render_text(args.profile)
+    _emit(text, args.out)
+    return 0
+
+
+def gate_main(args):
+    from repro.reporting import gates
+    from repro.reporting.trends import BASELINE_RELPATH, \
+        load_suite_entries
+
+    import glob as _glob
+
+    try:
+        baseline = json.loads(open(
+            os.path.join(args.root, BASELINE_RELPATH), "rb").read())
+    except (OSError, ValueError):
+        baseline = {}
+    suites, regressions, notes = {}, [], []
+    for path in sorted(_glob.glob(os.path.join(args.root,
+                                               "BENCH_*.json"))):
+        suite, entries = load_suite_entries(path)
+        if not suite or not entries:
+            continue
+        current = entries[-1]
+        profile = current.get("profile") or "full"
+        base = baseline.get("profiles", {}).get(profile,
+                                                {}).get(suite)
+        if base is None:
+            notes.append(f"{suite}: no {profile} baseline")
+            suites[suite] = {"profile": profile, "checked": 0}
+            continue
+        bad, info = gates.check_gate(suite, current["gate"], base)
+        regressions.extend(bad)
+        notes.extend(info)
+        suites[suite] = {"profile": profile,
+                         "checked": len(current["gate"]),
+                         "regressions": len(bad)}
+    if args.json:
+        _emit(json.dumps({
+            "root": args.root,
+            "suites": suites,
+            "regressions": regressions,
+            "notes": notes,
+            "passed": not regressions,
+        }, indent=2, sort_keys=True), args.out)
+        return 1 if regressions else 0
+    lines = []
+    for note in notes:
+        lines.append(f"note: {note}")
+    for regression in regressions:
+        lines.append(f"REGRESSION: {regression}")
+    lines.append("gate passed" if not regressions else
+                 f"gate FAILED: {len(regressions)} regression(s)")
+    _emit("\n".join(lines), args.out)
+    return 1 if regressions else 0
+
+
+def report_main(argv):
+    args = build_parser().parse_args(argv)
+    if args.action == "figures":
+        return figures_main(args)
+    if args.action == "trends":
+        return trends_main(args)
+    return gate_main(args)

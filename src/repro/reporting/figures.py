@@ -1,0 +1,225 @@
+"""The paper-figure registry: one declarative entry per exhibit.
+
+Each :class:`FigureSpec` names one figure of the paper's evaluation
+and declares how to produce it as report material: the **collector**
+(the existing harness in :mod:`repro.experiments.figures`, run against
+a shared memoized :class:`~repro.experiments.runner.SuiteRunner`), the
+**table** extraction (headers + rows for CSV/JSON/HTML) and the
+**chart builders** (inline-SVG specs from :mod:`repro.reporting.charts`).
+The registry is what ``python -m repro report figures`` iterates; the
+``bench_fig*`` pytest harnesses keep asserting paper shape on the same
+collector outputs.
+
+Figures that need extra sweeps beyond the shared matrix + one DSE run
+per paper benchmark (the 512 MB matrix, the vicinity-density sweep,
+the prefetcher reruns) are registered with ``default=False`` — they
+run only when asked for (``--figures fig10,... | all``).
+"""
+
+from dataclasses import dataclass, field
+
+from repro.experiments import figures as harness
+from repro.reporting.charts import svg_bar_chart, svg_line_chart
+
+
+@dataclass(frozen=True)
+class FigureSpec:
+    """Declaration of one paper figure for the run report."""
+
+    fig_id: str
+    title: str
+    collect: callable                      # SuiteRunner -> out dict
+    table: callable = None                 # out -> (headers, rows)
+    charts: callable = None                # out -> [svg string, ...]
+    default: bool = True                   # in the default report set
+    tags: tuple = field(default_factory=tuple)
+
+
+def paper_notes(out):
+    """The paper-comparison lines the harness appends to its text."""
+    return [line.strip() for line in out.get("text", "").splitlines()
+            if "paper:" in line or line.strip().startswith(("avg ",
+                                                            "marginal"))]
+
+
+def _table_from_out(out):
+    rows = list(out.get("rows", ()))
+    if "average" in out:
+        rows = rows + [out["average"]]
+    return out.get("headers", ()), rows
+
+
+def _col(rows, index):
+    return [row[index] for row in rows]
+
+
+def _chart_fig5(out):
+    names = _col(out["rows"], 0)
+    return [svg_bar_chart(
+        names,
+        {"CoolSim": _col(out["rows"], 2),
+         "DeLorean": _col(out["rows"], 3)},
+        title="Simulation speedup over SMARTS",
+        y_label="speedup (x, SMARTS = 1)")]
+
+
+def _chart_fig6(out):
+    names = _col(out["rows"], 0)
+    return [svg_line_chart(
+        names,
+        {"CoolSim": _col(out["rows"], 1),
+         "DeLorean": _col(out["rows"], 2)},
+        title="Collected reuse distances (log scale)",
+        y_label="reuse distances / region set", logy=True,
+        value_format="{:,.0f}")]
+
+
+def _chart_fig7(out):
+    names = _col(out["rows"], 0)
+    return [svg_bar_chart(
+        names, {"Explorer-1": _col(out["rows"], 1)},
+        title="Key reuse distances resolved by Explorer-1",
+        y_label="% of key reuse distances",
+        value_format="{:.1f}")]
+
+
+def _chart_fig8(out):
+    names = _col(out["rows"], 0)
+    return [svg_bar_chart(
+        names, {"Explorers": _col(out["rows"], 1)},
+        title="Average Explorers engaged per region",
+        y_label="Explorers", value_format="{:.2f}")]
+
+
+def _chart_cpi_error(out):
+    names = _col(out["rows"], 0)
+    return [svg_bar_chart(
+        names,
+        {"CoolSim": _col(out["rows"], 4),
+         "DeLorean": _col(out["rows"], 5)},
+        title="CPI error vs the SMARTS reference",
+        y_label="CPI error %", value_format="{:.1f}")]
+
+
+def _chart_fig11(out):
+    labels = _col(out["rows"], 0)
+    return [
+        svg_bar_chart(labels, {"MIPS": _col(out["rows"], 1)},
+                      title="Simulation speed vs vicinity density",
+                      y_label="avg MIPS"),
+        svg_bar_chart(labels, {"CPI error": _col(out["rows"], 2)},
+                      title="Accuracy vs vicinity density",
+                      y_label="avg CPI error %",
+                      value_format="{:.2f}"),
+    ]
+
+
+def _chart_fig12(out):
+    ranks = [str(row[0]) for row in out["rows"]]
+    return [svg_line_chart(
+        ranks,
+        {"w/o prefetch": _col(out["rows"], 1),
+         "w/ prefetch": _col(out["rows"], 2)},
+        title="Sorted per-benchmark CPI error, 8 MB LLC",
+        y_label="CPI error %", value_format="{:.2f}")]
+
+
+def _sweep_table(out, metric):
+    headers = ("benchmark", "LLC MB", f"SMARTS {metric}",
+               f"DeLorean {metric}")
+    rows = []
+    for name, series in out["data"].items():
+        for i, size in enumerate(series["sizes_mb"]):
+            rows.append([name, size, series["smarts"][i],
+                         series["delorean"][i]])
+    return headers, rows
+
+
+def _sweep_charts(out, metric):
+    charts = []
+    for name, series in out["data"].items():
+        charts.append(svg_line_chart(
+            [str(s) for s in series["sizes_mb"]],
+            {"SMARTS": series["smarts"],
+             "DeLorean": series["delorean"]},
+            title=f"{name}: {metric} vs LLC size (MB)",
+            y_label=metric, value_format="{:.3g}"))
+    return charts
+
+
+REGISTRY = {
+    spec.fig_id: spec for spec in (
+        FigureSpec(
+            "fig5", "Figure 5: normalized simulation speed",
+            harness.figure5, _table_from_out, _chart_fig5),
+        FigureSpec(
+            "fig6", "Figure 6: collected reuse distances",
+            harness.figure6, _table_from_out, _chart_fig6),
+        FigureSpec(
+            "fig7", "Figure 7: key reuses by collecting Explorer",
+            harness.figure7, _table_from_out, _chart_fig7),
+        FigureSpec(
+            "fig8", "Figure 8: average Explorers engaged",
+            harness.figure8, _table_from_out, _chart_fig8),
+        FigureSpec(
+            "fig9", "Figure 9: CPI accuracy, 8 MB LLC",
+            harness.figure9, _table_from_out, _chart_cpi_error),
+        FigureSpec(
+            "fig10", "Figure 10: CPI accuracy, 512 MB LLC",
+            harness.figure10, _table_from_out, _chart_cpi_error,
+            default=False),
+        FigureSpec(
+            "fig11", "Figure 11: vicinity-density trade-off",
+            harness.figure11, _table_from_out, _chart_fig11,
+            default=False),
+        FigureSpec(
+            "fig12", "Figure 12: CPI error with LLC prefetching",
+            harness.figure12, _table_from_out, _chart_fig12,
+            default=False),
+        FigureSpec(
+            "fig13", "Figure 13: working-set curves (MPKI)",
+            harness.figure13,
+            lambda out: _sweep_table(out, "MPKI"),
+            lambda out: _sweep_charts(out, "MPKI")),
+        FigureSpec(
+            "fig14", "Figure 14: DSE from one shared warm-up (CPI)",
+            harness.figure14,
+            lambda out: _sweep_table(out, "CPI"),
+            lambda out: _sweep_charts(out, "CPI")),
+        FigureSpec(
+            "headline", "Headline statistics (Sections 6.1/6.4)",
+            harness.headline, _table_from_out),
+        FigureSpec(
+            "lukewarm", "Lukewarm-cache and key-line statistics",
+            harness.lukewarm_stats, _table_from_out,
+            lambda out: [svg_bar_chart(
+                _col(out["rows"], 0),
+                {"lukewarm": _col(out["rows"], 1),
+                 "lukewarm+MSHR": _col(out["rows"], 2)},
+                title="Lukewarm hit rates",
+                y_label="hit %", value_format="{:.1f}")]),
+    )
+}
+
+
+def default_figures():
+    """Figure ids in the default per-run report, registry order."""
+    return [fig_id for fig_id, spec in REGISTRY.items() if spec.default]
+
+
+def resolve_figures(selection):
+    """Parse a ``--figures`` selection into registry ids."""
+    if not selection or selection == "default":
+        return default_figures()
+    if selection == "all":
+        return list(REGISTRY)
+    chosen = []
+    for fig_id in (part.strip() for part in selection.split(",")):
+        if not fig_id:
+            continue
+        if fig_id not in REGISTRY:
+            raise KeyError(
+                f"unknown figure {fig_id!r}; known: "
+                + ", ".join(REGISTRY))
+        chosen.append(fig_id)
+    return chosen

@@ -1,0 +1,141 @@
+"""Shared HTML rendering primitives for the report surfaces.
+
+Every HTML artifact the repo emits — the per-run paper-figure report,
+the cross-commit trend report, the telemetry run report — goes through
+:func:`html_page` / :func:`html_table`, so they share one stylesheet,
+one escaping discipline and one self-containment guarantee: the
+returned document is a single standalone page (inline CSS, inline SVG,
+no external assets), safe to attach to a CI run or mail around.
+
+Colors are declared once as CSS custom properties (light and dark
+mode from the same validated palette); charts reference them by role
+(``--series-1`` ...), never by raw hex.
+"""
+
+import html as _html
+import time
+
+#: Fixed categorical slot order (validated adjacent-pair palette;
+#: light-mode / dark-mode steps of the same hues).  Series are assigned
+#: in this order and never cycled; charts cap their series counts well
+#: below the eight slots.
+SERIES_SLOTS = 8
+
+PAGE_CSS = """
+:root {
+  color-scheme: light;
+  --surface-1: #fcfcfb;
+  --surface-2: #f0efec;
+  --text-primary: #0b0b0b;
+  --text-secondary: #52514e;
+  --grid: #e3e2de;
+  --series-1: #2a78d6;
+  --series-2: #eb6834;
+  --series-3: #1baf7a;
+  --series-4: #eda100;
+  --series-5: #e87ba4;
+  --series-6: #008300;
+  --series-7: #4a3aa7;
+  --series-8: #e34948;
+  --bad: #e34948;
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    color-scheme: dark;
+    --surface-1: #1a1a19;
+    --surface-2: #383835;
+    --text-primary: #ffffff;
+    --text-secondary: #c3c2b7;
+    --grid: #343431;
+    --series-1: #3987e5;
+    --series-2: #d95926;
+    --series-3: #199e70;
+    --series-4: #c98500;
+    --series-5: #d55181;
+    --series-6: #008300;
+    --series-7: #9085e9;
+    --series-8: #e66767;
+    --bad: #e66767;
+  }
+}
+body {
+  font: 14px/1.45 system-ui, sans-serif;
+  margin: 2em auto;
+  max-width: 72em;
+  padding: 0 1em;
+  background: var(--surface-1);
+  color: var(--text-primary);
+}
+h1 { font-size: 1.5em; }
+h2 { font-size: 1.2em; margin-top: 2em; }
+p.meta, p.note { color: var(--text-secondary); }
+table { border-collapse: collapse; margin: 1em 0 2em; }
+td, th { border: 1px solid var(--grid); padding: 2px 10px;
+         text-align: left; }
+td.num { text-align: right; font-variant-numeric: tabular-nums; }
+th { background: var(--surface-2); }
+tr.flagged td { color: var(--bad); }
+figure { margin: 1em 0; overflow-x: auto; }
+figcaption { color: var(--text-secondary); font-size: 0.92em; }
+svg text { fill: var(--text-primary); }
+svg .axis-label, svg .tick-label, svg .legend-label {
+  fill: var(--text-secondary);
+}
+"""
+
+
+def escape(value):
+    """HTML-escape ``value`` (anything; rendered via ``str``)."""
+    return _html.escape(str(value), quote=True)
+
+
+def format_cell(value, float_format="{:.4g}"):
+    if isinstance(value, bool) or value is None:
+        return "-" if value is None else str(value)
+    if isinstance(value, float):
+        if value != value:                    # NaN
+            return "-"
+        return float_format.format(value)
+    return str(value)
+
+
+def html_table(headers, rows, float_format="{:.4g}", flagged=()):
+    """An escaped ``<table>``; numbers right-aligned, rows in
+    ``flagged`` (by index) highlighted."""
+    head = "".join(f"<th>{escape(h)}</th>" for h in headers)
+    body = []
+    for i, row in enumerate(rows):
+        cells = []
+        for value in row:
+            text = format_cell(value, float_format)
+            klass = (" class=\"num\""
+                     if isinstance(value, (int, float))
+                     and not isinstance(value, bool) else "")
+            cells.append(f"<td{klass}>{escape(text)}</td>")
+        klass = " class=\"flagged\"" if i in flagged else ""
+        body.append(f"<tr{klass}>{''.join(cells)}</tr>")
+    return (f"<table>\n<tr>{head}</tr>\n" + "\n".join(body)
+            + "\n</table>")
+
+
+def html_page(title, body, subtitle=None, generated=None):
+    """A complete standalone HTML document around pre-rendered body
+    markup (the body is trusted; titles and subtitles are escaped)."""
+    if generated is None:
+        generated = time.strftime("%Y-%m-%d %H:%M:%S UTC", time.gmtime())
+    sub = (f"<p class=\"meta\">{escape(subtitle)}</p>\n"
+           if subtitle else "")
+    return f"""<!doctype html>
+<html>
+<head>
+<meta charset="utf-8">
+<title>{escape(title)}</title>
+<style>{PAGE_CSS}</style>
+</head>
+<body>
+<h1>{escape(title)}</h1>
+{sub}<p class="meta">rendered {escape(generated)}</p>
+{body}
+</body>
+</html>
+"""

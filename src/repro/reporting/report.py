@@ -1,0 +1,152 @@
+"""Per-run paper-figure report: one HTML/CSV/JSON artifact per run.
+
+:func:`build_sections` runs registry figures against a shared
+:class:`~repro.experiments.runner.SuiteRunner` (warm-starting from the
+artifact store like every other exhibit path) and captures, per
+figure, the table rows, the rendered inline-SVG charts, the
+paper-comparison notes and the collection wall time.
+:class:`FigureReport` turns those sections into the three artifacts::
+
+    report.html    self-contained page (inline CSS + SVG, no assets)
+    figures.csv    long-form rows: figure,row,column,value
+    figures.json   {figure: {title, headers, rows, notes, seconds}}
+
+The HTML is a single standalone document — attach it to a CI run or
+open it from disk; nothing is fetched.
+"""
+
+import csv
+import io
+import json
+import os
+import time
+
+from repro import telemetry
+from repro.reporting import figures as registry
+from repro.reporting.html import escape, html_page, html_table
+
+SCHEMA_VERSION = 1
+
+
+def build_sections(runner, fig_ids=None):
+    """Collect each requested figure into a plain section dict."""
+    sections = []
+    for fig_id in (fig_ids or registry.default_figures()):
+        spec = registry.REGISTRY[fig_id]
+        start = time.perf_counter()
+        with telemetry.span(f"phase.report.{fig_id}"):
+            out = spec.collect(runner)
+        headers, rows = spec.table(out) if spec.table else ((), ())
+        sections.append({
+            "figure": fig_id,
+            "title": spec.title,
+            "headers": list(headers),
+            "rows": [list(row) for row in rows],
+            "charts": spec.charts(out) if spec.charts else [],
+            "notes": registry.paper_notes(out),
+            "text": out.get("text", ""),
+            "seconds": round(time.perf_counter() - start, 3),
+        })
+    return sections
+
+
+class FigureReport:
+    """Rendered views over collected figure sections."""
+
+    def __init__(self, sections, profile="full", benchmarks=(),
+                 config=None):
+        self.sections = list(sections)
+        self.profile = profile
+        self.benchmarks = tuple(benchmarks)
+        self.config = dict(config or {})
+
+    @classmethod
+    def build(cls, runner, fig_ids=None, profile="full"):
+        sections = build_sections(runner, fig_ids)
+        config = {
+            "n_instructions": runner.config.n_instructions,
+            "n_regions": runner.config.n_regions,
+            "seed": runner.config.seed,
+        }
+        return cls(sections, profile=profile, benchmarks=runner.names,
+                   config=config)
+
+    # -- renderers ---------------------------------------------------------
+
+    def as_dict(self):
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "profile": self.profile,
+            "benchmarks": list(self.benchmarks),
+            "config": self.config,
+            "figures": {
+                section["figure"]: {
+                    key: section[key]
+                    for key in ("title", "headers", "rows", "notes",
+                                "seconds")
+                }
+                for section in self.sections
+            },
+        }
+
+    def to_json(self, indent=2):
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
+
+    def to_csv(self):
+        """Long-form CSV: one (figure, row, column, value) per line."""
+        out = io.StringIO()
+        writer = csv.writer(out, lineterminator="\n")
+        writer.writerow(["figure", "row", "column", "value"])
+        for section in self.sections:
+            headers = section["headers"]
+            for r, row in enumerate(section["rows"]):
+                for column, value in zip(headers, row):
+                    writer.writerow([section["figure"], r, column,
+                                     value])
+        return out.getvalue()
+
+    def render_html(self):
+        parts = []
+        if self.sections:
+            toc = " · ".join(
+                f'<a href="#{escape(s["figure"])}">'
+                f'{escape(s["figure"])}</a>'
+                for s in self.sections)
+            parts.append(f'<p class="meta">{toc}</p>')
+        else:
+            parts.append("<p class=\"note\">no figures collected"
+                         "</p>")
+        for section in self.sections:
+            parts.append(f'<h2 id="{escape(section["figure"])}">'
+                         f'{escape(section["title"])}</h2>')
+            for chart in section["charts"]:
+                parts.append(f"<figure>{chart}</figure>")
+            if section["rows"]:
+                parts.append(html_table(section["headers"],
+                                        section["rows"]))
+            elif section["text"]:
+                parts.append(f"<pre>{escape(section['text'])}</pre>")
+            for note in section["notes"]:
+                parts.append(f'<p class="note">{escape(note)}</p>')
+            parts.append(f'<p class="meta">collected in '
+                         f'{section["seconds"]:.2f}s</p>')
+        names = ", ".join(self.benchmarks)
+        subtitle = (f"profile {self.profile}; "
+                    f"{len(self.sections)} figure(s); "
+                    f"benchmarks: {names or 'n/a'}")
+        return html_page("DeLorean paper-figure run report",
+                         "\n".join(parts), subtitle=subtitle)
+
+    def write(self, out_dir):
+        """Write ``report.html`` + ``figures.csv`` + ``figures.json``;
+        returns the three paths."""
+        os.makedirs(out_dir, exist_ok=True)
+        paths = {}
+        for name, text in (("report.html", self.render_html()),
+                           ("figures.csv", self.to_csv()),
+                           ("figures.json", self.to_json() + "\n")):
+            path = os.path.join(out_dir, name)
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            paths[name] = path
+        return paths

@@ -1,0 +1,215 @@
+"""Cross-commit gate-metric trends from the committed bench history.
+
+The schema-v2 ``BENCH_*.json`` records carry their own ``history`` —
+every prior run's flat gate dict, stamped and profiled.  This module
+turns that history (plus the file's current run) into real trend
+reporting: per-suite, per-metric series across commits, the committed
+``benchmarks/BASELINE.json`` value annotated as a dashed reference,
+and a **monotonic-drift flag** (via
+:func:`repro.reporting.gates.monotonic_drift`) that catches slow creep
+— three consecutive worsening runs past the metric's floor — before
+any single run trips the 15% regression gate.
+
+Renderers: text table, JSON, and a standalone HTML page with one
+inline-SVG trend line per gate metric.
+"""
+
+import glob
+import json
+import os
+
+from repro.reporting import gates
+from repro.reporting.charts import svg_line_chart
+from repro.reporting.html import escape, html_page, html_table
+
+BASELINE_RELPATH = os.path.join("benchmarks", "BASELINE.json")
+
+
+def load_suite_entries(path):
+    """(suite, [history entry ... , current entry]) from one record."""
+    try:
+        doc = json.loads(open(path, "rb").read())
+    except (OSError, ValueError):
+        return None, []
+    if not isinstance(doc, dict) or "gate" not in doc:
+        return None, []
+    entries = [entry for entry in doc.get("history") or []
+               if isinstance(entry, dict) and entry.get("gate")]
+    entries.append({"generated_utc": doc.get("generated_utc"),
+                    "profile": doc.get("profile"),
+                    "gate": doc["gate"]})
+    return doc.get("suite") or os.path.basename(path), entries
+
+
+def _stamp_label(stamp):
+    if not stamp:
+        return "v1"
+    # 2026-08-08T15:31:40Z -> 08-08 15:31
+    return stamp[5:16].replace("T", " ")
+
+
+class TrendReport:
+    """Gate-metric trend lines over every committed bench record."""
+
+    def __init__(self, root):
+        self.root = str(root)
+        self.suites = {}
+        for path in sorted(glob.glob(os.path.join(self.root,
+                                                  "BENCH_*.json"))):
+            suite, entries = load_suite_entries(path)
+            if suite and entries:
+                self.suites[suite] = entries
+        try:
+            self.baseline = json.loads(open(
+                os.path.join(self.root, BASELINE_RELPATH),
+                "rb").read())
+        except (OSError, ValueError):
+            self.baseline = {}
+
+    def profiles(self):
+        return sorted({entry.get("profile") or "full"
+                       for entries in self.suites.values()
+                       for entry in entries})
+
+    def baseline_value(self, profile, suite, metric):
+        return (self.baseline.get("profiles", {}).get(profile, {})
+                .get(suite, {}).get(metric))
+
+    def series(self, suite, profile):
+        """``{metric: {stamps: [...], values: [...]}}`` for one
+        suite's runs of one profile, oldest first."""
+        out = {}
+        for entry in self.suites.get(suite, ()):
+            if (entry.get("profile") or "full") != profile:
+                continue
+            stamp = _stamp_label(entry.get("generated_utc"))
+            for metric, value in entry["gate"].items():
+                cell = out.setdefault(metric,
+                                      {"stamps": [], "values": []})
+                cell["stamps"].append(stamp)
+                cell["values"].append(value)
+        return out
+
+    def as_dict(self, profile=None):
+        profiles = [profile] if profile else self.profiles()
+        doc = {"root": self.root, "profiles": {}}
+        for prof in profiles:
+            slot = doc["profiles"][prof] = {}
+            for suite in sorted(self.suites):
+                series = self.series(suite, prof)
+                if not series:
+                    continue
+                slot[suite] = {
+                    metric: {
+                        "stamps": cell["stamps"],
+                        "values": cell["values"],
+                        "baseline": self.baseline_value(prof, suite,
+                                                        metric),
+                        "monotonic_drift": gates.monotonic_drift(
+                            cell["values"], metric),
+                    }
+                    for metric, cell in sorted(series.items())
+                }
+        return doc
+
+    def drifting(self, profile):
+        """``[(suite, metric), ...]`` flagged for monotonic drift."""
+        flagged = []
+        for suite in sorted(self.suites):
+            for metric, cell in sorted(self.series(suite,
+                                                   profile).items()):
+                if gates.monotonic_drift(cell["values"], metric):
+                    flagged.append((suite, metric))
+        return flagged
+
+    # -- renderers ---------------------------------------------------------
+
+    def _rows(self, suite, profile):
+        rows, flagged = [], []
+        for metric, cell in sorted(self.series(suite, profile).items()):
+            values = [v for v in cell["values"] if v is not None]
+            if not values:
+                continue
+            first, last = values[0], values[-1]
+            change = (100.0 * (last - first) / first) if first else None
+            drift = gates.monotonic_drift(cell["values"], metric)
+            if drift:
+                flagged.append(len(rows))
+            rows.append([
+                metric, len(values), first, last,
+                (f"{change:+.0f}%" if change is not None else "-"),
+                self.baseline_value(profile, suite, metric),
+                "DRIFT" if drift else "",
+            ])
+        return rows, flagged
+
+    def render_text(self, profile):
+        lines = [f"gate-metric trends ({profile} profile, "
+                 f"{len(self.suites)} suite(s))"]
+        for suite in sorted(self.suites):
+            rows, flagged = self._rows(suite, profile)
+            if not rows:
+                continue
+            lines.append(f"\n{suite}:")
+            for i, row in enumerate(rows):
+                metric, n, first, last, change, base, drift = row
+                base_text = f"{base:g}" if base is not None else "-"
+                marker = "  <-- monotonic drift" if i in flagged else ""
+                lines.append(
+                    f"  {metric:<44s} {n:>3d} runs  "
+                    f"{first:>10.4g} -> {last:<10.4g} {change:>6s}  "
+                    f"baseline {base_text}{marker}")
+        drifting = self.drifting(profile)
+        lines.append("")
+        if drifting:
+            lines.append(f"{len(drifting)} metric(s) drifting "
+                         "monotonically: "
+                         + ", ".join(f"{s}.{m}" for s, m in drifting))
+        else:
+            lines.append("no monotonic drift flagged")
+        return "\n".join(lines) + "\n"
+
+    def render_html(self, profile):
+        parts = []
+        headers = ["metric", "runs", "first", "last", "change",
+                   "baseline", "flag"]
+        for suite in sorted(self.suites):
+            series = self.series(suite, profile)
+            if not series:
+                continue
+            parts.append(f"<h2 id=\"{escape(suite)}\">{escape(suite)}"
+                         "</h2>")
+            rows, flagged = self._rows(suite, profile)
+            parts.append(html_table(headers, rows, flagged=flagged))
+            for metric, cell in sorted(series.items()):
+                base = self.baseline_value(profile, suite, metric)
+                baseline = ((base, f"baseline {base:g}")
+                            if base is not None else None)
+                drift = gates.monotonic_drift(cell["values"], metric)
+                title = f"{suite}.{metric}" + \
+                    (" — MONOTONIC DRIFT" if drift else "")
+                parts.append("<figure>" + svg_line_chart(
+                    cell["stamps"], {metric: cell["values"]},
+                    title=title, baseline=baseline,
+                    y_label=_unit(metric)) + "</figure>")
+        if not parts:
+            parts.append("<p class=\"note\">no committed bench "
+                         "history for this profile</p>")
+        drifting = self.drifting(profile)
+        subtitle = (f"profile {profile}; "
+                    + (f"{len(drifting)} metric(s) drifting: "
+                       + ", ".join(f"{s}.{m}" for s, m in drifting)
+                       if drifting else "no monotonic drift flagged"))
+        return html_page("Perf-gate trend report", "\n".join(parts),
+                         subtitle=subtitle)
+
+
+def _unit(metric):
+    if metric.endswith("_mb"):
+        return "MB"
+    if metric.rsplit(".", 1)[-1].endswith("rate") \
+            or "hit_rate" in metric:
+        return "rate"
+    if metric.startswith(("pool.", "fault")):
+        return "events"
+    return "seconds"

@@ -117,13 +117,23 @@ def build_matrix_parser():
     return parser
 
 
-def _render_matrix(payload, as_json):
+def _render_matrix(payload, as_json, faults_fired=None):
     from repro.reliability.report import MatrixReport
 
     if as_json:
         print(json.dumps(payload, indent=2, sort_keys=True))
     else:
-        print(MatrixReport.from_dict(payload).summary())
+        print(MatrixReport.from_dict(payload)
+              .summary(faults_fired=faults_fired))
+
+
+def _run_fault_total(run_dir):
+    """Total injected-fault firings recorded in one telemetry run."""
+    try:
+        run = report_mod.RunReport.from_dir(run_dir, write_merged=False)
+    except OSError:
+        return None
+    return sum(run.fault_totals().values()) or None
 
 
 def matrix_main(argv):
@@ -147,8 +157,9 @@ def matrix_main(argv):
                   "run_matrix executed with telemetry enabled?)",
                   file=sys.stderr)
             return 1
+        faults = _run_fault_total(run_dir)
         for payload in (payloads if args.all else payloads[-1:]):
-            _render_matrix(payload, args.json)
+            _render_matrix(payload, args.json, faults_fired=faults)
         return 0
 
     # action == "run"
@@ -173,5 +184,12 @@ def matrix_main(argv):
     if args.json:
         print(report.to_json())
     else:
-        print(report.summary())
+        from repro import telemetry
+        session = telemetry.session()
+        faults = None
+        if session is not None:
+            faults = sum(value for name, value
+                         in session.counters.items()
+                         if name.startswith("fault.")) or None
+        print(report.summary(faults_fired=faults))
     return 0

@@ -10,15 +10,16 @@ process, so the *last* snapshot per PID is that process's total.
 counters/timers across processes, the event stream ordered by wall
 clock (optionally persisted as ``merged.jsonl``), per-process peak
 RSS, and any ``matrix-reports.jsonl`` the pool dispatcher left
-behind.  Renderers cover text, JSON, CSV, and a minimal static HTML
-page.
+behind.  Renderers cover text, JSON, CSV, and a static standalone
+HTML page built on the shared :mod:`repro.reporting.html`
+primitives.  :meth:`RunReport.gate_metrics` derives the behavioral
+regression surface (bailout rate, store hit rates, pool retries,
+fault firings) that ``benchmarks/bench.py`` gates alongside wall/RSS.
 """
 
-import html as _html
 import io
 import json
 import os
-import time
 
 MERGED_NAME = "merged.jsonl"
 MATRIX_NAME = "matrix-reports.jsonl"
@@ -163,6 +164,47 @@ class RunReport:
         bailouts = self.counter("kernel.bulk_warm.bailout")
         return (bailouts / calls) if calls else None
 
+    def gate_metrics(self):
+        """The flat behavioral gate surface derived from this run.
+
+        ``benchmarks/bench.py`` records these as the ``behavior``
+        pseudo-suite and checks them against the committed baseline:
+        kernel bailout rate, store hit rate (overall and per label),
+        pool retry/requeue and failure counts, fault firings.  The
+        counts are deterministic for a fixed workload, so they catch
+        behavioral drift — a change that silently doubles scalar
+        bailouts or halves warm-start hits — even when wall time and
+        RSS stay flat.
+        """
+        if not self.counters:
+            return {}
+        metrics = {}
+        bail = self.bailout_rate()
+        if bail is not None:
+            metrics["kernel.bulk_warm.bailout_rate"] = round(bail, 4)
+        totals = self.store_totals()
+        if totals["hit_rate"] is not None:
+            metrics["store.hit_rate"] = round(totals["hit_rate"], 4)
+        labels = set()
+        for kind in ("hit", "miss"):
+            for name in totals["by_kind"][kind]:
+                label = name.split(".", 2)[2]
+                if label != "memory":        # tier marker, not a label
+                    labels.add(label)
+        for label in sorted(labels):
+            hits = self.counter(f"store.hit.{label}")
+            misses = self.counter(f"store.miss.{label}")
+            if hits + misses:
+                metrics[f"store.hit_rate.{label}"] = \
+                    round(hits / (hits + misses), 4)
+        metrics["pool.task.resubmitted"] = \
+            self.counter("pool.task.resubmitted")
+        metrics["pool.task.failures"] = sum(
+            self.counter(f"pool.task.{kind}")
+            for kind in ("crash", "timeout", "error", "aborted"))
+        metrics["fault.fired"] = sum(self.fault_totals().values())
+        return metrics
+
     def wall_seconds(self):
         if not self.processes:
             return None
@@ -281,38 +323,28 @@ class RunReport:
         return "\n".join(lines).rstrip() + "\n"
 
     def render_html(self):
-        def rows(items, cols):
-            body = []
-            for key, cell in items:
-                tds = "".join(f"<td>{_html.escape(str(c))}</td>"
-                              for c in cols(key, cell))
-                body.append(f"<tr>{tds}</tr>")
-            return "\n".join(body)
+        from repro.reporting.html import html_page, html_table
 
-        counters = rows(sorted(self.counters.items()),
-                        lambda k, v: (k, v))
-        timers = rows(sorted(self.timers.items()),
-                      lambda k, v: (k, v["calls"], f"{v['wall_s']:.4f}",
-                                    f"{v['cpu_s']:.4f}"))
-        stamp = time.strftime("%Y-%m-%d %H:%M:%S UTC", time.gmtime())
-        return f"""<!doctype html>
-<html><head><meta charset="utf-8">
-<title>telemetry {_html.escape(os.path.basename(self.run_dir))}</title>
-<style>
-body {{ font: 14px/1.4 system-ui, sans-serif; margin: 2em; }}
-table {{ border-collapse: collapse; margin-bottom: 2em; }}
-td, th {{ border: 1px solid #ccc; padding: 2px 10px; text-align: left; }}
-th {{ background: #eee; }}
-</style></head><body>
-<h1>{_html.escape(self.summary())}</h1>
-<p>rendered {stamp}</p>
-<h2>timers</h2>
-<table><tr><th>name</th><th>calls</th><th>wall s</th><th>cpu s</th></tr>
-{timers}
-</table>
-<h2>counters</h2>
-<table><tr><th>name</th><th>value</th></tr>
-{counters}
-</table>
-</body></html>
-"""
+        parts = []
+        timers = [[name, cell["calls"], cell["wall_s"], cell["cpu_s"]]
+                  for name, cell in sorted(self.timers.items())]
+        if timers:
+            parts.append("<h2>timers</h2>")
+            parts.append(html_table(
+                ["name", "calls", "wall s", "cpu s"], timers))
+        counters = [[name, value]
+                    for name, value in sorted(self.counters.items())]
+        if counters:
+            parts.append("<h2>counters</h2>")
+            parts.append(html_table(["name", "value"], counters))
+        gate = self.gate_metrics()
+        if gate:
+            parts.append("<h2>behavioral gate metrics</h2>")
+            parts.append(html_table(["metric", "value"],
+                                    [[name, value]
+                                     for name, value in gate.items()]))
+        if not parts:
+            parts.append('<p class="note">no snapshots recorded</p>')
+        return html_page(
+            f"telemetry {os.path.basename(self.run_dir)}",
+            "\n".join(parts), subtitle=self.summary())

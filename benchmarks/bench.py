@@ -89,8 +89,12 @@ HISTORY_LIMIT = 20
 
 
 def _gate_kernels(metrics):
-    return {f"{name}.vector_seconds": entry["vector_seconds"]
-            for name, entry in metrics["kernels"].items()}
+    # Gate every non-scalar backend column present in the run; a run
+    # without the native extension simply carries no native keys.
+    return {f"{name}.{key}": value
+            for name, entry in metrics["kernels"].items()
+            for key, value in entry.items()
+            if key.endswith("_seconds") and not key.startswith("scalar")}
 
 
 def _gate_store(metrics):

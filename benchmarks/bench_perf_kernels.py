@@ -1,20 +1,22 @@
-"""Kernel-vs-scalar performance benchmark: seeds the perf trajectory.
+"""Kernel performance benchmark: per-backend columns, one record.
 
-Times each vectorized kernel against its scalar reference on fixed
-1M-access traces and writes ``BENCH_kernels.json`` at the repo root with
-accesses/sec per kernel and backend.  Two entries gate the perf
-trajectory:
+Times each kernel on fixed 1M-access traces across every available
+backend — ``scalar`` (per-access Python reference), ``vector`` (numpy
+batch kernels) and ``native`` (compiled C extension, measured only when
+built) — and writes ``BENCH_kernels.json`` at the repo root with
+seconds / accesses-per-second per kernel *and* backend.  Entries that
+gate the perf trajectory (full profile):
 
-* ``bulk_warm`` — the batch LRU warm kernel on a steady-state warm LLC
-  (sets full of long-tail residents, a hot subset cycling), the
-  functional-warming common case and the regime the vector kernel is
-  built for; must be >= 5x.
-* ``stack_distances`` — the merge-count Bennett-Kruskal kernel on a
-  mixed hot/uniform/streaming trace; must be >= 3x.
-
-Informational entries cover the two-level hierarchy warm and the batched
-watchpoint window profile, plus a thrash-heavy warm trace (the regime
-the dispatcher's adaptive bailout hands back to the scalar loop).
+* ``bulk_warm`` — the batch LRU warm kernel on a steady-state warm LLC,
+  the functional-warming common case; vector must be >= 5x, native too.
+* ``stack_distances`` — the Bennett-Kruskal kernel on a mixed
+  hot/uniform/streaming trace; vector must be >= 3x.
+* ``bulk_warm_thrash`` — the thrash-heavy regime where the raw vector
+  kernel *loses* to the scalar loop (the reason the dispatcher's
+  adaptive bailout existed); the native backend must win >= 1.5x, so
+  no regime is left where scalar wins.
+* ``hierarchy_warm`` — the fused two-phase L1+LLC warm behind the
+  classify/Smarts region kernels; native must be >= 5x.
 
 Run standalone (``python benchmarks/bench_perf_kernels.py``), through
 pytest (``python -m pytest benchmarks/bench_perf_kernels.py``) or via
@@ -43,6 +45,7 @@ from repro import kernels
 from repro.caches.cache import CacheConfig, SetAssocCache
 from repro.caches.hierarchy import CacheHierarchy, HierarchyConfig
 from repro.caches.stack import reuse_and_stack_distances_scalar
+from repro.kernels import native as native_kernels
 from repro.kernels.lru import warm_lru_sets
 from repro.kernels.stackdist import reuse_and_stack_distances_vector
 from repro.vff.index import TraceIndex
@@ -51,6 +54,10 @@ from repro.vff.watchpoint import WatchpointEngine
 QUICK_PROFILE = os.environ.get("REPRO_BENCH_PROFILE") == "quick"
 
 N_ACCESSES = 200_000 if QUICK_PROFILE else 1_000_000
+
+#: Backends measured in this run: native only when the extension built.
+MEASURED = tuple(b for b in kernels.BACKENDS
+                 if b != "native" or kernels.native_available())
 
 
 def steady_state_trace(rng, n_sets=1024, assoc=16, hot_per_set=4):
@@ -89,51 +96,64 @@ def timed(f):
     return result, time.perf_counter() - t0
 
 
+def _warm_kernel(backend, cache, lines):
+    """One raw warm-kernel call for ``backend`` (no dispatch, no
+    bailout — the thrash entry must document the raw vector regime)."""
+    if backend == "scalar":
+        return cache.warm_scalar(lines)[0]
+    if backend == "native":
+        return native_kernels.warm_lru(
+            cache._sets, lines, cache._mask, cache.assoc)[0]
+    return warm_lru_sets(cache._sets, lines, cache._mask, cache.assoc)[0]
+
+
+def _bench_warm(resident, lines, config):
+    times = {}
+    reference = None
+    for _ in range(REPS):
+        for backend in MEASURED:
+            cache = SetAssocCache(config)
+            if resident is not None:
+                cache.warm_scalar(resident)
+                cache.hits = cache.misses = 0
+            hits, elapsed = timed(
+                lambda b=backend, c=cache: _warm_kernel(b, c, lines))
+            times[backend] = min(times.get(backend, float("inf")), elapsed)
+            if reference is None:
+                reference = (hits, cache._sets)
+            else:
+                assert (hits, cache._sets) == reference, backend
+    return times
+
+
 def bench_bulk_warm(rng):
     resident, lines, config = steady_state_trace(rng)
-    t_scalar = t_vector = float("inf")
-    for _ in range(REPS):
-        scalar = SetAssocCache(config)
-        scalar.warm_scalar(resident)
-        (s_hits, _), elapsed = timed(lambda: scalar.warm_scalar(lines))
-        t_scalar = min(t_scalar, elapsed)
-        vector = SetAssocCache(config)
-        vector.warm_scalar(resident)
-        (v_hits, *_), elapsed = timed(lambda: warm_lru_sets(
-            vector._sets, lines, vector._mask, vector.assoc))
-        t_vector = min(t_vector, elapsed)
-        assert v_hits == s_hits and vector._sets == scalar._sets
-    return t_scalar, t_vector
+    return _bench_warm(resident, lines, config)
 
 
 def bench_thrash_warm(rng):
     lines = mixed_trace(rng)
-    config = CacheConfig(128 * 1024, assoc=8)
-    t_scalar = t_vector = float("inf")
-    for _ in range(REPS):
-        scalar = SetAssocCache(config)
-        _, elapsed = timed(lambda: scalar.warm_scalar(lines))
-        t_scalar = min(t_scalar, elapsed)
-        vector = SetAssocCache(config)
-        (v_hits, *_), elapsed = timed(lambda: warm_lru_sets(
-            vector._sets, lines, vector._mask, vector.assoc))
-        t_vector = min(t_vector, elapsed)
-        assert v_hits == scalar.hits and vector._sets == scalar._sets
-    return t_scalar, t_vector
+    return _bench_warm(None, lines, CacheConfig(128 * 1024, assoc=8))
 
 
 def bench_stack(rng):
     lines = mixed_trace(rng)
-    t_scalar = t_vector = float("inf")
+    impls = {
+        "scalar": reuse_and_stack_distances_scalar,
+        "vector": reuse_and_stack_distances_vector,
+        "native": native_kernels.reuse_and_stack_distances_native,
+    }
+    times = {}
+    reference = None
     for _ in range(REPS):
-        (_, s_stack), elapsed = timed(
-            lambda: reuse_and_stack_distances_scalar(lines))
-        t_scalar = min(t_scalar, elapsed)
-        (_, v_stack), elapsed = timed(
-            lambda: reuse_and_stack_distances_vector(lines))
-        t_vector = min(t_vector, elapsed)
-        assert np.array_equal(s_stack, v_stack)
-    return t_scalar, t_vector
+        for backend in MEASURED:
+            (_, stack), elapsed = timed(lambda b=backend: impls[b](lines))
+            times[backend] = min(times.get(backend, float("inf")), elapsed)
+            if reference is None:
+                reference = stack
+            else:
+                assert np.array_equal(stack, reference), backend
+    return times
 
 
 def bench_hierarchy_warm(rng):
@@ -143,16 +163,20 @@ def bench_hierarchy_warm(rng):
         l1i=CacheConfig(16 * 1024, assoc=2),
         llc=CacheConfig(512 * 16 * 64, assoc=16),
     )
-    results = {}
     times = {}
-    for backend in kernels.BACKENDS:
-        with kernels.use_backend(backend):
-            hierarchy = CacheHierarchy(config)
-            hierarchy.warm(resident)
-            results[backend], times[backend] = timed(
-                lambda h=hierarchy: h.warm(lines))
-    assert results["scalar"] == results["vector"]
-    return times["scalar"], times["vector"]
+    reference = None
+    for _ in range(REPS):
+        for backend in MEASURED:
+            with kernels.use_backend(backend):
+                hierarchy = CacheHierarchy(config)
+                hierarchy.warm(resident)
+                result, elapsed = timed(lambda h=hierarchy: h.warm(lines))
+            times[backend] = min(times.get(backend, float("inf")), elapsed)
+            if reference is None:
+                reference = result
+            else:
+                assert result == reference, backend
+    return times
 
 
 class _FakeTrace:
@@ -167,22 +191,26 @@ def bench_watchpoints(rng):
     index = TraceIndex(_FakeTrace(lines))
     engine = WatchpointEngine(index)
     watched = np.unique(rng.choice(lines, 3000))
-    profiles = {}
     times = {}
-    for backend in kernels.BACKENDS:
+    reference = None
+    for backend in MEASURED:
         with kernels.use_backend(backend):
-            profiles[backend], times[backend] = timed(
+            profile, elapsed = timed(
                 lambda: engine.profile_window(
                     watched, N_ACCESSES // 8, 7 * N_ACCESSES // 8))
-    assert (profiles["scalar"].last_access
-            == profiles["vector"].last_access)
-    assert profiles["scalar"].total_stops == profiles["vector"].total_stops
-    return times["scalar"], times["vector"]
+        times[backend] = elapsed
+        key = (profile.last_access, profile.total_stops)
+        if reference is None:
+            reference = key
+        else:
+            assert key == reference, backend
+    return times
 
 
 def collect():
-    """Measure every kernel; the raw suite report (no file I/O)."""
-    report = {"n_accesses": N_ACCESSES, "kernels": {}}
+    """Measure every kernel on every backend; the raw suite report."""
+    report = {"n_accesses": N_ACCESSES, "backends": list(MEASURED),
+              "kernels": {}}
     benches = [
         ("bulk_warm", bench_bulk_warm, 0),
         ("stack_distances", bench_stack, 1),
@@ -191,16 +219,21 @@ def collect():
         ("bulk_warm_thrash", bench_thrash_warm, 4),
     ]
     for name, bench, seed in benches:
-        t_scalar, t_vector = bench(np.random.default_rng(seed))
-        report["kernels"][name] = {
-            "scalar_seconds": round(t_scalar, 4),
-            "vector_seconds": round(t_vector, 4),
-            "scalar_accesses_per_sec": round(N_ACCESSES / t_scalar),
-            "vector_accesses_per_sec": round(N_ACCESSES / t_vector),
-            "speedup": round(t_scalar / t_vector, 2),
-        }
-        print(f"{name}: scalar {t_scalar:.3f}s vector {t_vector:.3f}s "
-              f"-> {t_scalar / t_vector:.1f}x")
+        times = bench(np.random.default_rng(seed))
+        entry = {}
+        for backend in MEASURED:
+            entry[f"{backend}_seconds"] = round(times[backend], 4)
+            entry[f"{backend}_accesses_per_sec"] = round(
+                N_ACCESSES / times[backend])
+        for backend in MEASURED:
+            if backend != "scalar":
+                entry[f"{backend}_speedup"] = round(
+                    times["scalar"] / times[backend], 2)
+        # Legacy column: the vector speedup under its historical name.
+        entry["speedup"] = entry["vector_speedup"]
+        report["kernels"][name] = entry
+        line = " ".join(f"{b} {times[b]:.3f}s" for b in MEASURED)
+        print(f"{name}: {line}")
     return report
 
 
@@ -212,11 +245,20 @@ def main():
 
 def test_perf_kernels():
     doc = main()
-    speedups = {name: entry["speedup"]
-                for name, entry in doc["metrics"]["kernels"].items()}
-    if not QUICK_PROFILE:
-        assert speedups["bulk_warm"] >= 5.0, speedups
-        assert speedups["stack_distances"] >= 3.0, speedups
+    entries = doc["metrics"]["kernels"]
+    if QUICK_PROFILE:
+        return
+    vector = {name: entry["vector_speedup"]
+              for name, entry in entries.items()}
+    assert vector["bulk_warm"] >= 5.0, vector
+    assert vector["stack_distances"] >= 3.0, vector
+    if "native" in doc["metrics"]["backends"]:
+        native = {name: entry["native_speedup"]
+                  for name, entry in entries.items()}
+        # No regime where scalar wins: the thrash bailout is retired.
+        assert native["bulk_warm_thrash"] >= 1.5, native
+        assert native["bulk_warm"] >= 5.0, native
+        assert native["hierarchy_warm"] >= 5.0, native
 
 
 if __name__ == "__main__":

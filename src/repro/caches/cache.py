@@ -20,6 +20,7 @@ import numpy as np
 
 from repro import kernels, telemetry
 from repro.caches.replacement import make_policy
+from repro.kernels import native
 from repro.kernels.lru import warm_lru_sets
 from repro.util.units import CACHELINE_BYTES, format_size
 
@@ -133,16 +134,22 @@ class SetAssocCache:
 
         This is the functional-warming hot loop.  For LRU caches the
         vector backend resolves the batch in numpy (bit-identical to the
-        scalar loop); the scalar backend — and thrash-heavy batches the
-        kernel bails out of — run the per-access reference loop.
+        scalar loop); the native backend runs the fused C loop (exact in
+        every regime — no bailout); the scalar backend — and
+        thrash-heavy batches the vector kernel bails out of — run the
+        per-access reference loop.
         """
         s = telemetry.session()
-        if (self._is_lru and len(lines)
-                and kernels.get_backend() == "vector"):
+        backend = kernels.get_backend()
+        if self._is_lru and len(lines) and backend != "scalar":
             t0 = time.perf_counter() if s is not None else 0.0
-            result = warm_lru_sets(
-                self._sets, lines, self._mask, self.assoc,
-                max_long_window_fraction=VECTOR_BAILOUT_FRACTION)
+            if backend == "native":
+                result = native.warm_lru(
+                    self._sets, lines, self._mask, self.assoc)
+            else:
+                result = warm_lru_sets(
+                    self._sets, lines, self._mask, self.assoc,
+                    max_long_window_fraction=VECTOR_BAILOUT_FRACTION)
             if s is not None:
                 s.add_time("kernel.bulk_warm",
                            time.perf_counter() - t0)
@@ -204,12 +211,18 @@ class SetAssocCache:
         if not self._is_lru:
             raise ValueError("warm_profile requires an LRU cache")
         n = len(lines)
-        if n and kernels.get_backend() == "vector":
+        backend = kernels.get_backend()
+        if n and backend != "scalar":
             s = telemetry.session()
             t0 = time.perf_counter() if s is not None else 0.0
-            hits, hit_mask, occupancy = warm_lru_sets(
-                self._sets, lines, self._mask, self.assoc,
-                want_access_info=True)
+            if backend == "native":
+                hits, hit_mask, occupancy = native.warm_lru(
+                    self._sets, lines, self._mask, self.assoc,
+                    want_access_info=True)
+            else:
+                hits, hit_mask, occupancy = warm_lru_sets(
+                    self._sets, lines, self._mask, self.assoc,
+                    want_access_info=True)
             if s is not None:
                 s.add_time("kernel.warm_profile",
                            time.perf_counter() - t0)

@@ -19,6 +19,7 @@ from repro.caches.cache import (
     SetAssocCache,
     VECTOR_BAILOUT_FRACTION,
 )
+from repro.kernels import native
 from repro.kernels.lru import warm_lru_sets
 from repro.util.units import KIB, MIB
 
@@ -81,7 +82,8 @@ class CacheHierarchy:
         batch kernels: the L1 kernel yields the per-access hit mask, and
         the LLC kernel consumes the L1-miss substream — exactly the
         stream the interleaved scalar loop feeds it, since L1 hits never
-        reach the LLC.
+        reach the LLC.  The native backend fuses both levels into one
+        compiled interleaved loop (no bailout regime).
         """
         if not (self.l1d._is_lru and self.llc._is_lru):
             l1_hits = llc_hits = mem = 0
@@ -95,7 +97,29 @@ class CacheHierarchy:
                     mem += 1
             return l1_hits, llc_hits, mem
 
-        if len(lines) and kernels.get_backend() == "vector":
+        backend = kernels.get_backend()
+        if len(lines) and backend == "native":
+            s = telemetry.session()
+            t0 = time.perf_counter() if s is not None else 0.0
+            l1_hits, llc_hits = native.warm_hierarchy(
+                self.l1d._sets, self.llc._sets, lines,
+                self.l1d._mask, self.l1d.assoc,
+                self.llc._mask, self.llc.assoc)
+            if s is not None:
+                s.add_time("kernel.hierarchy_warm",
+                           time.perf_counter() - t0)
+                s.count("kernel.hierarchy_warm.calls")
+            mem = len(lines) - l1_hits - llc_hits
+            self.l1d.hits += l1_hits
+            self.l1d.misses += len(lines) - l1_hits
+            self.llc.hits += llc_hits
+            self.llc.misses += mem
+            self.l1_hits += l1_hits
+            self.llc_hits += llc_hits
+            self.mem_misses += mem
+            return l1_hits, llc_hits, mem
+
+        if len(lines) and backend == "vector":
             s = telemetry.session()
             t0 = time.perf_counter() if s is not None else 0.0
             result = warm_lru_sets(

@@ -69,16 +69,26 @@ def reuse_and_stack_distances(lines):
     LRU cache of ``C`` lines hits iff ``stack < C``.
 
     Dispatches on the kernel backend: the vector backend uses the
-    merge-count kernel (:mod:`repro.kernels.stackdist`), the scalar
-    backend the Fenwick-tree reference below; results are bit-identical.
+    merge-count kernel (:mod:`repro.kernels.stackdist`), the native
+    backend the compiled Fenwick loop (:mod:`repro.kernels.native`),
+    the scalar backend the Fenwick-tree reference below; results are
+    bit-identical.
     """
     s = telemetry.session()
-    if kernels.get_backend() == "vector":
-        from repro.kernels.stackdist import reuse_and_stack_distances_vector
+    backend = kernels.get_backend()
+    if backend != "scalar":
+        if backend == "native":
+            from repro.kernels.native import (
+                reuse_and_stack_distances_native as kernel,
+            )
+        else:
+            from repro.kernels.stackdist import (
+                reuse_and_stack_distances_vector as kernel,
+            )
         if s is None:
-            return reuse_and_stack_distances_vector(lines)
+            return kernel(lines)
         t0 = time.perf_counter()
-        out = reuse_and_stack_distances_vector(lines)
+        out = kernel(lines)
         s.add_time("kernel.stack_distances", time.perf_counter() - t0)
         return out
     if s is None:

@@ -84,27 +84,79 @@ class ExplorerChain:
         #: 1/footprint_scale; stop projections multiply by it (DESIGN §6).
         self.footprint_scale = float(footprint_scale)
 
-    def run_region(self, region_spec, scout_report, vicinity_histogram=None):
+    def _window(self, spec, region_spec, trace):
+        """One Explorer's window geometry for one region:
+        ``(access_lo, access_hi, model_window_instructions)``."""
+        gap = region_spec.region_start - region_spec.warmup_start
+        window_instr = max(1, int(round(gap * spec.model_gap_fraction)))
+        window_start = max(region_spec.warmup_start,
+                           region_spec.region_start - window_instr)
+        access_lo, access_hi = trace.access_range(
+            window_start, region_spec.region_start)
+        return access_lo, access_hi, region_spec.region_start - window_start
+
+    def plan_regions(self, region_specs, scout_reports):
+        """Precompute every Explorer's window profile for every region.
+
+        The pending set an Explorer watches depends only on the scout
+        report and the *previous* Explorer's profile of the same region
+        — never on another region — so level ``k``'s windows across all
+        regions are known the moment level ``k-1`` finishes, and each
+        level collapses into one multi-window index pass
+        (:meth:`~repro.vff.watchpoint.WatchpointEngine.profile_windows`).
+        On a cold spilled index that touches the mapped position tables
+        once per Explorer instead of once per region per Explorer.
+
+        Returns ``planned[region][k]`` — the profile
+        :meth:`run_region` would compute, or ``None`` where the
+        Explorer stays disengaged — for ``run_region(...,
+        planned=...)``.  Pure index queries: no machine state, meter or
+        RNG is touched, so running the passes afterwards is
+        bit-identical to the unplanned walk.
+        """
+        n_regions = len(region_specs)
+        planned = [[None] * len(self.specs) for _ in range(n_regions)]
+        pending = [sorted(report.unresolved_after_warming)
+                   for report in scout_reports]
+        for k, (machine, spec) in enumerate(
+                zip(self.machines, self.specs)):
+            requests = []
+            slots = []
+            for i, region_spec in enumerate(region_specs):
+                if not pending[i]:
+                    continue
+                access_lo, access_hi, _ = self._window(
+                    spec, region_spec, machine.trace)
+                requests.append((pending[i], access_lo, access_hi))
+                slots.append(i)
+            if not requests:
+                break
+            for i, profile in zip(
+                    slots, machine.watchpoints.profile_windows(requests)):
+                planned[i][k] = profile
+                pending[i] = list(profile.unresolved)
+        return planned
+
+    def run_region(self, region_spec, scout_report, vicinity_histogram=None,
+                   planned=None):
         """Collect key reuse distances for one region.
 
         ``scout_report`` supplies the key lines and the warming-window
-        resolutions; returns an :class:`ExplorationResult`.
+        resolutions; returns an :class:`ExplorationResult`.  ``planned``
+        optionally carries this region's precomputed window profiles
+        (:meth:`plan_regions`); profiles are identical either way, so
+        everything downstream — charges, vicinity sampling, machine
+        sync — is unchanged.
         """
         result = ExplorationResult(
             last_access=dict(scout_report.warming_resolved),
             resolved_by=[0] * len(self.specs),
         )
         pending = sorted(scout_report.unresolved_after_warming)
-        gap = region_spec.region_start - region_spec.warmup_start
 
         for k, (machine, spec) in enumerate(zip(self.machines, self.specs)):
-            trace = machine.trace
-            window_instr = max(1, int(round(gap * spec.model_gap_fraction)))
-            window_start = max(region_spec.warmup_start,
-                               region_spec.region_start - window_instr)
-            access_lo, access_hi = trace.access_range(
-                window_start, region_spec.region_start)
-            model_window = region_spec.region_start - window_start
+            access_lo, access_hi, model_window = self._window(
+                spec, region_spec, machine.trace)
 
             if not pending:
                 # This Explorer (and all deeper ones) stays disengaged for
@@ -114,8 +166,10 @@ class ExplorerChain:
                 continue
             result.engaged = k + 1
 
-            profile = machine.watchpoints.profile_window(
-                pending, access_lo, access_hi)
+            profile = (planned[k] if planned is not None
+                       and planned[k] is not None
+                       else machine.watchpoints.profile_window(
+                           pending, access_lo, access_hi))
             self._charge(machine, spec, region_spec, profile, model_window)
 
             if spec.functional:

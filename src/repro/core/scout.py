@@ -77,7 +77,7 @@ class ScoutPass:
         )
         warming = machine.access_window(spec.warming_start,
                                         spec.region_start)
-        if kernels.get_backend() == "vector" and unique_lines.size:
+        if kernels.get_backend() != "scalar" and unique_lines.size:
             # One batched window query resolves every key line's last
             # warming-window access (same values as the per-key binary
             # searches below).

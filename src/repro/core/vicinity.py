@@ -84,7 +84,7 @@ class VicinitySampler:
         # push borderline stack distances over the capacity threshold.
         censor_horizon = (access_lo + access_limit) // 2
         projected_stops = 0.0
-        if kernels.get_backend() == "vector":
+        if kernels.get_backend() != "scalar":
             # One batched pass resolves every vicinity watchpoint's
             # reuse and stop count (identical values to the per-sample
             # binary searches); the cheap per-sample histogram

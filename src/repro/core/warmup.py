@@ -177,16 +177,39 @@ class WarmupPipeline:
                               vicinity_samplers=samplers,
                               footprint_scale=self.plan.footprint_scale)
 
+        # Scouts first: the Scout pass is RNG-free and touches only its
+        # own machine, so every region's key set is known before any
+        # Explorer runs — which lets the chain batch each Explorer
+        # level's window profiles across all regions in one index pass.
+        # Explorer execution below keeps the original region-major
+        # order (the vicinity samplers share one RNG), consuming the
+        # precomputed profiles; both orders are bit-identical.
+        region_specs = list(self.plan.regions())
+        reports = []
+        scout_seconds = []
+        for spec in region_specs:
+            mark = scout_machine.meter.ledger.total_seconds
+            reports.append(scout.run_region(spec))
+            scout_seconds.append(
+                scout_machine.meter.ledger.total_seconds - mark)
+        from repro import kernels
+
+        planned = (chain.plan_regions(region_specs, reports)
+                   if kernels.get_backend() != "scalar" else
+                   [None] * len(region_specs))
+
         regions = []
-        for spec in self.plan.regions():
-            marks = [m.meter.ledger.total_seconds for m in machines]
-            report = scout.run_region(spec)
+        for spec, report, region_planned, scout_delta in zip(
+                region_specs, reports, planned, scout_seconds):
+            marks = [m.meter.ledger.total_seconds
+                     for m in explorer_machines]
             vicinity = ReuseHistogram()
-            exploration = chain.run_region(spec, report, vicinity)
+            exploration = chain.run_region(spec, report, vicinity,
+                                           planned=region_planned)
             key_distances = chain.key_reuse_distances(report, exploration)
-            stage_seconds = [
+            stage_seconds = [scout_delta] + [
                 machine.meter.ledger.total_seconds - marks[k]
-                for k, machine in enumerate(machines)]
+                for k, machine in enumerate(explorer_machines)]
 
             n_keys = len(key_distances)
             vicinity_distances, vicinity_weights, vicinity_cold = \

@@ -56,7 +56,6 @@ sampled regions rather than the trace length.
 
 import json
 import os
-import signal
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
@@ -66,7 +65,7 @@ from repro.caches.hierarchy import paper_hierarchy
 from repro.core.context import ExecutionContext, index_spill_mode, wants_spill
 from repro.core.delorean import DeLorean
 from repro.core.dse import DesignSpaceExploration
-from repro.reliability.faults import InjectedFault, active_plan, fault_point
+from repro.reliability.faults import active_plan, visit_task_seam
 from repro.reliability.report import (
     KIND_ABORTED,
     KIND_CRASH,
@@ -76,6 +75,7 @@ from repro.reliability.report import (
     MatrixReport,
 )
 from repro.reliability.retry import (
+    kill_pool_workers,
     pool_backoff,
     pool_retries,
     pool_timeout,
@@ -100,44 +100,14 @@ STRATEGIES = {
 }
 
 
-def _visit_task_seam(name, stage):
-    """One ``pool.task`` fault seam visit (worker entry / exit).
-
-    ``crash`` SIGKILLs the worker — indistinguishable from an OOM kill
-    or a batch scheduler's reaping; ``hang`` sleeps past any sane task
-    timeout; ``slow`` delays but completes; ``error`` raises.  The exit
-    visit models a worker dying *after* publishing its results — the
-    checkpoint/resume path the parent recovers through without
-    recomputation.
-    """
-    rule = fault_point("pool.task")
-    if rule is None:
-        return
-    if rule.mode == "crash":
-        os.kill(os.getpid(), signal.SIGKILL)
-    elif rule.mode == "hang":
-        time.sleep(rule.param("seconds", 30.0))
-    elif rule.mode == "slow":
-        time.sleep(rule.param("seconds", 0.5))
-    elif rule.mode == "error":
-        raise InjectedFault(
-            f"injected pool.task error at {stage} of {name!r}")
+#: The shared ``pool.task`` seam visit (worker entry / exit) — see
+#: :func:`repro.reliability.faults.visit_task_seam`.
+_visit_task_seam = visit_task_seam
 
 
-def _kill_pool_workers(pool):
-    """Forcibly end a pool whose task exceeded its deadline.
-
-    ``ProcessPoolExecutor`` cannot interrupt a running call; killing the
-    worker processes is the only way to reclaim a hung task.  The pool
-    is broken afterwards and discarded by the caller (the dispatch loop
-    rebuilds one for the retry round).
-    """
-    processes = getattr(pool, "_processes", None) or {}
-    for process in list(processes.values()):
-        try:
-            process.kill()
-        except (OSError, AttributeError):
-            pass
+#: Worker teardown on deadline breach — see
+#: :func:`repro.reliability.retry.kill_pool_workers`.
+_kill_pool_workers = kill_pool_workers
 
 
 def _run_benchmark_worker(config, name, strategies, llc, options, backend,

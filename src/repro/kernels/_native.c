@@ -1,0 +1,410 @@
+/* Compiled kernel backend: fused per-access loops for the merge-bound
+ * hot paths.
+ *
+ * The vector backend batches LRU warming through per-set stack
+ * distances, but an *exact* long-window distinct count is merge-bound
+ * in numpy — hence its adaptive bailout to the scalar loop on
+ * thrash-heavy batches.  These C loops run the per-access reference
+ * semantics directly (one linear scan per access over at most `assoc`
+ * slots), so they are bit-identical to the scalar implementation by
+ * construction, need no bailout heuristics, and win in every regime.
+ *
+ * Exported functions (all consume contiguous int64 arrays prepared by
+ * the Python wrapper in `repro.kernels.native`):
+ *
+ *   warm_lru(sets, lines, mask, assoc, want_info)
+ *       -> (hits, hit_mask|None, occupancy_before|None)
+ *   warm_hierarchy(l1_sets, llc_sets, lines,
+ *                  l1_mask, l1_assoc, llc_mask, llc_assoc)
+ *       -> (l1_hits, llc_hits)
+ *   stack_from_prev(prev) -> stack distances (int64, -1 for cold)
+ *
+ * `sets` is the live list-of-lists representation of SetAssocCache
+ * (LRU at index 0); it is decoded into a flat slot array, warmed, and
+ * written back, replacing each touched inner list — the same
+ * replacement semantic as the vector kernel's writeback.
+ */
+
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+
+#define NPY_NO_DEPRECATED_API NPY_1_7_API_VERSION
+#include <numpy/arrayobject.h>
+
+#include <stdlib.h>
+#include <string.h>
+
+/* -- list-of-lists <-> flat slot array -------------------------------- */
+
+static int
+load_sets(PyObject *sets, npy_int64 *slots, npy_intp *occ,
+          npy_intp n_sets, npy_intp assoc)
+{
+    npy_intp s, j, m;
+
+    for (s = 0; s < n_sets; s++) {
+        PyObject *entries = PyList_GET_ITEM(sets, s);
+        if (!PyList_Check(entries)) {
+            PyErr_SetString(PyExc_TypeError,
+                            "cache sets must be lists of lines");
+            return -1;
+        }
+        m = PyList_GET_SIZE(entries);
+        if (m > assoc) {
+            PyErr_SetString(PyExc_ValueError,
+                            "set holds more lines than the associativity");
+            return -1;
+        }
+        occ[s] = m;
+        for (j = 0; j < m; j++) {
+            npy_int64 line = PyLong_AsLongLong(PyList_GET_ITEM(entries, j));
+            if (line == -1 && PyErr_Occurred())
+                return -1;
+            slots[s * assoc + j] = line;
+        }
+    }
+    return 0;
+}
+
+static int
+store_sets(PyObject *sets, const npy_int64 *slots, const npy_intp *occ,
+           const unsigned char *dirty, npy_intp n_sets, npy_intp assoc)
+{
+    npy_intp s, j;
+
+    for (s = 0; s < n_sets; s++) {
+        PyObject *entries;
+
+        if (!dirty[s])
+            continue;
+        entries = PyList_New(occ[s]);
+        if (entries == NULL)
+            return -1;
+        for (j = 0; j < occ[s]; j++) {
+            PyObject *item = PyLong_FromLongLong(slots[s * assoc + j]);
+            if (item == NULL) {
+                Py_DECREF(entries);
+                return -1;
+            }
+            PyList_SET_ITEM(entries, j, item);
+        }
+        if (PyList_SetItem(sets, s, entries) < 0)
+            return -1;
+    }
+    return 0;
+}
+
+/* One LRU access against a flat slot array.  Returns 1 on hit. */
+static inline int
+lru_access(npy_int64 *base, npy_intp *occ, npy_intp assoc, npy_int64 line)
+{
+    npy_intp m = *occ;
+    npy_intp j;
+
+    for (j = 0; j < m; j++) {
+        if (base[j] == line) {
+            for (; j < m - 1; j++)
+                base[j] = base[j + 1];
+            base[m - 1] = line;
+            return 1;
+        }
+    }
+    if (m >= assoc) {
+        for (j = 0; j < m - 1; j++)
+            base[j] = base[j + 1];
+        base[m - 1] = line;
+    } else {
+        base[m] = line;
+        *occ = m + 1;
+    }
+    return 0;
+}
+
+/* -- warm_lru ---------------------------------------------------------- */
+
+static PyObject *
+warm_lru(PyObject *self, PyObject *args)
+{
+    PyObject *sets;
+    PyArrayObject *lines_arr;
+    long long mask_ll, assoc_ll;
+    int want_info;
+    npy_intp n_sets, assoc, n, i;
+    npy_int64 mask;
+    npy_int64 *slots = NULL, *lines, *occ_out = NULL;
+    npy_intp *occ = NULL;
+    unsigned char *dirty = NULL, *mask_out = NULL;
+    PyArrayObject *hit_mask = NULL, *occupancy = NULL;
+    long long hits = 0;
+    PyObject *result = NULL;
+
+    if (!PyArg_ParseTuple(args, "O!O!LLp", &PyList_Type, &sets,
+                          &PyArray_Type, &lines_arr,
+                          &mask_ll, &assoc_ll, &want_info))
+        return NULL;
+    n_sets = PyList_GET_SIZE(sets);
+    mask = (npy_int64)mask_ll;
+    assoc = (npy_intp)assoc_ll;
+    if (assoc <= 0 || n_sets != (npy_intp)(mask + 1)) {
+        PyErr_SetString(PyExc_ValueError,
+                        "set count must equal mask + 1 with assoc > 0");
+        return NULL;
+    }
+    if (PyArray_TYPE(lines_arr) != NPY_INT64
+            || !PyArray_IS_C_CONTIGUOUS(lines_arr)
+            || PyArray_NDIM(lines_arr) != 1) {
+        PyErr_SetString(PyExc_TypeError,
+                        "lines must be a contiguous 1-d int64 array");
+        return NULL;
+    }
+    n = PyArray_DIM(lines_arr, 0);
+    lines = (npy_int64 *)PyArray_DATA(lines_arr);
+
+    slots = malloc(sizeof(npy_int64) * (size_t)(n_sets * assoc));
+    occ = calloc((size_t)n_sets, sizeof(npy_intp));
+    dirty = calloc((size_t)n_sets, 1);
+    if (slots == NULL || occ == NULL || dirty == NULL) {
+        PyErr_NoMemory();
+        goto done;
+    }
+    if (load_sets(sets, slots, occ, n_sets, assoc) < 0)
+        goto done;
+
+    if (want_info) {
+        npy_intp dims[1] = {n};
+        hit_mask = (PyArrayObject *)PyArray_ZEROS(1, dims, NPY_BOOL, 0);
+        occupancy = (PyArrayObject *)PyArray_ZEROS(1, dims, NPY_INT64, 0);
+        if (hit_mask == NULL || occupancy == NULL)
+            goto done;
+        mask_out = (unsigned char *)PyArray_DATA(hit_mask);
+        occ_out = (npy_int64 *)PyArray_DATA(occupancy);
+    }
+
+    Py_BEGIN_ALLOW_THREADS
+    for (i = 0; i < n; i++) {
+        npy_int64 line = lines[i];
+        npy_intp s = (npy_intp)(line & mask);
+        int hit;
+
+        if (want_info)
+            occ_out[i] = (npy_int64)occ[s];
+        hit = lru_access(slots + s * assoc, &occ[s], assoc, line);
+        dirty[s] = 1;
+        if (hit) {
+            hits++;
+            if (want_info)
+                mask_out[i] = 1;
+        }
+    }
+    Py_END_ALLOW_THREADS
+
+    if (store_sets(sets, slots, occ, dirty, n_sets, assoc) < 0)
+        goto done;
+
+    if (want_info)
+        result = Py_BuildValue("(LOO)", hits, hit_mask, occupancy);
+    else
+        result = Py_BuildValue("(LOO)", hits, Py_None, Py_None);
+
+done:
+    free(slots);
+    free(occ);
+    free(dirty);
+    Py_XDECREF(hit_mask);
+    Py_XDECREF(occupancy);
+    return result;
+}
+
+/* -- warm_hierarchy ---------------------------------------------------- */
+
+static PyObject *
+warm_hierarchy(PyObject *self, PyObject *args)
+{
+    PyObject *l1_sets, *llc_sets;
+    PyArrayObject *lines_arr;
+    long long l1_mask_ll, l1_assoc_ll, llc_mask_ll, llc_assoc_ll;
+    npy_intp l1_n_sets, llc_n_sets, l1_assoc, llc_assoc, n, i;
+    npy_int64 l1_mask, llc_mask;
+    npy_int64 *l1_slots = NULL, *llc_slots = NULL, *lines;
+    npy_intp *l1_occ = NULL, *llc_occ = NULL;
+    unsigned char *l1_dirty = NULL, *llc_dirty = NULL;
+    long long l1_hits = 0, llc_hits = 0;
+    PyObject *result = NULL;
+
+    if (!PyArg_ParseTuple(args, "O!O!O!LLLL",
+                          &PyList_Type, &l1_sets,
+                          &PyList_Type, &llc_sets,
+                          &PyArray_Type, &lines_arr,
+                          &l1_mask_ll, &l1_assoc_ll,
+                          &llc_mask_ll, &llc_assoc_ll))
+        return NULL;
+    l1_n_sets = PyList_GET_SIZE(l1_sets);
+    llc_n_sets = PyList_GET_SIZE(llc_sets);
+    l1_mask = (npy_int64)l1_mask_ll;
+    llc_mask = (npy_int64)llc_mask_ll;
+    l1_assoc = (npy_intp)l1_assoc_ll;
+    llc_assoc = (npy_intp)llc_assoc_ll;
+    if (l1_assoc <= 0 || llc_assoc <= 0
+            || l1_n_sets != (npy_intp)(l1_mask + 1)
+            || llc_n_sets != (npy_intp)(llc_mask + 1)) {
+        PyErr_SetString(PyExc_ValueError,
+                        "set count must equal mask + 1 with assoc > 0");
+        return NULL;
+    }
+    if (PyArray_TYPE(lines_arr) != NPY_INT64
+            || !PyArray_IS_C_CONTIGUOUS(lines_arr)
+            || PyArray_NDIM(lines_arr) != 1) {
+        PyErr_SetString(PyExc_TypeError,
+                        "lines must be a contiguous 1-d int64 array");
+        return NULL;
+    }
+    n = PyArray_DIM(lines_arr, 0);
+    lines = (npy_int64 *)PyArray_DATA(lines_arr);
+
+    l1_slots = malloc(sizeof(npy_int64) * (size_t)(l1_n_sets * l1_assoc));
+    llc_slots = malloc(sizeof(npy_int64) * (size_t)(llc_n_sets * llc_assoc));
+    l1_occ = calloc((size_t)l1_n_sets, sizeof(npy_intp));
+    llc_occ = calloc((size_t)llc_n_sets, sizeof(npy_intp));
+    l1_dirty = calloc((size_t)l1_n_sets, 1);
+    llc_dirty = calloc((size_t)llc_n_sets, 1);
+    if (l1_slots == NULL || llc_slots == NULL || l1_occ == NULL
+            || llc_occ == NULL || l1_dirty == NULL || llc_dirty == NULL) {
+        PyErr_NoMemory();
+        goto done;
+    }
+    if (load_sets(l1_sets, l1_slots, l1_occ, l1_n_sets, l1_assoc) < 0)
+        goto done;
+    if (load_sets(llc_sets, llc_slots, llc_occ, llc_n_sets, llc_assoc) < 0)
+        goto done;
+
+    Py_BEGIN_ALLOW_THREADS
+    for (i = 0; i < n; i++) {
+        npy_int64 line = lines[i];
+        npy_intp s1 = (npy_intp)(line & l1_mask);
+        npy_intp s2;
+
+        l1_dirty[s1] = 1;
+        if (lru_access(l1_slots + s1 * l1_assoc, &l1_occ[s1],
+                       l1_assoc, line)) {
+            l1_hits++;
+            continue;
+        }
+        /* L1 miss: the fill happened inside lru_access; the LLC sees
+         * exactly the L1-miss substream, as in the interleaved loop. */
+        s2 = (npy_intp)(line & llc_mask);
+        llc_dirty[s2] = 1;
+        if (lru_access(llc_slots + s2 * llc_assoc, &llc_occ[s2],
+                       llc_assoc, line))
+            llc_hits++;
+    }
+    Py_END_ALLOW_THREADS
+
+    if (store_sets(l1_sets, l1_slots, l1_occ, l1_dirty,
+                   l1_n_sets, l1_assoc) < 0)
+        goto done;
+    if (store_sets(llc_sets, llc_slots, llc_occ, llc_dirty,
+                   llc_n_sets, llc_assoc) < 0)
+        goto done;
+
+    result = Py_BuildValue("(LL)", l1_hits, llc_hits);
+
+done:
+    free(l1_slots);
+    free(llc_slots);
+    free(l1_occ);
+    free(llc_occ);
+    free(l1_dirty);
+    free(llc_dirty);
+    return result;
+}
+
+/* -- stack_from_prev (Bennett-Kruskal over a Fenwick tree) ------------- */
+
+static PyObject *
+stack_from_prev(PyObject *self, PyObject *args)
+{
+    PyArrayObject *prev_arr;
+    PyArrayObject *stack_arr = NULL;
+    npy_int64 *prev, *stack;
+    npy_int64 *tree = NULL;
+    npy_intp n, i, dims[1];
+
+    if (!PyArg_ParseTuple(args, "O!", &PyArray_Type, &prev_arr))
+        return NULL;
+    if (PyArray_TYPE(prev_arr) != NPY_INT64
+            || !PyArray_IS_C_CONTIGUOUS(prev_arr)
+            || PyArray_NDIM(prev_arr) != 1) {
+        PyErr_SetString(PyExc_TypeError,
+                        "prev must be a contiguous 1-d int64 array");
+        return NULL;
+    }
+    n = PyArray_DIM(prev_arr, 0);
+    prev = (npy_int64 *)PyArray_DATA(prev_arr);
+
+    dims[0] = n;
+    stack_arr = (PyArrayObject *)PyArray_EMPTY(1, dims, NPY_INT64, 0);
+    if (stack_arr == NULL)
+        return NULL;
+    stack = (npy_int64 *)PyArray_DATA(stack_arr);
+    tree = calloc((size_t)(n + 2), sizeof(npy_int64));
+    if (tree == NULL) {
+        Py_DECREF(stack_arr);
+        return PyErr_NoMemory();
+    }
+
+    Py_BEGIN_ALLOW_THREADS
+    for (i = 0; i < n; i++) {
+        npy_int64 p = prev[i];
+        npy_intp k;
+
+        if (p >= 0) {
+            /* Marked positions in 1-based (p + 1, i] are the most-recent
+             * positions of distinct lines touched since p. */
+            npy_int64 total = 0;
+            for (k = i; k > 0; k -= k & (-k))
+                total += tree[k];
+            for (k = (npy_intp)p + 1; k > 0; k -= k & (-k))
+                total -= tree[k];
+            stack[i] = total;
+            for (k = (npy_intp)p + 1; k <= n; k += k & (-k))
+                tree[k] -= 1;
+        } else {
+            stack[i] = -1;
+        }
+        for (k = i + 1; k <= n; k += k & (-k))
+            tree[k] += 1;
+    }
+    Py_END_ALLOW_THREADS
+
+    free(tree);
+    return (PyObject *)stack_arr;
+}
+
+/* -- module ------------------------------------------------------------ */
+
+static PyMethodDef native_methods[] = {
+    {"warm_lru", warm_lru, METH_VARARGS,
+     "warm_lru(sets, lines, mask, assoc, want_info) -> "
+     "(hits, hit_mask|None, occupancy|None)"},
+    {"warm_hierarchy", warm_hierarchy, METH_VARARGS,
+     "warm_hierarchy(l1_sets, llc_sets, lines, l1_mask, l1_assoc, "
+     "llc_mask, llc_assoc) -> (l1_hits, llc_hits)"},
+    {"stack_from_prev", stack_from_prev, METH_VARARGS,
+     "stack_from_prev(prev) -> stack distances (-1 for cold accesses)"},
+    {NULL, NULL, 0, NULL},
+};
+
+static struct PyModuleDef native_module = {
+    PyModuleDef_HEAD_INIT,
+    "repro.kernels._native",
+    "Compiled per-access kernels for the 'native' backend.",
+    -1,
+    native_methods,
+};
+
+PyMODINIT_FUNC
+PyInit__native(void)
+{
+    import_array();
+    return PyModule_Create(&native_module);
+}

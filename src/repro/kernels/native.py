@@ -1,0 +1,72 @@
+"""Python face of the compiled ``native`` backend.
+
+Thin wrappers over :mod:`repro.kernels._native` (built from
+``src/repro/kernels/_native.c`` via ``python setup.py build_ext
+--inplace``) that normalize inputs and keep the call shapes of the
+vector kernels, so the dispatch sites in :mod:`repro.caches` stay
+three-way one-liners.  Import of this module never fails: when the
+extension is absent :data:`AVAILABLE` is False and the registry in
+:mod:`repro.kernels` resolves ``native`` to ``vector`` instead.
+"""
+
+import numpy as np
+
+try:
+    from repro.kernels import _native
+except ImportError:              # extension not built on this host
+    _native = None
+
+#: True when the compiled extension imported successfully.
+AVAILABLE = _native is not None
+
+
+def warm_lru(state_sets, lines, mask, assoc, want_access_info=False):
+    """Batch-access an LRU cache; the compiled ``warm_lru_sets``.
+
+    Same contract as :func:`repro.kernels.lru.warm_lru_sets` minus the
+    bailout: the per-access C loop is exact in every regime, so there
+    is no thrash heuristic and the result is never ``None``.
+    """
+    lines = np.ascontiguousarray(lines, dtype=np.int64)
+    if lines.shape[0] == 0:
+        if want_access_info:
+            return 0, np.zeros(0, dtype=bool), np.zeros(0, dtype=np.int64)
+        return 0, None, None
+    return _native.warm_lru(state_sets, lines, int(mask), int(assoc),
+                            bool(want_access_info))
+
+
+def warm_hierarchy(l1_sets, llc_sets, lines, l1_mask, l1_assoc,
+                   llc_mask, llc_assoc):
+    """Fused L1+LLC LRU warm; returns ``(l1_hits, llc_hits)``.
+
+    One interleaved C loop over both levels — the LLC sees exactly the
+    L1-miss substream, matching the scalar reference loop in
+    :meth:`repro.caches.hierarchy.CacheHierarchy.warm`.
+    """
+    lines = np.ascontiguousarray(lines, dtype=np.int64)
+    if lines.shape[0] == 0:
+        return 0, 0
+    return _native.warm_hierarchy(l1_sets, llc_sets, lines,
+                                  int(l1_mask), int(l1_assoc),
+                                  int(llc_mask), int(llc_assoc))
+
+
+def reuse_and_stack_distances_native(lines, prev=None):
+    """Exact ``(reuse, stack)`` distances via the compiled Fenwick loop.
+
+    ``prev`` comes from the vectorized ``previous_access_index`` (one
+    argsort); the Bennett-Kruskal walk itself — the part that is
+    merge-bound in numpy — runs in C.  Bit-identical to the scalar
+    reference.
+    """
+    from repro.caches.stack import previous_access_index
+
+    lines = np.asarray(lines)
+    n = lines.shape[0]
+    if prev is None:
+        prev = previous_access_index(lines)
+    prev = np.ascontiguousarray(prev, dtype=np.int64)
+    reuse = np.where(prev >= 0,
+                     np.arange(n, dtype=np.int64) - prev - 1, -1)
+    return reuse, _native.stack_from_prev(prev)

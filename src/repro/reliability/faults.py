@@ -322,3 +322,34 @@ def raise_io_fault(site):
     if rule is not None and rule.mode in _ERRNO:
         raise rule.os_error()
     return rule
+
+
+def visit_task_seam(name, stage, site="pool.task"):
+    """One ``pool.task`` fault seam visit (worker entry / exit).
+
+    ``crash`` SIGKILLs the worker — indistinguishable from an OOM kill
+    or a batch scheduler's reaping; ``hang`` sleeps past any sane task
+    timeout; ``slow`` delays but completes; ``error`` raises.  The exit
+    visit models a worker dying *after* publishing its results — the
+    checkpoint/resume path a resilient dispatcher recovers through
+    without recomputation.  Shared by every pooled fan-out (the matrix
+    runner, the parallel synthetic exporter).
+    """
+    rule = fault_point(site)
+    if rule is None:
+        return
+    if rule.mode == "crash":
+        import signal
+
+        os.kill(os.getpid(), signal.SIGKILL)
+    elif rule.mode == "hang":
+        import time
+
+        time.sleep(rule.param("seconds", 30.0))
+    elif rule.mode == "slow":
+        import time
+
+        time.sleep(rule.param("seconds", 0.5))
+    elif rule.mode == "error":
+        raise InjectedFault(
+            f"injected {site} error at {stage} of {name!r}")

@@ -78,3 +78,20 @@ def pool_backoff():
     """Base backoff seconds between pool retry rounds."""
     value = _env_float(ENV_BACKOFF, DEFAULT_BACKOFF)
     return max(0.0, value)
+
+
+def kill_pool_workers(pool):
+    """Forcibly end a pool whose task exceeded its deadline.
+
+    ``ProcessPoolExecutor`` cannot interrupt a running call; killing the
+    worker processes is the only way to reclaim a hung task.  The pool
+    is broken afterwards and discarded by the caller (the dispatch loop
+    rebuilds one for the retry round).  Shared by every resilient
+    fan-out (the matrix runner, the parallel synthetic exporter).
+    """
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.kill()
+        except (OSError, AttributeError):
+            pass

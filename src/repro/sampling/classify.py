@@ -121,7 +121,7 @@ class WarmingClassifier:
         block" arrow).
         """
         s = telemetry.session()
-        if (kernels.get_backend() == "vector"
+        if (kernels.get_backend() != "scalar"
                 and self.prefetcher is None
                 and self.lukewarm.l1d._is_lru
                 and self.lukewarm.llc._is_lru):

@@ -159,7 +159,7 @@ class CoolSim(StrategyBase):
             n_samples = int(rng.poisson(expected)) if expected > 0 else 0
             if n_samples > 0:
                 positions = np.sort(rng.integers(lo, hi, size=n_samples))
-                if kernels.get_backend() == "vector":
+                if kernels.get_backend() != "scalar":
                     # One batched pass resolves every watchpoint's reuse
                     # and stop count (identical values to the per-sample
                     # binary searches); only the cheap per-sample

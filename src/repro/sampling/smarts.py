@@ -97,7 +97,7 @@ class Smarts(StrategyBase):
 
     def _simulate_region(self, window, hierarchy, prefetcher, seen_lines):
         """Cycle-level region simulation over the warmed hierarchy."""
-        if (kernels.get_backend() == "vector" and prefetcher is None
+        if (kernels.get_backend() != "scalar" and prefetcher is None
                 and hierarchy.l1d._is_lru and hierarchy.llc._is_lru):
             return self._simulate_region_vector(window, hierarchy,
                                                 seen_lines)

@@ -96,6 +96,21 @@ def read_rss():
     return rss, hwm
 
 
+def _active_backend():
+    """The resolved kernel backend for snapshot records.
+
+    Uses the registry (not the raw environment variable) so a
+    ``native`` selection that fell back to ``vector`` is reported as
+    what actually ran.  Imported lazily to keep this module free of
+    package dependencies at import time.
+    """
+    try:
+        from repro import kernels
+        return kernels.get_backend()
+    except Exception:
+        return os.environ.get("REPRO_KERNEL_BACKEND", "vector")
+
+
 class TelemetrySession:
     """Per-process metric registry plus optional JSONL sink."""
 
@@ -231,7 +246,7 @@ class TelemetrySession:
             "started_unix": self.started_unix,
             "elapsed_s": round(time.perf_counter() - self._t0, 6),
             "counters": counters, "timers": timers,
-            "backend": os.environ.get("REPRO_KERNEL_BACKEND", "vector"),
+            "backend": _active_backend(),
         }
         if rss_kb is not None:
             record["rss_kb"] = rss_kb

@@ -82,6 +82,20 @@ class AddressEngine:
         """
         raise NotImplementedError
 
+    def fast_forward(self, rng, total):
+        """Advance past ``generate(rng, total)`` without the outputs.
+
+        Unlike :meth:`consume`, deterministic stream state (circular
+        cursors) advances too — afterwards the engine sits exactly
+        where the real call would have left it.  This is what lets a
+        phase be generated in isolation when its engines are shared
+        with earlier phases (see
+        :func:`repro.trace.stream.fast_forward_engines`): the worker
+        replays the predecessors' consumption, RNG-only, no gathers.
+        Engines without deterministic stream state just consume.
+        """
+        self.consume(rng, total)
+
     def footprint_lines(self):
         """Number of distinct cachelines this engine can ever touch."""
         raise NotImplementedError
@@ -223,6 +237,10 @@ class StridedEngine(AddressEngine):
             for m in _batches(total):
                 rng.integers(0, self.n_pcs, size=m, dtype=np.int32)
 
+    def fast_forward(self, rng, total):
+        self.consume(rng, total)
+        self._cursor += int(total)
+
     def chunk_cursor(self, rng, total):
         # Addresses come from the deterministic cursor; the only RNG
         # block is the (optional) PC draw — a single splittable block.
@@ -267,6 +285,10 @@ class PointerChaseEngine(AddressEngine):
     def consume(self, rng, total):
         for m in _batches(total):
             rng.integers(0, self.n_pcs, size=m, dtype=np.int32)
+
+    def fast_forward(self, rng, total):
+        self.consume(rng, total)
+        self._cursor += int(total)
 
     def chunk_cursor(self, rng, total):
         return _SingleBlockCursor(self, rng)
@@ -340,6 +362,14 @@ class MultiWorkingSetEngine(AddressEngine):
         for comp, comp_total in zip(self.components, totals.tolist()):
             if comp_total:
                 comp.engine.consume(rng, comp_total)
+
+    def fast_forward(self, rng, total):
+        # Mirrors consume's block walk so nested mixtures stay aligned,
+        # but lets each component advance its own stream cursor.
+        totals = self._count_choice_block(rng, total)
+        for comp, comp_total in zip(self.components, totals.tolist()):
+            if comp_total:
+                comp.engine.fast_forward(rng, comp_total)
 
     def chunk_cursor(self, rng, total):
         # Monolithic consumption per phase is [choice block][comp 0's

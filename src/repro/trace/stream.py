@@ -52,65 +52,117 @@ def generate_chunks(phases, seed, name="trace",
     chunk_instructions = max(1, int(chunk_instructions))
     instr_offset = 0
     for index, phase in enumerate(phases):
+        if phase.n_instructions == 0:
+            continue
+        yield from generate_phase_chunks(
+            phase, index, seed, name=name,
+            chunk_instructions=chunk_instructions,
+            instr_offset=instr_offset)
+        instr_offset += phase.n_instructions
+
+
+def generate_phase_chunks(phase, index, seed, name="trace",
+                          chunk_instructions=DEFAULT_CHUNK_INSTRUCTIONS,
+                          instr_offset=0):
+    """Chunk stream of one phase at a given global instruction offset.
+
+    Every RNG stream is keyed by ``(seed, name, index, phase.name)``
+    alone — phases never share *RNG* state — so a single phase can be
+    generated in isolation (e.g. by a pool worker) and is bit-identical
+    to its slice of :func:`generate_chunks`, provided ``instr_offset``
+    is the summed length of the preceding phases **and** any engine
+    objects shared with earlier phases have been fast-forwarded past
+    their consumption first (:func:`fast_forward_engines` — circular
+    engines carry a deterministic stream cursor across phases).
+    """
+    n = phase.n_instructions
+    chunk_instructions = max(1, int(chunk_instructions))
+    rng_kind = child_rng(seed, name, index, phase.name, "kinds")
+    rng_addr = child_rng(seed, name, index, phase.name, "addrs")
+    rng_br = child_rng(seed, name, index, phase.name, "branches")
+
+    # Size the engine cursor: the monolithic build makes one
+    # generate(rng_addr, n_mem) call, so the cursor needs the
+    # phase's access total before the first chunk is emitted.
+    counter = clone_rng(rng_kind)
+    n_mem = 0
+    for lo in range(0, n, chunk_instructions):
+        m = min(chunk_instructions, n - lo)
+        n_mem += int(np.count_nonzero(
+            counter.random(m) < phase.mem_fraction))
+    cursor = (phase.engine.chunk_cursor(rng_addr, n_mem)
+              if n_mem else None)
+
+    for lo in range(0, n, chunk_instructions):
+        hi = min(n, lo + chunk_instructions)
+        draw = rng_kind.random(hi - lo)
+        kinds = np.full(hi - lo, Kind.ALU, dtype=np.uint8)
+        mem_mask = draw < phase.mem_fraction
+        store_mask = draw < phase.mem_fraction * phase.store_fraction
+        branch_mask = (~mem_mask) & (
+            draw < phase.mem_fraction + phase.branch_fraction)
+        kinds[mem_mask] = Kind.LOAD
+        kinds[store_mask] = Kind.STORE
+        kinds[branch_mask] = Kind.BRANCH
+
+        mem_pos = np.flatnonzero(mem_mask)
+        if mem_pos.size:
+            lines, pcs = cursor.take(mem_pos.size)
+            if lines.shape[0] != mem_pos.size \
+                    or pcs.shape[0] != mem_pos.size:
+                raise ValueError(
+                    f"engine for phase {phase.name!r} returned "
+                    "wrong-length arrays")
+        else:
+            lines = np.empty(0, dtype=np.int64)
+            pcs = np.empty(0, dtype=np.int32)
+
+        br_pos = np.flatnonzero(branch_mask)
+        mispred = rng_br.random(br_pos.size) < phase.mispredict_rate
+
+        telemetry.counter("stream.generate.chunks")
+        yield TraceChunk(
+            instr_lo=instr_offset + lo,
+            instr_hi=instr_offset + hi,
+            kind=kinds,
+            mem_instr=mem_pos.astype(np.int64) + (instr_offset + lo),
+            mem_line=np.asarray(lines, dtype=np.int64),
+            mem_pc=np.asarray(pcs, dtype=np.int32),
+            mem_store=store_mask[mem_pos],
+            branch_instr=br_pos.astype(np.int64) + (instr_offset + lo),
+            branch_mispred=mispred,
+        )
+
+
+def fast_forward_engines(phases, upto_index, seed, name="trace",
+                         chunk_instructions=DEFAULT_CHUNK_INSTRUCTIONS):
+    """Advance engine stream state past ``phases[:upto_index]``.
+
+    Phase-structured specs share engine *objects* across phases (a
+    reweighted mixture keeps its components), and circular engines
+    carry a deterministic cursor — so the serial walk leaves each
+    engine where the previous phases' accesses put it.  A worker
+    generating phase ``upto_index`` in isolation replays exactly that
+    consumption here: the kind draw sizes each phase's access total,
+    and :meth:`~repro.trace.engines.AddressEngine.fast_forward` walks
+    the address draws cursor-accurately.  RNG-only work — no addresses
+    are gathered, nothing is emitted.
+    """
+    chunk_instructions = max(1, int(chunk_instructions))
+    for j in range(upto_index):
+        phase = phases[j]
         n = phase.n_instructions
         if n == 0:
             continue
-        rng_kind = child_rng(seed, name, index, phase.name, "kinds")
-        rng_addr = child_rng(seed, name, index, phase.name, "addrs")
-        rng_br = child_rng(seed, name, index, phase.name, "branches")
-
-        # Size the engine cursor: the monolithic build makes one
-        # generate(rng_addr, n_mem) call, so the cursor needs the
-        # phase's access total before the first chunk is emitted.
-        counter = clone_rng(rng_kind)
+        rng_kind = child_rng(seed, name, j, phase.name, "kinds")
         n_mem = 0
         for lo in range(0, n, chunk_instructions):
             m = min(chunk_instructions, n - lo)
             n_mem += int(np.count_nonzero(
-                counter.random(m) < phase.mem_fraction))
-        cursor = (phase.engine.chunk_cursor(rng_addr, n_mem)
-                  if n_mem else None)
-
-        for lo in range(0, n, chunk_instructions):
-            hi = min(n, lo + chunk_instructions)
-            draw = rng_kind.random(hi - lo)
-            kinds = np.full(hi - lo, Kind.ALU, dtype=np.uint8)
-            mem_mask = draw < phase.mem_fraction
-            store_mask = draw < phase.mem_fraction * phase.store_fraction
-            branch_mask = (~mem_mask) & (
-                draw < phase.mem_fraction + phase.branch_fraction)
-            kinds[mem_mask] = Kind.LOAD
-            kinds[store_mask] = Kind.STORE
-            kinds[branch_mask] = Kind.BRANCH
-
-            mem_pos = np.flatnonzero(mem_mask)
-            if mem_pos.size:
-                lines, pcs = cursor.take(mem_pos.size)
-                if lines.shape[0] != mem_pos.size \
-                        or pcs.shape[0] != mem_pos.size:
-                    raise ValueError(
-                        f"engine for phase {phase.name!r} returned "
-                        "wrong-length arrays")
-            else:
-                lines = np.empty(0, dtype=np.int64)
-                pcs = np.empty(0, dtype=np.int32)
-
-            br_pos = np.flatnonzero(branch_mask)
-            mispred = rng_br.random(br_pos.size) < phase.mispredict_rate
-
-            telemetry.counter("stream.generate.chunks")
-            yield TraceChunk(
-                instr_lo=instr_offset + lo,
-                instr_hi=instr_offset + hi,
-                kind=kinds,
-                mem_instr=mem_pos.astype(np.int64) + (instr_offset + lo),
-                mem_line=np.asarray(lines, dtype=np.int64),
-                mem_pc=np.asarray(pcs, dtype=np.int32),
-                mem_store=store_mask[mem_pos],
-                branch_instr=br_pos.astype(np.int64) + (instr_offset + lo),
-                branch_mispred=mispred,
-            )
-        instr_offset += n
+                rng_kind.random(m) < phase.mem_fraction))
+        if n_mem:
+            phase.engine.fast_forward(
+                child_rng(seed, name, j, phase.name, "addrs"), n_mem)
 
 
 def workload_chunks(workload,

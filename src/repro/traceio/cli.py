@@ -294,6 +294,10 @@ def build_synth_parser():
                      help="footprint scale (default 1/64)")
     exp.add_argument("--chunk", type=int, default=None, metavar="N",
                      help="instructions generated per chunk")
+    exp.add_argument("--jobs", type=int, default=1, metavar="J",
+                     help="generate phases on J pool workers (resilient "
+                          "pool: per-task timeouts and retries; the "
+                          "container is bit-identical to --jobs 1)")
     exp.add_argument("--name", default=None,
                      help="library name (default: BENCH.synth; synthetic "
                           "suite names themselves are refused)")
@@ -312,11 +316,13 @@ def build_synth_parser():
 
 def synth_main(argv):
     """CLI entry point; user-input errors print one line, not a stack."""
+    from repro.trace.parallel import PhaseGenerationError
+
     args = build_synth_parser().parse_args(argv)
     try:
         return _dispatch_synth(args)
     except (TraceImportError, TraceFormatError, FileNotFoundError,
-            FileExistsError, ValueError) as exc:
+            FileExistsError, PhaseGenerationError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
 
@@ -334,6 +340,8 @@ def _dispatch_synth(args):
         raise ValueError("--instructions must be positive")
     if args.chunk is not None and args.chunk < 1:
         raise ValueError("--chunk must be a positive instruction count")
+    if args.jobs < 1:
+        raise ValueError("--jobs must be a positive worker count")
     try:
         spec = benchmark_spec(args.benchmark)
     except KeyError:
@@ -388,8 +396,18 @@ def _dispatch_synth(args):
     # defeat the bounded-memory point for huge exports.
     spill_parent = (os.path.dirname(os.path.abspath(args.out))
                     if args.out else library.root)
+    os.makedirs(spill_parent, exist_ok=True)
+    if args.jobs > 1:
+        from repro.trace.parallel import parallel_phase_chunks
+
+        chunks = parallel_phase_chunks(
+            args.benchmark, args.instructions, args.seed, scale,
+            chunk_instructions=chunk, jobs=args.jobs,
+            spill_parent=spill_parent)
+    else:
+        chunks = workload_chunks(workload, chunk_instructions=chunk)
     with TraceStreamWriter(spill_dir=spill_parent) as writer:
-        writer.extend(workload_chunks(workload, chunk_instructions=chunk))
+        writer.extend(chunks)
 
         def write_container(path):
             return writer.write_container(path, name=name, source=source,

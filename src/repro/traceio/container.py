@@ -158,6 +158,31 @@ def _publish_container(path, manifest, write_payload):
     os.replace(tmp, path)
 
 
+def publish_container(path, views, manifest):
+    """Publish canonical array ``views`` under a prebuilt ``manifest``.
+
+    The one streaming npz assembly: array data is copied from the views
+    (typically spill memmaps) in zipfile's bounded buffers, with the
+    same atomicity as :func:`write_trace`.  Shared by the chunk writer
+    and the fused importer, so the payload layout cannot drift between
+    them.  Returns the manifest.
+    """
+
+    def write_payload(handle):
+        compression = (zipfile.ZIP_DEFLATED if manifest["compressed"]
+                       else zipfile.ZIP_STORED)
+        with zipfile.ZipFile(handle, "w", compression,
+                             allowZip64=True) as archive:
+            for array_name, _ in TRACE_ARRAYS:
+                with archive.open(array_name + ".npy", "w") as member:
+                    np.lib.format.write_array(
+                        member, np.asanyarray(views[array_name]),
+                        allow_pickle=False)
+
+    _publish_container(path, manifest, write_payload)
+    return manifest
+
+
 def write_trace(trace, path, name=None, source=None, compress=False):
     """Persist ``trace`` as a native container at ``path``.
 
@@ -309,21 +334,7 @@ class TraceStreamWriter:
         """
         name = name if name is not None else "trace"
         manifest = self.manifest(name, source=source, compressed=compress)
-        views = self.views()
-
-        def write_payload(handle):
-            compression = (zipfile.ZIP_DEFLATED if compress
-                           else zipfile.ZIP_STORED)
-            with zipfile.ZipFile(handle, "w", compression,
-                                 allowZip64=True) as archive:
-                for array_name, _ in TRACE_ARRAYS:
-                    with archive.open(array_name + ".npy", "w") as member:
-                        np.lib.format.write_array(
-                            member, np.asanyarray(views[array_name]),
-                            allow_pickle=False)
-
-        _publish_container(path, manifest, write_payload)
-        return manifest
+        return publish_container(path, self.views(), manifest)
 
     def close(self):
         """Drop the spill files (invalidates served views)."""

@@ -1,29 +1,40 @@
-"""Chunk-granular trace import: parse → spill → normalize → container.
+"""Chunk-granular trace import: parse → normalize-in-flight → container.
 
 The materialized importers (:mod:`repro.traceio.formats`) hold the whole
 event stream — and then the whole canonical array set — in RAM.  This
-module is the bounded-memory pipeline behind ``trace import --chunk``:
+module is the bounded-memory pipeline behind ``trace import --chunk``,
+fused into a single pass over the event stream:
 
-1. **Parse pass.**  The format's event parser yields bounded batches;
-   each batch spills to append-only column files
-   (:class:`~repro.traceio.spill.ArraySpill`) while the distinct raw
-   memory PCs are merged chunk-by-chunk (O(unique PCs) state — the same
-   bound the spillable index builder accepts for its key tables).
-2. **Intern table.**  The merged PCs are written to a spill file and
-   memory-mapped back: pass 2 interns against the *spilled id table*,
-   so even a pathological million-PC trace costs pages, not RAM.
-3. **Normalize pass.**  The spilled event columns are re-read in
-   instruction windows: addresses collapse to cachelines, raw PCs
-   intern to dense ``int32`` ids (``searchsorted`` against the table —
-   bit-identical to the materialized ``np.unique`` interning), and the
-   branch stream replays through one persistent tournament predictor.
-   Each window becomes a :class:`~repro.trace.record.TraceChunk` fed to
-   the streaming container writer.
+1. **Parse + normalize pass.**  The format's event parser yields bounded
+   batches of aligned event arrays; each batch is normalized *in
+   flight* — addresses collapse to cachelines, instruction views derive
+   from the kind stream at a running offset, and the branch stream
+   replays through one persistent tournament predictor (sequential, so
+   per-batch replay is bit-identical to one call) — and the resulting
+   canonical columns spill straight to the container's column files
+   (:class:`~repro.traceio.spill.ArraySpill`).  Only the raw memory PCs
+   also spill as an *event* column, because their dense ids depend on
+   the complete distinct-PC table; the distinct PCs are merged
+   chunk-by-chunk alongside (O(unique PCs) state).
+2. **Intern pass.**  The merged PCs are written to a spill file and
+   memory-mapped back; the raw PC spill re-reads in bounded windows and
+   interns against the table (``searchsorted`` — bit-identical to the
+   materialized ``np.unique`` interning) into the one canonical column
+   pass 1 could not produce.
 
-Peak transient memory is O(chunk + unique PCs + unique lines); the
-canonical arrays never exist in RAM.  The differential harness asserts
-the resulting container is bit-identical to ``import_trace`` +
-``write_trace`` for every format and chunk size.
+Compared to the earlier two-pass pipeline, no event column is re-read
+and re-spilled as a canonical column: ``kind`` spills exactly once,
+addresses and branch outcomes never exist on disk in raw form, and the
+canonical container publishes directly from the pass-1 spill via
+:func:`~repro.traceio.container.publish_container`.  Peak transient
+memory is O(chunk + unique PCs + unique lines); the canonical arrays
+never exist in RAM.  The differential harness asserts the resulting
+container is bit-identical to ``import_trace`` + ``write_trace`` for
+every format and chunk size, and the telemetry counters pin the fusion:
+``ingest.parse_batches`` counts the single event pass,
+``ingest.intern_chunks`` the PC-only second pass, and the legacy
+normalize-window counter ``ingest.chunks`` (and the writer's
+``stream.writer.chunks``) stay at zero.
 """
 
 import os
@@ -36,8 +47,13 @@ from repro import telemetry
 from repro.cpu.branch import TournamentPredictor
 from repro.reliability.cleanup import register_scratch, unregister_scratch
 from repro.cpu.config import ProcessorConfig
-from repro.trace.record import Kind, TraceChunk
-from repro.traceio.container import TraceStreamWriter
+from repro.store.fingerprint import fingerprint_arrays
+from repro.trace.record import Kind
+from repro.traceio.container import (
+    TRACE_ARRAYS,
+    _assemble_manifest,
+    publish_container,
+)
 from repro.traceio.formats import (
     EVENT_PARSERS,
     FORMAT_NAMES,
@@ -50,14 +66,6 @@ from repro.util.units import CACHELINE_SHIFT
 
 #: Default instructions per normalization window (and per parse batch).
 DEFAULT_IMPORT_CHUNK = 1 << 20
-
-_EVENT_COLUMNS = {
-    "kind": np.uint8,
-    "mem_addr": np.uint64,
-    "mem_pc": np.uint64,
-    "branch_pc": np.uint64,
-    "branch_taken": np.bool_,
-}
 
 
 def parse_events(path, fmt, chunk_instructions=None):
@@ -105,31 +113,64 @@ def _import_trace_streamed(path, fmt, out_path, name, source, chunk,
     os.makedirs(spill_dir, exist_ok=True)
 
     # Registered for sweep-on-exit: a SIGTERM mid-import must not leak
-    # gigabytes of spilled event columns next to the output container.
+    # gigabytes of spilled columns next to the output container.
     scratch = register_scratch(
         tempfile.mkdtemp(prefix="trace-import-", dir=spill_dir))
     try:
-        events = ArraySpill(_EVENT_COLUMNS,
-                            directory=os.path.join(scratch, "events"))
-        # Pass 1: parse + spill, folding the per-batch counts and
-        # merging the distinct raw PCs (amortized — per-chunk union
-        # against the full table would be quadratic over a long ingest).
+        # The canonical column set spills directly; the raw memory PCs
+        # are the only event column written to disk (their dense ids
+        # need the complete distinct-PC table, known only after the
+        # parse pass).
+        canonical = ArraySpill(
+            dict((name_, dtype) for name_, dtype in TRACE_ARRAYS),
+            directory=os.path.join(scratch, "canonical"))
+        raw_pcs = ArraySpill({"mem_pc": np.uint64},
+                             directory=os.path.join(scratch, "events"))
         pcs = UniqueAccumulator(np.uint64)
-        n_mem = 0
-        n_branches = 0
+        unique_lines = UniqueAccumulator(np.int64)
+        predictor = TournamentPredictor(config or ProcessorConfig())
+        offset = 0           # running instruction count
+        n_mem = 0            # LOAD|STORE entries in the kind stream
+        n_branches = 0       # BRANCH entries in the kind stream
+        n_mem_events = 0     # memory operand rows the parser yielded
+        n_branch_events = 0  # branch rows the parser yielded
+        aligned = True
         for batch in parse_events(path, fmt, chunk):
             telemetry.counter("ingest.parse_batches")
-            events.append_batch(batch)
+            kind = np.asarray(batch["kind"], dtype=np.uint8)
+            mem_pos = np.flatnonzero(
+                (kind == Kind.LOAD) | (kind == Kind.STORE))
+            branch_pos = np.flatnonzero(kind == Kind.BRANCH)
+            n_mem += mem_pos.shape[0]
+            n_branches += branch_pos.shape[0]
+            n_mem_events += len(batch["mem_addr"])
+            n_branch_events += len(batch["branch_pc"])
             pcs.add(batch["mem_pc"])
-            kind = batch["kind"]
-            n_mem += int(np.count_nonzero(
-                (kind == Kind.LOAD) | (kind == Kind.STORE)))
-            n_branches += int(np.count_nonzero(kind == Kind.BRANCH))
-        views = events.views()
+            # Event batches are aligned by the parser contract (each
+            # batch's operand rows pair with its own kind entries).  A
+            # misaligned batch cannot be normalized; keep draining the
+            # parser so the count diagnostics below see the full totals.
+            if (len(batch["mem_addr"]) != mem_pos.shape[0]
+                    or len(batch["branch_pc"]) != branch_pos.shape[0]):
+                aligned = False
+            if not aligned:
+                offset += kind.shape[0]
+                continue
+            addr = np.asarray(batch["mem_addr"], dtype=np.uint64)
+            mem_line = (addr >> CACHELINE_SHIFT).astype(np.int64)
+            unique_lines.add(mem_line)
+            canonical.append("kind", kind)
+            canonical.append("mem_instr", mem_pos.astype(np.int64) + offset)
+            canonical.append("mem_line", mem_line)
+            canonical.append("mem_store", kind[mem_pos] == Kind.STORE)
+            canonical.append("branch_instr",
+                             branch_pos.astype(np.int64) + offset)
+            canonical.append("branch_mispred", synthesize_mispredicts(
+                batch["branch_pc"], batch["branch_taken"],
+                predictor=predictor))
+            raw_pcs.append("mem_pc", batch["mem_pc"])
+            offset += kind.shape[0]
 
-        n_instructions = int(views["kind"].shape[0])
-        n_mem_events = int(views["mem_addr"].shape[0])
-        n_branch_events = int(views["branch_pc"].shape[0])
         if n_mem_events != n_mem:
             raise TraceImportError(
                 f"{n_mem_events} memory operands for "
@@ -138,32 +179,38 @@ def _import_trace_streamed(path, fmt, out_path, name, source, chunk,
             raise TraceImportError(
                 f"{n_branch_events} branch records for "
                 f"{n_branches} branch instructions")
+        if not aligned:
+            raise TraceImportError(
+                "event batches misaligned with their kind streams "
+                "(parser yielded operand rows across batch boundaries)")
 
-        # The interning table serves pass 2 from disk.
+        # The interning table serves pass 2 from disk; pass 2 touches
+        # only the raw-PC spill, in bounded windows.
         table = _spill_pc_table(pcs.table(), scratch)
         del pcs
+        raw_views = raw_pcs.views()
+        for lo in range(0, n_mem, chunk):
+            telemetry.counter("ingest.intern_chunks")
+            window = np.asarray(raw_views["mem_pc"][lo:lo + chunk],
+                                dtype=np.uint64)
+            canonical.append(
+                "mem_pc", np.searchsorted(table, window).astype(np.int32))
 
-        # Branch outcomes: one persistent predictor over the spilled
-        # branch stream, chunk by chunk (sequential, so bit-identical
-        # to the materialized single replay).
-        mispred_spill = ArraySpill({"branch_mispred": np.bool_},
-                                   directory=os.path.join(scratch,
-                                                          "mispred"))
-        predictor = TournamentPredictor(config or ProcessorConfig())
-        for lo in range(0, n_branch_events, chunk):
-            hi = min(n_branch_events, lo + chunk)
-            mispred_spill.append("branch_mispred", synthesize_mispredicts(
-                views["branch_pc"][lo:hi], views["branch_taken"][lo:hi],
-                predictor=predictor))
-        mispred = mispred_spill.views()["branch_mispred"]
-
-        # Pass 2: normalize instruction windows into canonical chunks.
-        writer = TraceStreamWriter(
-            spill_dir=os.path.join(scratch, "canonical"))
-        writer.extend(_normalized_chunks(
-            views, mispred, table, chunk, n_instructions))
-        return writer.write_container(out_path, name=name, source=source,
-                                      compress=compress)
+        views = canonical.views()
+        manifest = _assemble_manifest(
+            name=name,
+            content_fingerprint=fingerprint_arrays(views),
+            n_instructions=offset,
+            n_accesses=n_mem,
+            n_branches=n_branches,
+            n_pcs=int(table.shape[0]),
+            unique_lines=unique_lines.table().shape[0],
+            shapes={array_name: view.shape[0]
+                    for array_name, view in views.items()},
+            source=source,
+            compressed=compress,
+        )
+        return publish_container(out_path, views, manifest)
     finally:
         shutil.rmtree(scratch, ignore_errors=True)
         unregister_scratch(scratch)
@@ -179,43 +226,3 @@ def _spill_pc_table(pc_table, directory):
     table[:] = pc_table
     table.flush()
     return np.lib.format.open_memmap(path, mode="r")
-
-
-def _normalized_chunks(views, mispred, pc_table, chunk, n_instructions):
-    kind = views["kind"]
-    mem_cursor = 0
-    branch_cursor = 0
-    for lo in range(0, n_instructions, chunk):
-        telemetry.counter("ingest.chunks")
-        hi = min(n_instructions, lo + chunk)
-        window = np.array(kind[lo:hi], copy=True)
-        mem_mask = (window == Kind.LOAD) | (window == Kind.STORE)
-        n_mem = int(np.count_nonzero(mem_mask))
-        n_branch = int(np.count_nonzero(window == Kind.BRANCH))
-        mem_pos = np.flatnonzero(mem_mask)
-        branch_pos = np.flatnonzero(window == Kind.BRANCH)
-
-        addr = np.asarray(views["mem_addr"][mem_cursor:mem_cursor + n_mem],
-                          dtype=np.uint64)
-        raw_pc = np.asarray(views["mem_pc"][mem_cursor:mem_cursor + n_mem],
-                            dtype=np.uint64)
-        if raw_pc.size:
-            interned = np.searchsorted(pc_table, raw_pc).astype(np.int32)
-        else:
-            interned = np.empty(0, dtype=np.int32)
-
-        yield TraceChunk(
-            instr_lo=lo,
-            instr_hi=hi,
-            kind=window,
-            mem_instr=mem_pos.astype(np.int64) + lo,
-            mem_line=(addr >> CACHELINE_SHIFT).astype(np.int64),
-            mem_pc=interned,
-            mem_store=window[mem_pos] == Kind.STORE,
-            branch_instr=branch_pos.astype(np.int64) + lo,
-            branch_mispred=np.array(
-                mispred[branch_cursor:branch_cursor + n_branch],
-                copy=True),
-        )
-        mem_cursor += n_mem
-        branch_cursor += n_branch

@@ -207,6 +207,58 @@ class _PositionIndex:
         np.maximum.at(last, matched_key, matched_pos)
         return counts, last
 
+    def multi_counts_and_last(self, keys, los, his):
+        """Per-entry window counts and last positions, many windows at
+        once.
+
+        Aligned arrays: entry ``i`` asks for ``keys[i]`` over
+        ``[los[i], his[i])`` — the multi-window generalization of
+        :meth:`batch_counts_and_last` (which this reduces to when every
+        entry shares one window).  One gather serves *all* windows, so
+        a planner profiling every region's window in a single call
+        touches each mapped position run once instead of once per
+        region.  The same run-size escape applies: when the gathered
+        runs dwarf the per-entry binary searches, the loop wins and
+        produces identical values.  Returns ``(counts, last)`` aligned
+        with ``keys`` (``-1`` marks an entry unseen in its window).
+        """
+        keys = np.asarray(keys, dtype=np.int64)
+        los = np.asarray(los, dtype=np.int64)
+        his = np.asarray(his, dtype=np.int64)
+        n_keys = keys.shape[0]
+        counts = np.zeros(n_keys, dtype=np.int64)
+        last = np.full(n_keys, -1, dtype=np.int64)
+        if n_keys == 0 or self._keys.shape[0] == 0:
+            return counts, last
+        slot = np.minimum(np.searchsorted(self._keys, keys),
+                          self._keys.shape[0] - 1)
+        present = (self._keys[slot] == keys) & (his > los)
+        starts = np.where(present, self._starts[slot], 0)
+        lengths = np.where(present, self._starts[slot + 1] - starts, 0)
+        total = int(lengths.sum())
+        if total == 0:
+            return counts, last
+        if total > 256 * n_keys:
+            for k in np.flatnonzero(lengths).tolist():
+                run = self._positions[starts[k]:starts[k] + lengths[k]]
+                at_hi = int(np.searchsorted(run, his[k], side="left"))
+                at_lo = int(np.searchsorted(run, los[k], side="left"))
+                counts[k] = at_hi - at_lo
+                if at_hi > at_lo:
+                    last[k] = int(run[at_hi - 1])
+            return counts, last
+        key_of = np.repeat(np.arange(n_keys, dtype=np.int64), lengths)
+        cum = np.cumsum(lengths) - lengths
+        flat = (np.repeat(starts - cum, lengths)
+                + np.arange(total, dtype=np.int64))
+        positions = self._positions[flat]
+        in_window = ((positions >= los[key_of])
+                     & (positions < his[key_of]))
+        matched_key = key_of[in_window]
+        counts += np.bincount(matched_key, minlength=n_keys)
+        np.maximum.at(last, matched_key, positions[in_window])
+        return counts, last
+
 
 @dataclass
 class IndexBuildStats:
@@ -565,7 +617,7 @@ class TraceIndex:
         pages protected would take over the window.
         """
         pages = np.asarray(pages)
-        if kernels.get_backend() == "vector" and pages.size > 1:
+        if kernels.get_backend() != "scalar" and pages.size > 1:
             counts, _ = self.pages.batch_counts_and_last(pages, lo, hi)
             return int(counts.sum())
         return sum(self.pages.count_in(int(page), lo, hi)
@@ -580,3 +632,34 @@ class TraceIndex:
         """
         return self.lines.batch_counts_and_last(
             np.asarray(lines, dtype=np.int64), lo, hi)
+
+    def multi_window_access_counts(self, lines, los, his):
+        """Aligned-entry :meth:`window_access_counts` over many windows.
+
+        Entry ``i`` asks for ``lines[i]`` within ``[los[i], his[i])``;
+        one pass over the mapped line index serves every window.
+        """
+        return self.lines.multi_counts_and_last(
+            np.asarray(lines, dtype=np.int64), los, his)
+
+    def multi_page_stops(self, pages_per_window, los, his):
+        """Per-window :meth:`page_stops_in` totals in one index pass.
+
+        ``pages_per_window[i]`` is the protected page set of window
+        ``[los[i], his[i])``; returns the aligned stop totals.  Values
+        are identical to calling :meth:`page_stops_in` per window.
+        """
+        sizes = np.asarray([len(pages) for pages in pages_per_window],
+                           dtype=np.int64)
+        totals = np.zeros(sizes.shape[0], dtype=np.int64)
+        if sizes.sum() == 0:
+            return totals
+        window_of = np.repeat(np.arange(sizes.shape[0], dtype=np.int64),
+                              sizes)
+        keys = np.concatenate([np.asarray(pages, dtype=np.int64)
+                               for pages in pages_per_window if len(pages)])
+        counts, _ = self.pages.multi_counts_and_last(
+            keys, np.repeat(np.asarray(los, dtype=np.int64), sizes),
+            np.repeat(np.asarray(his, dtype=np.int64), sizes))
+        np.add.at(totals, window_of, counts)
+        return totals

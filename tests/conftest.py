@@ -27,9 +27,10 @@ from repro.vff.index import TraceIndex
 def pytest_addoption(parser):
     parser.addoption(
         "--backend", choices=kernels.BACKENDS, default=None,
-        help="Kernel backend for the whole session (scalar|vector); "
-             "defaults to REPRO_KERNEL_BACKEND or 'vector'.  The "
-             "kernel-equivalence tests exercise both regardless.")
+        help="Kernel backend for the whole session "
+             "(scalar|vector|native); defaults to REPRO_KERNEL_BACKEND "
+             "or 'vector'.  The kernel-equivalence tests exercise every "
+             "backend regardless.")
 
 
 @pytest.fixture(scope="session", autouse=True)
@@ -38,6 +39,12 @@ def _session_kernel_backend(request):
     if choice is None:
         yield
         return
+    if choice == "native" and not kernels.native_available():
+        # A requested-but-unbuilt extension must skip loudly, not let
+        # the silent vector fallback masquerade as native coverage.
+        pytest.skip("compiled kernel extension (repro.kernels._native) "
+                    "is not built; run 'python setup.py build_ext "
+                    "--inplace'")
     with kernels.use_backend(choice):
         yield
 

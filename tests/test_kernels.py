@@ -124,7 +124,9 @@ class TestWarmKernel:
                     cache = SetAssocCache(config, seed=3)
                     results[backend] = (cache.warm(lines),
                                         sorted(cache.resident_lines()))
-            assert results["scalar"] == results["vector"], policy
+            for backend in kernels.BACKENDS:
+                assert results[backend] == results["scalar"], (policy,
+                                                                backend)
 
     def test_empty_and_tiny_batches(self):
         config = CacheConfig(1024, assoc=2)
@@ -175,8 +177,8 @@ class TestHierarchyKernel:
                         hierarchy.l1d._sets, hierarchy.llc._sets,
                         hierarchy.l1d.hits, hierarchy.llc.hits,
                     )
-            assert counts["scalar"][0] == counts["vector"][0], name
-            assert counts["scalar"][1:] == counts["vector"][1:], name
+            for backend in kernels.BACKENDS:
+                assert counts[backend] == counts["scalar"], (name, backend)
 
 
 class TestStackKernel:
@@ -266,7 +268,8 @@ class TestClassifyKernel:
                         classifier.stride_detector._deltas,
                         classifier.stride_detector._last_line,
                     )
-            assert outputs["scalar"] == outputs["vector"], name
+            for backend in kernels.BACKENDS:
+                assert outputs[backend] == outputs["scalar"], (name, backend)
 
     def test_mshr_hit_exercises_block_replay(self):
         # Engineer a delayed hit: tiny 1-set caches, line 0 misses, its
@@ -295,7 +298,8 @@ class TestClassifyKernel:
                     classifier.mshr._outstanding,
                 )
         assert outputs["scalar"][0]["mshr_hit"] >= 1
-        assert outputs["scalar"] == outputs["vector"]
+        for backend in kernels.BACKENDS:
+            assert outputs[backend] == outputs["scalar"], backend
 
     def test_warm_detailed_tail_split(self):
         # The former dead-conditional path: an empty LLC tail must warm
@@ -328,7 +332,125 @@ class TestWatchpointKernel:
                     p = engine.profile_window(watched, lo, hi)
                     profiles[backend] = (p.last_access, p.unresolved,
                                         p.true_stops, p.false_stops)
-            assert profiles["scalar"] == profiles["vector"]
+            for backend in kernels.BACKENDS:
+                assert profiles[backend] == profiles["scalar"], backend
+
+    def test_profile_windows_matches_per_window(self):
+        """The multi-window batch == per-window calls, every backend."""
+        workload = make_small_workload(seed=37, n_instructions=40_000)
+        index = TraceIndex(workload.trace)
+        engine = WatchpointEngine(index)
+        rng = np.random.default_rng(5)
+        n_accesses = workload.trace.n_accesses
+        requests = []
+        for _ in range(6):
+            lo = int(rng.integers(0, n_accesses - 1))
+            hi = int(rng.integers(lo, n_accesses))
+            watched = np.concatenate(
+                (rng.choice(workload.trace.mem_line, size=30), [10**9]))
+            requests.append((watched, lo, hi))
+        # Degenerate entries the batch must short-circuit identically.
+        requests.append((np.asarray([], dtype=np.int64), 0, n_accesses))
+        requests.append((requests[0][0], 100, 100))
+
+        def identity(p):
+            return (p.last_access, p.unresolved, p.true_stops,
+                    p.false_stops)
+
+        outputs = {}
+        for backend in kernels.BACKENDS:
+            with kernels.use_backend(backend):
+                batched = [identity(p)
+                           for p in engine.profile_windows(requests)]
+                single = [identity(engine.profile_window(w, lo, hi))
+                          for w, lo, hi in requests]
+                assert batched == single, backend
+                outputs[backend] = batched
+        for backend in kernels.BACKENDS:
+            assert outputs[backend] == outputs["scalar"], backend
+
+
+class TestExplorerPlanBatch:
+    """The batched window planner vs the unplanned per-region walk."""
+
+    def _scouted(self, seed=41, n_instructions=90_000, n_regions=3):
+        from repro.core.scout import ScoutPass
+        from repro.vff.machine import VirtualMachine
+
+        workload = make_small_workload(seed=seed,
+                                       n_instructions=n_instructions)
+        plan = SamplingPlan(n_instructions=n_instructions,
+                            n_regions=n_regions)
+        index = TraceIndex(workload.trace)
+        region_specs = list(plan.regions())
+        scout = ScoutPass(VirtualMachine(workload.trace, index=index))
+        reports = [scout.run_region(spec) for spec in region_specs]
+        return workload, index, region_specs, reports
+
+    def test_planned_profiles_match_unplanned(self):
+        from repro.core.explorer import DEFAULT_EXPLORERS, ExplorerChain
+        from repro.vff.machine import VirtualMachine
+
+        workload, index, region_specs, reports = self._scouted()
+        chain = ExplorerChain(
+            [VirtualMachine(workload.trace, index=index)
+             for _ in DEFAULT_EXPLORERS])
+        outputs = {}
+        for backend in kernels.BACKENDS:
+            with kernels.use_backend(backend):
+                planned = chain.plan_regions(region_specs, reports)
+                # Replay run_region's pending walk with per-window calls
+                # and check each planned profile against it.
+                for i, (region_spec, report) in enumerate(
+                        zip(region_specs, reports)):
+                    pending = sorted(report.unresolved_after_warming)
+                    for k, (machine, spec) in enumerate(
+                            zip(chain.machines, chain.specs)):
+                        if not pending:
+                            assert planned[i][k] is None, (backend, i, k)
+                            continue
+                        lo, hi, _ = chain._window(spec, region_spec,
+                                                  machine.trace)
+                        ref = machine.watchpoints.profile_window(
+                            pending, lo, hi)
+                        p = planned[i][k]
+                        assert p is not None, (backend, i, k)
+                        assert (p.last_access, p.unresolved, p.true_stops,
+                                p.false_stops) == \
+                            (ref.last_access, ref.unresolved,
+                             ref.true_stops, ref.false_stops), \
+                            (backend, i, k)
+                        pending = list(ref.unresolved)
+                outputs[backend] = [
+                    [(None if p is None else
+                      (p.last_access, p.unresolved, p.true_stops,
+                       p.false_stops)) for p in row] for row in planned]
+        for backend in kernels.BACKENDS:
+            assert outputs[backend] == outputs["scalar"], backend
+
+    def test_delorean_identical_across_backends(self):
+        """Scouts-first + planned profiles changes nothing observable."""
+        from repro.core import DeLorean
+        from repro.core.context import ExecutionContext
+
+        results = {}
+        for backend in kernels.BACKENDS:
+            with kernels.use_backend(backend):
+                workload = make_small_workload(seed=43,
+                                               n_instructions=90_000)
+                plan = SamplingPlan(n_instructions=90_000, n_regions=3)
+                context = ExecutionContext(workload, seed=3)
+                r = DeLorean().run(workload, plan,
+                                   paper_hierarchy(8 << 20),
+                                   context=context)
+                results[backend] = (
+                    r.cpi, r.mpki, r.total_seconds,
+                    repr(sorted(r.extras.items())),
+                    [(repr(sorted(reg.stats.counts.items())),
+                      reg.timing.total_cycles) for reg in r.regions])
+                context.release()
+        for backend in kernels.BACKENDS:
+            assert results[backend] == results["scalar"], backend
 
 
 class TestGapProfileKernel:
@@ -396,7 +518,8 @@ class TestGapProfileKernel:
                     [(r.stats.counts, r.timing.total_cycles)
                      for r in result.regions],
                 )
-        assert outputs["scalar"] == outputs["vector"]
+        for backend in kernels.BACKENDS:
+            assert outputs[backend] == outputs["scalar"], backend
 
 
 class TestStrideDetectorBatch:
@@ -462,13 +585,14 @@ class TestSmartsRegionKernel:
 
     def test_bit_identical_across_backends(self):
         a = self._run("scalar")
-        b = self._run("vector")
-        assert a.cpi == b.cpi and a.mpki == b.mpki
-        for left, right in zip(a.regions, b.regions):
-            assert left.stats.counts == right.stats.counts
-            assert left.timing.total_cycles == right.timing.total_cycles
-            assert left.timing.cpi == right.timing.cpi
-        assert a.meter.ledger.as_dict() == b.meter.ledger.as_dict()
+        for backend in kernels.BACKENDS:
+            b = self._run(backend)
+            assert a.cpi == b.cpi and a.mpki == b.mpki, backend
+            for left, right in zip(a.regions, b.regions):
+                assert left.stats.counts == right.stats.counts
+                assert left.timing.total_cycles == right.timing.total_cycles
+                assert left.timing.cpi == right.timing.cpi
+            assert a.meter.ledger.as_dict() == b.meter.ledger.as_dict()
 
     def test_region_outcome_streams_identical(self):
         """Outcome/instruction streams — not just the counts."""
@@ -498,7 +622,8 @@ class TestSmartsRegionKernel:
                                     classified.llc_hit_instr,
                                     classified.stats.counts))
                 streams[backend] = records
-        assert streams["scalar"] == streams["vector"]
+        for backend in kernels.BACKENDS:
+            assert streams[backend] == streams["scalar"], backend
 
     def test_prefetcher_falls_back_to_scalar(self):
         """With a prefetcher the vector dispatch must not engage (and
@@ -514,9 +639,10 @@ class TestSmartsRegionKernel:
                 results[backend] = Smarts(prefetcher=True).run(
                     workload, plan, paper_hierarchy(8 << 20),
                     index=index, seed=2)
-        assert results["scalar"].cpi == results["vector"].cpi
-        assert [r.stats.counts for r in results["scalar"].regions] == \
-            [r.stats.counts for r in results["vector"].regions]
+        for backend in kernels.BACKENDS:
+            assert results[backend].cpi == results["scalar"].cpi, backend
+            assert [r.stats.counts for r in results[backend].regions] == \
+                [r.stats.counts for r in results["scalar"].regions], backend
 
 
 class TestScoutVicinityBatch:
@@ -536,11 +662,12 @@ class TestScoutVicinityBatch:
                                                  index=index))
                 reports[backend] = [scout.run_region(spec)
                                     for spec in plan.regions()]
-        for a, b in zip(reports["scalar"], reports["vector"]):
-            assert a.key_first_access == b.key_first_access
-            assert a.warming_resolved == b.warming_resolved
-            assert (a.region_access_lo, a.region_access_hi) == \
-                (b.region_access_lo, b.region_access_hi)
+        for backend in kernels.BACKENDS:
+            for a, b in zip(reports["scalar"], reports[backend]):
+                assert a.key_first_access == b.key_first_access, backend
+                assert a.warming_resolved == b.warming_resolved, backend
+                assert (a.region_access_lo, a.region_access_hi) == \
+                    (b.region_access_lo, b.region_access_hi), backend
 
     def test_vicinity_sampling_identical(self):
         from repro.core.vicinity import VicinitySampler
@@ -572,4 +699,128 @@ class TestScoutVicinityBatch:
                     sampler.collected_model,
                     sampler.collected_paper_equivalent,
                 )
-        assert outputs["scalar"] == outputs["vector"]
+        for backend in kernels.BACKENDS:
+            assert outputs[backend] == outputs["scalar"], backend
+
+
+@pytest.mark.skipif(not kernels.native_available(),
+                    reason="compiled kernel extension not built")
+class TestNativeBackend:
+    """The compiled backend: direct kernels, dispatch, no bailout."""
+
+    def test_warm_lru_matches_scalar_reference(self):
+        from repro.kernels import native
+
+        for assoc, n_sets in [(1, 4), (2, 8), (4, 4), (8, 16), (16, 2)]:
+            config = CacheConfig(n_sets * assoc * 64, assoc=assoc)
+            for name, lines, _ in engine_traces(seed=assoc * 53 + n_sets,
+                                                n=600):
+                pre = lines[:150]
+                batch = lines[150:]
+                ref, ref_hits, ref_mask, ref_occ = scalar_reference_warm(
+                    config, pre, batch)
+                nat = SetAssocCache(config)
+                nat.warm_scalar(pre)
+                hits, mask, occ = native.warm_lru(
+                    nat._sets, batch, nat._mask, assoc,
+                    want_access_info=True)
+                assert hits == ref_hits, name
+                assert np.array_equal(mask, ref_mask), name
+                assert np.array_equal(occ, ref_occ), name
+                assert nat._sets == ref._sets, name
+
+    def test_no_bailout_on_thrash(self):
+        """The vector kernel's bailout pattern resolves natively with
+        bit-identical results and without ever entering the scalar
+        fallback (no bailout parameter exists)."""
+        config = CacheConfig(2048, assoc=2)
+        lines = np.tile(np.arange(2048, dtype=np.int64), 5)
+        outputs = {}
+        for backend in ("scalar", "native"):
+            with kernels.use_backend(backend):
+                cache = SetAssocCache(config)
+                outputs[backend] = (cache.warm(lines), cache._sets)
+        assert outputs["native"] == outputs["scalar"]
+
+    def test_stack_distances_match_scalar(self):
+        from repro.kernels.native import reuse_and_stack_distances_native
+
+        rng = np.random.default_rng(41)
+        cases = [np.empty(0, dtype=np.int64), np.asarray([5]),
+                 np.asarray([5, 5, 5]), np.arange(130)[::-1].copy()]
+        for name, lines, _ in engine_traces(seed=59, n=900):
+            cases.append(lines)
+        for _ in range(40):
+            n = int(rng.integers(0, 400))
+            cases.append(rng.integers(0, max(1, int(rng.integers(1, 60))),
+                                      n))
+        for lines in cases:
+            r_ref, s_ref = reuse_and_stack_distances_scalar(lines)
+            r_nat, s_nat = reuse_and_stack_distances_native(lines)
+            assert np.array_equal(r_ref, r_nat)
+            assert np.array_equal(s_ref, s_nat)
+
+    def test_hierarchy_fused_loop_counters(self):
+        """The fused C loop must update the same counters as the scalar
+        interleaved loop — including the per-cache hit/miss tallies."""
+        config = HierarchyConfig(
+            l1d=CacheConfig(2 * 1024, assoc=2),
+            l1i=CacheConfig(2 * 1024, assoc=2),
+            llc=CacheConfig(16 * 1024, assoc=8),
+        )
+        lines = np.random.default_rng(13).integers(0, 700, 5000)
+        counts = {}
+        for backend in ("scalar", "native"):
+            with kernels.use_backend(backend):
+                hierarchy = CacheHierarchy(config)
+                counts[backend] = (
+                    hierarchy.warm(lines),
+                    hierarchy.l1d.hits, hierarchy.l1d.misses,
+                    hierarchy.llc.hits, hierarchy.llc.misses,
+                    hierarchy.l1_hits, hierarchy.llc_hits,
+                    hierarchy.mem_misses,
+                )
+        assert counts["native"] == counts["scalar"]
+
+
+class TestNativeFallback:
+    """Absence of the extension degrades to vector, never an error."""
+
+    def test_resolves_to_vector_with_one_warning(self, monkeypatch):
+        monkeypatch.setattr(kernels, "_native_probe", False)
+        monkeypatch.setattr(kernels, "_native_fallback_reported", False)
+        with kernels.use_backend("native"):
+            with pytest.warns(RuntimeWarning, match="falling back"):
+                assert kernels.get_backend() == "vector"
+            assert kernels.requested_backend() == "native"
+            # Warn-once: later resolutions stay silent.
+            import warnings as warnings_module
+            with warnings_module.catch_warnings():
+                warnings_module.simplefilter("error")
+                assert kernels.get_backend() == "vector"
+
+    def test_fallback_counted_in_telemetry(self, monkeypatch, tmp_path):
+        from repro import telemetry
+
+        monkeypatch.setattr(kernels, "_native_probe", False)
+        monkeypatch.setattr(kernels, "_native_fallback_reported", False)
+        session = telemetry.TelemetrySession(
+            "counters", sink_dir=str(tmp_path))
+        monkeypatch.setattr(telemetry, "_session", session)
+        with kernels.use_backend("native"):
+            with pytest.warns(RuntimeWarning):
+                kernels.get_backend()
+            kernels.get_backend()
+        assert session.counters.get("kernel.native.unavailable") == 1
+
+    def test_set_backend_native_never_raises(self, monkeypatch):
+        monkeypatch.setattr(kernels, "_native_probe", False)
+        monkeypatch.setattr(kernels, "_native_fallback_reported", True)
+        previous = kernels.set_backend("native")
+        try:
+            assert kernels.get_backend() == "vector"
+            # Dispatch sites keep working on the vector path.
+            cache = SetAssocCache(CacheConfig(1024, assoc=2))
+            cache.warm(np.arange(32, dtype=np.int64))
+        finally:
+            kernels.set_backend(previous)

@@ -555,6 +555,46 @@ class TestResilientPool:
 
 # -- cache verify CLI --------------------------------------------------------
 
+class TestParallelExportChaos:
+    """The parallel synth exporter rides the same resilient pool."""
+
+    def _chunks(self, benchmark="calculix", jobs=3):
+        from repro.trace.parallel import parallel_phase_chunks
+        from repro.trace.spec import DEFAULT_SCALE
+
+        return parallel_phase_chunks(
+            benchmark, 60_000, 3, DEFAULT_SCALE,
+            chunk_instructions=9_000, jobs=jobs)
+
+    @pytest.mark.parametrize("schedule", [
+        "STATE;pool.task:crash@times=1",
+        "STATE;pool.task:error@times=1",
+    ])
+    def test_faulted_export_is_bit_identical(self, tmp_path, monkeypatch,
+                                             schedule):
+        from repro.store.fingerprint import fingerprint_arrays
+        from repro.trace.record import trace_from_chunks
+        from repro.traceio.container import trace_arrays
+
+        monkeypatch.setenv("REPRO_RETRY_BACKOFF", "0.01")
+        reference = trace_from_chunks(self._chunks(jobs=1))
+        inject(schedule.replace("STATE", f"state={tmp_path / 'faults'}"))
+        faulted = trace_from_chunks(self._chunks())
+        assert (fingerprint_arrays(trace_arrays(faulted))
+                == fingerprint_arrays(trace_arrays(reference)))
+
+    def test_exhausted_retries_fail_cleanly(self, tmp_path, monkeypatch):
+        from repro.trace.parallel import PhaseGenerationError
+
+        monkeypatch.setenv("REPRO_TASK_RETRIES", "1")
+        monkeypatch.setenv("REPRO_RETRY_BACKOFF", "0.01")
+        inject("pool.task:error")      # every attempt of every task dies
+        with pytest.raises(PhaseGenerationError) as excinfo:
+            list(self._chunks())
+        assert "failed 2 times" in str(excinfo.value)
+        assert "InjectedFault" in str(excinfo.value)
+
+
 class TestCacheVerifyCLI:
     def test_verify_repair_cycle(self, tmp_path, capsys):
         from repro.__main__ import main

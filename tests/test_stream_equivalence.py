@@ -194,6 +194,73 @@ class TestStreamedContainer:
                 writer.append(bad)
 
 
+class TestParallelExport:
+    """Pool-parallel phase generation == the serial walk, bit for bit."""
+
+    def test_isolated_phase_matches_serial_slice(self):
+        # One engine shared by both phases: its circular cursor is the
+        # serial state a worker must fast-forward through.
+        from repro.trace.stream import (
+            fast_forward_engines,
+            generate_phase_chunks,
+        )
+
+        def make_phases():
+            engine = SequentialEngine(np.arange(128, dtype=np.int64),
+                                      n_pcs=2)
+            return [
+                PhaseSpec("a", 3_000, engine, mem_fraction=0.5,
+                          branch_fraction=0.1),
+                PhaseSpec("b", 2_000, engine, mem_fraction=0.4,
+                          branch_fraction=0.1),
+            ]
+
+        serial = [c for c in generate_chunks(
+            make_phases(), seed=9, name="x", chunk_instructions=700)
+            if c.instr_lo >= 3_000]
+        fresh = make_phases()
+        fast_forward_engines(fresh, 1, 9, name="x",
+                             chunk_instructions=700)
+        isolated = list(generate_phase_chunks(
+            fresh[1], 1, 9, name="x", chunk_instructions=700,
+            instr_offset=3_000))
+        assert len(serial) == len(isolated)
+        for expected, got in zip(serial, isolated):
+            assert expected.instr_lo == got.instr_lo
+            assert expected.instr_hi == got.instr_hi
+            for field in ("kind", "mem_instr", "mem_line", "mem_pc",
+                          "mem_store", "branch_instr", "branch_mispred"):
+                assert np.array_equal(getattr(expected, field),
+                                      getattr(got, field)), field
+
+    @pytest.mark.parametrize("name", ["povray", "calculix"])
+    def test_parallel_chunks_bit_identical(self, name):
+        from repro.trace.parallel import parallel_phase_chunks
+        from repro.trace.spec import DEFAULT_SCALE
+
+        workload = benchmark_spec(name).workload(
+            n_instructions=60_000, seed=3)
+        got = trace_from_chunks(parallel_phase_chunks(
+            name, 60_000, 3, DEFAULT_SCALE,
+            chunk_instructions=9_000, jobs=3), name=name)
+        assert_traces_equal(workload.trace, got)
+
+    def test_cli_jobs_fingerprint_identical(self, tmp_path):
+        from repro.traceio.cli import synth_main
+
+        serial = tmp_path / "serial.trace.npz"
+        parallel = tmp_path / "parallel.trace.npz"
+        assert synth_main([
+            "export", "calculix", "--instructions", "60000",
+            "--chunk", "9000", "--out", str(serial)]) == 0
+        assert synth_main([
+            "export", "calculix", "--instructions", "60000",
+            "--chunk", "9000", "--jobs", "3", "--out",
+            str(parallel)]) == 0
+        assert (read_manifest(serial)["fingerprint"]
+                == read_manifest(parallel)["fingerprint"])
+
+
 class TestChunkedImport:
     """Chunk-granular import == materialized import, all formats."""
 
@@ -226,6 +293,28 @@ class TestChunkedImport:
                                          chunk_instructions=1)
         assert manifest["fingerprint"] == \
             trace_fingerprint(import_trace(src, "csv"))
+
+    def test_import_is_single_pass_over_events(self, tmp_path,
+                                               monkeypatch,
+                                               fixture_trace):
+        """The fused importer never re-spills event columns: the parse
+        pass is the only pass over the event stream (plus the bounded
+        PC-intern windows), with zero normalize windows and zero chunks
+        through the stream writer."""
+        from repro import telemetry
+        from repro.telemetry.core import TelemetrySession
+
+        src = tmp_path / "fx.csv"
+        export_trace(fixture_trace, src, "csv")
+        session = TelemetrySession("counters")
+        monkeypatch.setattr(telemetry, "_session", session)
+        import_trace_streamed(src, "csv", tmp_path / "fused.trace.npz",
+                              chunk_instructions=1_024)
+        counters = session.counters
+        assert counters.get("ingest.parse_batches", 0) > 1
+        assert counters.get("ingest.intern_chunks", 0) >= 1
+        assert counters.get("ingest.chunks", 0) == 0
+        assert counters.get("stream.writer.chunks", 0) == 0
 
     def test_malformed_input_leaves_no_container(self, tmp_path,
                                                  fixture_trace):

@@ -1,11 +1,12 @@
 """Unified benchmark runner: one schema, one history, one gate.
 
 ``bench.py`` fronts the perf suites that seed the repo's perf
-trajectory — ``kernels`` (vector-vs-scalar kernel timings),
-``store`` (cold-vs-warm artifact-store wins) and ``stream``
-(bounded-memory scaling) — behind one history-carrying record written
-to the repo root (``BENCH_kernels.json``, ``BENCH_store.json``,
-``BENCH_stream.json``)::
+trajectory — ``kernels`` (vector-vs-scalar kernel timings), ``store``
+(cold-vs-warm artifact-store wins), ``stream`` (bounded-memory
+scaling) and ``live`` (incremental watermark latency vs the batch
+reference) — behind one history-carrying record written to the repo
+root (``BENCH_kernels.json``, ``BENCH_store.json``,
+``BENCH_stream.json``, ``BENCH_live.json``)::
 
     {
       "schema_version": 2,
@@ -123,6 +124,15 @@ def _gate_stream(metrics):
     return gate
 
 
+def _gate_live(metrics):
+    return {
+        "live.wall_seconds": metrics["live"]["wall_seconds"],
+        "live.peak_rss_mb": metrics["live"]["peak_rss_mb"],
+        "live.heap_peak_mb": metrics["live"]["heap_peak_mb"],
+        "batch.wall_seconds": metrics["batch"]["wall_seconds"],
+    }
+
+
 def _gate_behavior(metrics):
     return dict(metrics["derived"])
 
@@ -134,6 +144,8 @@ SUITES = {
               "result": "BENCH_store.json", "gate": _gate_store},
     "stream": {"module": "bench_stream",
                "result": "BENCH_stream.json", "gate": _gate_stream},
+    "live": {"module": "bench_live",
+             "result": "BENCH_live.json", "gate": _gate_live},
     # Derived from the run's telemetry counters, not timed directly;
     # attached automatically after a full runnable sweep under
     # REPRO_TELEMETRY (see behavior_doc).

@@ -10,6 +10,7 @@ Usage::
                                                    [--repair]
     python -m repro trace import|info|convert|ls ...
     python -m repro synth export BENCH [--instructions N] [--chunk C] ...
+    python -m repro live run|tail --gap N [--json] ...
     python -m repro telemetry report|summary|ls [--json|--csv|--html]
     python -m repro matrix report|run [--json] ...
     python -m repro report figures|trends|gate [--quick] [--json] ...
@@ -39,6 +40,14 @@ the whole paper-figure suite into one self-contained artifact set
 across the committed ``BENCH_*.json`` history, and ``report gate``
 replays the perf/behavior regression check without re-running any
 suite.
+
+``live`` feeds an *unbounded* access stream — framed chunks over a
+pipe, or a native container a producer keeps appending — through the
+incremental warming engine: every completed inter-region gap seals a
+watermark whose strategy estimates are bit-identical to a from-scratch
+batch run over the same prefix.  Watermark artifacts are published
+under watermark-versioned keys; ``cache ls``/``gc``/``stats`` group
+them by lineage and reclaim superseded watermarks.
 
 ``trace`` ingests external memory traces (ChampSim binary,
 Valgrind-Lackey text, generic CSV) into native streamable containers;
@@ -109,6 +118,8 @@ def list_exhibits():
           "(import, info, convert, ls)")
     print(f"{'synth':<{width}}  Stream synthetic benchmarks into native "
           "containers (export)")
+    print(f"{'live':<{width}}  Incremental warming over a live trace "
+          "feed (run, tail)")
     print(f"{'telemetry':<{width}}  Aggregate/render telemetry run "
           "reports (report, summary, ls)")
     print(f"{'matrix':<{width}}  Run or replay the resilient pool's "
@@ -141,6 +152,11 @@ def build_cache_parser():
 
 
 def cache_main(argv):
+    from repro.live.artifacts import (
+        parse_live_label,
+        superseded_entries,
+        sweep_superseded,
+    )
     from repro.store import ArtifactStore
     from repro.util.units import format_size
 
@@ -149,8 +165,10 @@ def cache_main(argv):
     if args.action == "stats":
         stats = store.stats()
         disk = stats["disk"]
+        superseded = sum(1 for _ in superseded_entries(store))
         if args.json:
-            print(json.dumps(disk, indent=2, sort_keys=True))
+            print(json.dumps({**disk, "live_superseded": superseded},
+                             indent=2, sort_keys=True))
             return 0
         print(f"store root:   {disk['root']}")
         print(f"schema:       v{disk['schema']}")
@@ -159,40 +177,50 @@ def cache_main(argv):
         if disk["stale_entries"]:
             print(f"stale:        {disk['stale_entries']} "
                   "(reclaim with 'cache gc')")
+        if superseded:
+            print(f"superseded:   {superseded} live watermark entries "
+                  "(reclaim with 'cache gc')")
         for label, entry in sorted(disk["by_label"].items()):
             print(f"  {label:<18s} {entry['entries']:>5d} entries  "
                   f"{format_size(entry['bytes'])}")
     elif args.action == "ls":
-        entries = [
-            {
+        entries = []
+        for digest, header, size in store.disk.entries():
+            live = parse_live_label(header.get("label"))
+            entries.append({
                 "digest": digest,
                 "label": header.get("label") or header.get("kind", "?"),
                 "kind": header.get("kind", "?"),
                 "bytes": size,
                 "stale": header.get("schema") != store.schema_version,
-            }
-            for digest, header, size in store.disk.entries()
-        ]
+                "lineage": live[1] if live is not None else None,
+                "watermark": live[2] if live is not None else None,
+            })
         if args.json:
             print(json.dumps(entries, indent=2, sort_keys=True))
             return 0
         for entry in entries:
             stale = "  (stale)" if entry["stale"] else ""
+            watermark = ("" if entry["watermark"] is None
+                         else f"  @{entry['watermark']}")
             print(f"{entry['digest'][:16]}  {entry['label']:<18s} "
                   f"{entry['kind']:<4s}  "
-                  f"{format_size(entry['bytes'])}{stale}")
+                  f"{format_size(entry['bytes'])}{watermark}{stale}")
         print(f"{len(entries)} entries in {store.root}")
     elif args.action == "gc":
+        superseded_removed, superseded_bytes = sweep_superseded(store)
         removed, reclaimed = store.disk.gc()
         if args.json:
             print(json.dumps({
                 "root": store.root,
                 "removed": removed,
-                "reclaimed_bytes": reclaimed,
+                "reclaimed_bytes": reclaimed + superseded_bytes,
+                "superseded_removed": superseded_removed,
             }, indent=2, sort_keys=True))
             return 0
-        print(f"removed {removed} entries, "
-              f"reclaimed {format_size(reclaimed)}")
+        print(f"removed {removed} stale + {superseded_removed} "
+              f"superseded-watermark entries, "
+              f"reclaimed {format_size(reclaimed + superseded_bytes)}")
     elif args.action == "clear":
         removed = store.disk.clear()
         print(f"removed {removed} entries from {store.root}")
@@ -240,6 +268,9 @@ def main(argv=None):
     if argv and argv[0] == "synth":
         from repro.traceio.cli import synth_main
         return synth_main(argv[1:])
+    if argv and argv[0] == "live":
+        from repro.live.cli import live_main
+        return live_main(argv[1:])
     if argv and argv[0] == "telemetry":
         from repro.telemetry.cli import telemetry_main
         return telemetry_main(argv[1:])

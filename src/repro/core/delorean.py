@@ -29,7 +29,7 @@ from repro.core.analyst import AnalystPass
 from repro.core.explorer import DEFAULT_EXPLORERS
 from repro.core.pipeline import pipeline_schedule
 from repro.core.vicinity import DEFAULT_DENSITY
-from repro.core.warmup import WarmupPipeline
+from repro.core.warmup import IncrementalWarmup, WarmupPipeline
 from repro.cpu.prefetch import StridePrefetcher
 from repro.sampling.base import StrategyBase
 from repro.sampling.results import StrategyResult
@@ -63,8 +63,36 @@ class DeLorean(StrategyBase):
         warm_regions = warmup.run_all()
 
         analyst_machine = context.machine(base_meter.fork())
-        analyst = AnalystPass(
-            analyst_machine, hierarchy_config,
+        analyst = self._analyst(context, hierarchy_config, analyst_machine)
+
+        analyst_times = []
+        regions = []
+        for spec, warm in zip(plan.regions(), warm_regions):
+            mark = analyst_machine.meter.ledger.total_seconds
+            regions.append(analyst.run_region(spec, warm.predictor()))
+            analyst_times.append(
+                analyst_machine.meter.ledger.total_seconds - mark)
+
+        return self._assemble_result(
+            workload.name, plan, warmup, warm_regions, regions,
+            analyst_times, analyst_machine.meter.ledger, base_meter)
+
+    def begin(self, context, plan, hierarchy_config):
+        """Start a refinable run (``refine`` per region, ``result`` at
+        any watermark).
+
+        Unlike :meth:`run` this never consults the warm-up bundle store
+        — a live feed is by definition ahead of any recorded prefix —
+        but every value it produces is pinned to the batch path: the
+        warm-up passes are the batch pipeline's region loop
+        (:class:`~repro.core.warmup.IncrementalWarmup`) and the result
+        assembly is shared code.
+        """
+        return DeLoreanRun(self, context, plan, hierarchy_config)
+
+    def _analyst(self, context, hierarchy_config, machine):
+        return AnalystPass(
+            machine, hierarchy_config,
             processor_config=self.processor_config,
             prefetcher_factory=((lambda: StridePrefetcher(n_streams=8))
                                 if self.prefetcher_enabled else None),
@@ -73,23 +101,28 @@ class DeLorean(StrategyBase):
             context=context,
         )
 
-        analyst_times = []
-        regions = []
+    def _assemble_result(self, workload_name, plan, warmup, warm_regions,
+                         regions, analyst_times, analyst_ledger,
+                         base_meter):
+        """Aggregate warm-up records + analyst output into the result.
+
+        ``warmup`` is anything exposing the pipeline accessors
+        (``stage_times``/``pass_ledgers``/``vicinity_*``): the batch
+        :class:`WarmupPipeline` or an
+        :class:`~repro.core.warmup.IncrementalWarmup` mid-feed.  Shared
+        by both paths so the live watermark results cannot drift from
+        the batch assembly.
+        """
         key_counts = []
         engaged = []
-        resolved_by_totals = np.zeros(len(self.explorer_specs), dtype=np.int64)
+        resolved_by_totals = np.zeros(len(self.explorer_specs),
+                                      dtype=np.int64)
         warming_resolved_total = 0
         cold_total = 0
         key_collected_total = 0
         stops_true = 0
         stops_false = 0
-
-        for spec, warm in zip(plan.regions(), warm_regions):
-            mark = analyst_machine.meter.ledger.total_seconds
-            regions.append(analyst.run_region(spec, warm.predictor()))
-            analyst_times.append(
-                analyst_machine.meter.ledger.total_seconds - mark)
-
+        for warm in warm_regions:
             key_counts.append(warm.n_key_lines)
             engaged.append(warm.engaged)
             resolved_by_totals += np.asarray(warm.resolved_by)
@@ -107,11 +140,11 @@ class DeLorean(StrategyBase):
         warm_ledgers = warmup.pass_ledgers()
         for ledger in warm_ledgers:
             merged.ledger.merge(ledger)
-        merged.ledger.merge(analyst_machine.meter.ledger)
+        merged.ledger.merge(analyst_ledger)
 
         vicinity_paper = warmup.vicinity_paper
         vicinity_model = warmup.vicinity_model
-        analyst_detailed = analyst_machine.meter.ledger.seconds_by_category.get(
+        analyst_detailed = analyst_ledger.seconds_by_category.get(
             "detailed", 0.0)
         warming_seconds = (
             warm_ledgers[0].total_seconds
@@ -119,7 +152,7 @@ class DeLorean(StrategyBase):
 
         return StrategyResult(
             strategy=self.name,
-            workload=workload.name,
+            workload=workload_name,
             regions=regions,
             meter=merged,
             paper_equivalent_instructions=plan.paper_equivalent_instructions,
@@ -146,3 +179,50 @@ class DeLorean(StrategyBase):
                      if analyst_detailed else float("inf")),
             },
         )
+
+
+class DeLoreanRun:
+    """Refinable DeLorean execution state for live feeds.
+
+    Carries the warm-up passes (:class:`IncrementalWarmup`) and the
+    Analyst machine across regions; :meth:`refine` advances all five
+    pipeline stages over one region, :meth:`result` assembles the
+    watermark's :class:`StrategyResult` through the same code as the
+    batch path.
+    """
+
+    def __init__(self, strategy, context, plan, hierarchy_config):
+        self.strategy = strategy
+        self.context = context
+        self.base_meter = CostMeter(scale=plan.scale)
+        self.warmup = IncrementalWarmup(
+            "delorean-vicinity", context, strategy.explorer_specs,
+            strategy.vicinity_density, strategy.vicinity_boost,
+            self.base_meter, plan.footprint_scale)
+        self.analyst_machine = context.machine(self.base_meter.fork())
+        self.analyst = strategy._analyst(context, hierarchy_config,
+                                         self.analyst_machine)
+        self.analyst_times = []
+        self.regions = []
+
+    def refine(self, spec):
+        """Scout, explore and analyze one region."""
+        warm = self.warmup.refine(spec)
+        mark = self.analyst_machine.meter.ledger.total_seconds
+        self.regions.append(
+            self.analyst.run_region(spec, warm.predictor()))
+        self.analyst_times.append(
+            self.analyst_machine.meter.ledger.total_seconds - mark)
+        return self.regions[-1]
+
+    def bundle(self):
+        """The warm-up bundle snapshot (watermark-publishable)."""
+        return self.warmup.bundle()
+
+    def result(self, plan):
+        """The :class:`StrategyResult` over the regions refined so far."""
+        return self.strategy._assemble_result(
+            self.context.workload.name, plan, self.warmup,
+            list(self.warmup.regions), list(self.regions),
+            list(self.analyst_times), self.analyst_machine.meter.ledger,
+            self.base_meter)

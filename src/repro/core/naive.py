@@ -40,72 +40,105 @@ class NaiveDirectedWarming(StrategyBase):
             context=None):
         context = self.context_for(workload, index=index, seed=seed,
                                    context=context)
-        meter = CostMeter(scale=plan.scale)
+        run = self.begin(context, plan, hierarchy_config)
+        for spec in plan.regions():
+            run.refine(spec)
+        return run.result(plan)
+
+    def begin(self, context, plan, hierarchy_config):
+        """Start a refinable run (``refine`` per region, ``result`` at
+        any watermark); :meth:`run` is the same steps back to back."""
+        return NaiveDirectedWarmingRun(self, context, plan,
+                                       hierarchy_config)
+
+
+class NaiveDirectedWarmingRun:
+    """Refinable NaiveDSW execution state.
+
+    Three per-pass machines (scout, profile, analyst) and the single
+    ``naive-dsw`` vicinity RNG are carried across :meth:`refine` calls;
+    each call is exactly one iteration of the batch region loop, so the
+    incremental path consumes the identical RNG draws and charges the
+    identical per-pass ledgers as a from-scratch run on the same prefix.
+    """
+
+    def __init__(self, strategy, context, plan, hierarchy_config):
+        self.strategy = strategy
+        self.context = context
+        self.footprint_scale = plan.footprint_scale
+        self.meter = CostMeter(scale=plan.scale)
         # Two logical phases of the same process: identify key lines
         # (requires a first pass to the region), then profile the entire
         # gap with all key-line watchpoints armed.
-        scout_machine = context.machine(meter.fork())
-        profile_machine = context.machine(meter.fork())
-        analyst_machine = context.machine(meter.fork())
-        scout = ScoutPass(scout_machine)
+        self.scout_machine = context.machine(self.meter.fork())
+        self.profile_machine = context.machine(self.meter.fork())
+        self.analyst_machine = context.machine(self.meter.fork())
+        self.scout = ScoutPass(self.scout_machine)
         rng = context.rng("naive-dsw")
-        sampler = VicinitySampler(
-            profile_machine, density=self.vicinity_density,
-            density_boost=self.vicinity_boost, rng=rng,
+        self.sampler = VicinitySampler(
+            self.profile_machine, density=strategy.vicinity_density,
+            density_boost=strategy.vicinity_boost, rng=rng,
             footprint_scale=plan.footprint_scale)
-        analyst = AnalystPass(
-            analyst_machine, hierarchy_config,
-            processor_config=self.processor_config,
-            mshr_window=self.mshr_window, seed=context.seed,
+        self.analyst = AnalystPass(
+            self.analyst_machine, hierarchy_config,
+            processor_config=strategy.processor_config,
+            mshr_window=strategy.mshr_window, seed=context.seed,
             context=context)
+        self.regions = []
+        self.total_stops = 0
 
-        regions = []
-        total_stops = 0
-        for spec in plan.regions():
-            report = scout.run_region(spec)
+    def refine(self, spec):
+        """Scout, profile and analyze one region."""
+        context = self.context
+        report = self.scout.run_region(spec)
 
-            gap_lo = context.window(spec.warmup_start,
-                                    spec.region_start).lo
-            watched = sorted(report.key_first_access)
-            profile = profile_machine.watchpoints.profile_window(
-                watched, gap_lo, report.region_access_lo)
-            # Watchpoints stay armed across the whole paper-scale gap:
-            # charge the full window's stop traffic (footprint-projected,
-            # like the Explorers' charges).
-            paper_gap = spec.gap_instructions * meter.scale
-            projection = (paper_gap / max(spec.gap_instructions, 1)
-                          * plan.footprint_scale)
-            profile_machine.meter.fast_forward(paper_gap, scaled=False)
-            profile_machine.meter.watchpoint_setups(len(watched),
-                                                    scaled=False)
-            profile_machine.meter.watchpoint_stops(
-                profile.total_stops * projection, scaled=False)
-            total_stops += profile.total_stops
+        gap_lo = context.window(spec.warmup_start,
+                                spec.region_start).lo
+        watched = sorted(report.key_first_access)
+        profile = self.profile_machine.watchpoints.profile_window(
+            watched, gap_lo, report.region_access_lo)
+        # Watchpoints stay armed across the whole paper-scale gap:
+        # charge the full window's stop traffic (footprint-projected,
+        # like the Explorers' charges).
+        paper_gap = spec.gap_instructions * self.meter.scale
+        projection = (paper_gap / max(spec.gap_instructions, 1)
+                      * self.footprint_scale)
+        self.profile_machine.meter.fast_forward(paper_gap, scaled=False)
+        self.profile_machine.meter.watchpoint_setups(len(watched),
+                                                     scaled=False)
+        self.profile_machine.meter.watchpoint_stops(
+            profile.total_stops * projection, scaled=False)
+        self.total_stops += profile.total_stops
 
-            vicinity = ReuseHistogram()
-            sampler.sample_window(
-                vicinity, gap_lo, report.region_access_lo,
-                report.region_access_lo,
-                paper_window_instructions=paper_gap,
-                model_window_instructions=spec.gap_instructions)
+        vicinity = ReuseHistogram()
+        self.sampler.sample_window(
+            vicinity, gap_lo, report.region_access_lo,
+            report.region_access_lo,
+            paper_window_instructions=paper_gap,
+            model_window_instructions=spec.gap_instructions)
 
-            distances = {}
-            for line, first in report.key_first_access.items():
-                last = profile.last_access.get(line)
-                if last is None:
-                    last = report.warming_resolved.get(line)
-                distances[line] = (first - last - 1) if last is not None else -1
-            predictor = DirectedCapacityPredictor(distances, vicinity)
-            regions.append(analyst.run_region(spec, predictor))
+        distances = {}
+        for line, first in report.key_first_access.items():
+            last = profile.last_access.get(line)
+            if last is None:
+                last = report.warming_resolved.get(line)
+            distances[line] = (first - last - 1) if last is not None else -1
+        predictor = DirectedCapacityPredictor(distances, vicinity)
+        self.regions.append(self.analyst.run_region(spec, predictor))
+        return self.regions[-1]
 
-        merged = CostMeter(params=meter.params, scale=plan.scale)
-        for machine in (scout_machine, profile_machine, analyst_machine):
+    def result(self, plan):
+        """The :class:`StrategyResult` over the regions refined so far
+        (per-pass ledgers merged into a fresh meter, scout first)."""
+        merged = CostMeter(params=self.meter.params, scale=plan.scale)
+        for machine in (self.scout_machine, self.profile_machine,
+                        self.analyst_machine):
             merged.ledger.merge(machine.meter.ledger)
         return StrategyResult(
-            strategy=self.name,
-            workload=workload.name,
-            regions=regions,
+            strategy=self.strategy.name,
+            workload=self.context.workload.name,
+            regions=list(self.regions),
             meter=merged,
             paper_equivalent_instructions=plan.paper_equivalent_instructions,
-            extras={"watchpoint_stops_model": total_stops},
+            extras={"watchpoint_stops_model": self.total_stops},
         )

@@ -264,3 +264,117 @@ class WarmupPipeline:
     @property
     def vicinity_model(self):
         return sum(self.bundle.sampler_model)
+
+
+class IncrementalWarmup:
+    """Per-region refinable Scout/Explorer execution for live feeds.
+
+    Carries exactly the state :meth:`WarmupPipeline._run_live`
+    accumulates — per-pass machines, the shared vicinity RNG, the
+    Explorer chain — but advances one region per :meth:`refine` call as
+    the feed covers it.  Bit-identity with a batch pipeline over the
+    same prefix holds because the Scout is RNG-free, the vicinity
+    samplers consume the shared stream strictly region-major in both
+    orders, and the batch path's cross-region window planning is a pure
+    index query (values identical to the unplanned per-region walk).
+
+    Exposes the same post-run accessors as :class:`WarmupPipeline`
+    (``stage_times``/``pass_ledgers``/``vicinity_*``) evaluated over the
+    regions refined so far, so result assembly is shared code.
+    """
+
+    def __init__(self, rng_label, context, explorer_specs,
+                 vicinity_density, vicinity_boost, base_meter,
+                 footprint_scale):
+        self.explorer_specs = tuple(explorer_specs)
+        self.n_passes = 1 + len(self.explorer_specs)
+        self.scout_machine = context.machine(base_meter.fork())
+        self.explorer_machines = [context.machine(base_meter.fork())
+                                  for _ in self.explorer_specs]
+        self.machines = [self.scout_machine] + self.explorer_machines
+        rng = context.rng(rng_label)
+        self.samplers = [
+            VicinitySampler(machine, density=float(vicinity_density),
+                            density_boost=float(vicinity_boost), rng=rng,
+                            footprint_scale=footprint_scale)
+            for machine in self.explorer_machines]
+        self.scout = ScoutPass(self.scout_machine)
+        self.chain = ExplorerChain(self.explorer_machines,
+                                   self.explorer_specs,
+                                   vicinity_samplers=self.samplers,
+                                   footprint_scale=footprint_scale)
+        self.regions = []
+
+    def refine(self, spec):
+        """Scout + explore one region; returns its :class:`RegionWarmup`."""
+        mark = self.scout_machine.meter.ledger.total_seconds
+        report = self.scout.run_region(spec)
+        scout_delta = (self.scout_machine.meter.ledger.total_seconds
+                       - mark)
+
+        marks = [m.meter.ledger.total_seconds
+                 for m in self.explorer_machines]
+        vicinity = ReuseHistogram()
+        exploration = self.chain.run_region(spec, report, vicinity,
+                                            planned=None)
+        key_distances = self.chain.key_reuse_distances(report, exploration)
+        stage_seconds = [scout_delta] + [
+            machine.meter.ledger.total_seconds - marks[k]
+            for k, machine in enumerate(self.explorer_machines)]
+
+        n_keys = len(key_distances)
+        vicinity_distances, vicinity_weights, vicinity_cold = \
+            vicinity.state()
+        region = RegionWarmup(
+            key_lines=np.fromiter(
+                key_distances.keys(), np.int64, count=n_keys),
+            key_distances=np.fromiter(
+                key_distances.values(), np.int64, count=n_keys),
+            vicinity_distances=vicinity_distances,
+            vicinity_weights=vicinity_weights,
+            vicinity_cold=vicinity_cold,
+            n_warming_resolved=len(report.warming_resolved),
+            n_unresolved=len(exploration.unresolved),
+            engaged=exploration.engaged,
+            resolved_by=list(exploration.resolved_by),
+            true_stops=exploration.true_stops,
+            false_stops=exploration.false_stops,
+            stage_seconds=stage_seconds,
+        )
+        self.regions.append(region)
+        return region
+
+    def bundle(self):
+        """A :class:`WarmupBundle` snapshot of the state so far — the
+        watermark-publishable twin of the batch pipeline's record."""
+        return WarmupBundle(
+            regions=list(self.regions),
+            pass_categories=[dict(m.meter.ledger.seconds_by_category)
+                             for m in self.machines],
+            sampler_paper=[s.collected_paper_equivalent
+                           for s in self.samplers],
+            sampler_model=[s.collected_model for s in self.samplers],
+        )
+
+    # -- batch-pipeline-compatible accessors -------------------------------
+
+    def stage_times(self):
+        return [[region.stage_seconds[k] for region in self.regions]
+                for k in range(self.n_passes)]
+
+    def pass_ledgers(self):
+        ledgers = []
+        for machine in self.machines:
+            ledger = TimeLedger()
+            ledger.seconds_by_category = dict(
+                machine.meter.ledger.seconds_by_category)
+            ledgers.append(ledger)
+        return ledgers
+
+    @property
+    def vicinity_paper(self):
+        return sum(s.collected_paper_equivalent for s in self.samplers)
+
+    @property
+    def vicinity_model(self):
+        return sum(s.collected_model for s in self.samplers)

@@ -1,0 +1,179 @@
+"""``python -m repro live`` — run strategies over a live trace feed.
+
+Two modes share one incremental engine:
+
+* ``live run`` consumes a *finite* feed to exhaustion: framed chunks
+  from a pipe/file (``--feed -`` reads stdin) or an existing native
+  container walked chunk-by-chunk (``--container``);
+* ``live tail`` follows a container that a producer keeps appending
+  (republishing atomically with a longer trace), emitting watermark
+  results as the feed grows and stopping after ``--idle-timeout``
+  seconds without growth.
+
+Each completed watermark prints one line (``--json``: one JSON object
+per line, schema pinned in ``tests/test_cli.py``) so downstream
+consumers can react while the feed is still open.
+"""
+
+import argparse
+import json
+import sys
+
+import numpy as np
+
+from repro.caches.hierarchy import paper_hierarchy
+from repro.live.feed import read_frames
+from repro.live.runner import LiveRunner, default_strategies
+from repro.sampling.plan import (
+    PAPER_REGION_INSTRUCTIONS,
+    PAPER_WARMING_INSTRUCTIONS,
+)
+
+
+def _jsonable(value):
+    """Recursively strip numpy scalar/array types for json.dumps."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return [_jsonable(v) for v in value.tolist()]
+    if isinstance(value, np.generic):
+        return value.item()
+    return value
+
+
+def build_live_parser():
+    parser = argparse.ArgumentParser(
+        prog="python -m repro live",
+        description="Incremental strategy refinement over a live trace "
+                    "feed, one result set per completed watermark.")
+    parser.add_argument("action", choices=("run", "tail"),
+                        help="run: drain a finite feed; tail: follow an "
+                             "appended container until it goes idle")
+    parser.add_argument("source", nargs="?", default=None,
+                        help="tail: the container path (required)")
+    parser.add_argument("--feed", default=None,
+                        help="run: framed-chunk feed path ('-' = stdin)")
+    parser.add_argument("--container", default=None,
+                        help="run: walk an existing native container "
+                             "instead of a framed feed")
+    parser.add_argument("--gap", type=int, required=True,
+                        help="model-scale inter-region gap (instructions); "
+                             "a watermark completes every --gap "
+                             "instructions")
+    parser.add_argument("--region", type=int,
+                        default=PAPER_REGION_INSTRUCTIONS,
+                        help="detailed-region length (default paper 10k)")
+    parser.add_argument("--warming", type=int,
+                        default=PAPER_WARMING_INSTRUCTIONS,
+                        help="detailed-warming length (default paper 30k)")
+    parser.add_argument("--strategies", default=None,
+                        help="comma-separated subset "
+                             "(default SMARTS,CoolSim,DeLorean,NaiveDSW)")
+    parser.add_argument("--name", default="live",
+                        help="workload name (must match any batch run "
+                             "this feed is compared against)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--chunk", type=int, default=None,
+                        help="container walk: instructions per chunk")
+    parser.add_argument("--poll", type=float, default=0.05,
+                        help="tail: seconds between growth polls")
+    parser.add_argument("--idle-timeout", type=float, default=5.0,
+                        help="tail: stop after this many seconds without "
+                             "growth (<= 0 follows forever)")
+    parser.add_argument("--store", default=None,
+                        help="publish watermark artifacts to this store "
+                             "root (default: REPRO_CACHE configuration)")
+    parser.add_argument("--spill", default=None,
+                        choices=("auto", "always", "never"),
+                        help="index spill mode (default REPRO_INDEX_SPILL)")
+    parser.add_argument("--json", action="store_true",
+                        help="one JSON object per watermark on stdout")
+    return parser
+
+
+def _pick_strategies(spec):
+    available = default_strategies()
+    if spec is None:
+        return available
+    chosen = {}
+    for token in spec.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        if token not in available:
+            raise SystemExit(
+                f"unknown strategy {token!r} (choose from "
+                f"{', '.join(sorted(available))})")
+        chosen[token] = available[token]
+    if not chosen:
+        raise SystemExit("no strategies selected")
+    return chosen
+
+
+def _emit(watermark, as_json, out):
+    if as_json:
+        out.write(json.dumps(_jsonable(watermark.summary()),
+                             sort_keys=True) + "\n")
+    else:
+        parts = "  ".join(
+            f"{name} cpi={result.cpi:.4f} mpki={result.mpki:.3f}"
+            for name, result in sorted(watermark.results.items()))
+        out.write(f"watermark {watermark.watermark:>3d}  "
+                  f"{watermark.instructions} instr  "
+                  f"fp {watermark.content_fp[:12]}  {parts}\n")
+    out.flush()
+
+
+def _open_store(args):
+    from repro.store import ArtifactStore, cache_enabled_by_env, get_store
+    if args.store is not None:
+        return ArtifactStore(root=args.store, enabled=True)
+    if cache_enabled_by_env():
+        return get_store()
+    return None
+
+
+def live_main(argv, out=None):
+    args = build_live_parser().parse_args(argv)
+    out = out if out is not None else sys.stdout
+
+    if args.action == "tail":
+        if args.source is None:
+            raise SystemExit("live tail requires a container path")
+        from repro.traceio.reader import TraceReader
+        reader = TraceReader(args.source)
+        idle = args.idle_timeout if args.idle_timeout > 0 else None
+        chunks = reader.tail_chunks(chunk_instructions=args.chunk,
+                                    poll_interval=args.poll,
+                                    idle_timeout=idle)
+    elif args.container is not None:
+        from repro.traceio.reader import TraceReader
+        reader = TraceReader(args.container)
+        chunks = reader.iter_chunks(chunk_instructions=args.chunk)
+    else:
+        feed = args.feed if args.feed is not None else "-"
+        handle = sys.stdin.buffer if feed == "-" else open(feed, "rb")
+        chunks = read_frames(handle)
+
+    runner = LiveRunner(
+        args.gap, paper_hierarchy(),
+        strategies=_pick_strategies(args.strategies),
+        name=args.name, seed=args.seed, store=_open_store(args),
+        spill=args.spill, region_instructions=args.region,
+        warming_instructions=args.warming)
+    from repro import telemetry
+    n_watermarks = 0
+    with runner, telemetry.span("phase.live", rss=True,
+                                benchmark=runner.workload.name):
+        for watermark in runner.feed(chunks):
+            _emit(watermark, args.json, out)
+            n_watermarks += 1
+    if not args.json:
+        tail = runner.writer.n_instructions - (
+            n_watermarks * runner.gap_instructions)
+        out.write(f"{n_watermarks} watermarks, "
+                  f"{runner.writer.n_instructions} instructions consumed "
+                  f"({tail} past the last watermark)\n")
+    return 0

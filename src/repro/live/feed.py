@@ -1,0 +1,175 @@
+"""Feed plumbing: framed chunk transport and chunk surgery.
+
+The wire format is deliberately boring: each frame is a fixed 12-byte
+header (``b"RLF1"`` + little-endian uint64 payload length) followed by
+an uncompressed ``.npz`` payload holding the chunk's seven canonical
+arrays plus its ``[instr_lo, instr_hi)`` window.  Length-prefixing makes
+the stream safe over pipes and sockets — a reader never has to guess
+where one chunk ends — and a clean EOF *between* frames terminates the
+feed, while EOF *inside* a frame raises (a producer died mid-write).
+
+The surgery helpers (:func:`split_chunk`, :func:`chunk_trace`,
+:func:`prefix_trace`) cut chunks and traces at instruction boundaries
+with the same ``searchsorted`` side conventions the rest of the
+pipeline uses, so a feed re-chunked any which way carries byte-for-byte
+the same trace.
+"""
+
+import io
+import struct
+
+import numpy as np
+
+from repro.trace.record import Trace, TraceChunk
+
+#: Frame magic: "Repro Live Feed", format 1.
+FRAME_MAGIC = b"RLF1"
+
+_HEADER = struct.Struct("<4sQ")
+
+#: Canonical chunk columns, in container order.
+CHUNK_FIELDS = ("kind", "mem_instr", "mem_line", "mem_pc", "mem_store",
+                "branch_instr", "branch_mispred")
+
+_CHUNK_DTYPES = {
+    "kind": np.uint8,
+    "mem_instr": np.int64,
+    "mem_line": np.int64,
+    "mem_pc": np.int32,
+    "mem_store": np.bool_,
+    "branch_instr": np.int64,
+    "branch_mispred": np.bool_,
+}
+
+
+def write_frame(fp, chunk):
+    """Serialize one :class:`TraceChunk` as a length-prefixed frame."""
+    payload = io.BytesIO()
+    np.savez(
+        payload,
+        instr=np.array([chunk.instr_lo, chunk.instr_hi], dtype=np.int64),
+        **{name: np.asarray(getattr(chunk, name)) for name in CHUNK_FIELDS})
+    data = payload.getvalue()
+    fp.write(_HEADER.pack(FRAME_MAGIC, len(data)))
+    fp.write(data)
+    fp.flush()
+
+
+def _read_exact(fp, n, *, midframe):
+    chunks = []
+    remaining = n
+    while remaining:
+        piece = fp.read(remaining)
+        if not piece:
+            if chunks or midframe:
+                raise EOFError(
+                    "live feed truncated mid-frame (producer died?)")
+            return None
+        chunks.append(piece)
+        remaining -= len(piece)
+    return b"".join(chunks)
+
+
+def read_frames(fp):
+    """Yield :class:`TraceChunk` frames from a byte stream until EOF.
+
+    A clean EOF on a frame boundary ends the feed; a torn frame raises
+    :class:`EOFError` so a crashed producer is loud, not a silent
+    shorter trace.
+    """
+    while True:
+        header = _read_exact(fp, _HEADER.size, midframe=False)
+        if header is None:
+            return
+        magic, length = _HEADER.unpack(header)
+        if magic != FRAME_MAGIC:
+            raise ValueError(f"bad live-feed frame magic {magic!r}")
+        data = _read_exact(fp, length, midframe=True)
+        with np.load(io.BytesIO(data), allow_pickle=False) as npz:
+            instr = npz["instr"]
+            arrays = {
+                name: np.asarray(npz[name], dtype=_CHUNK_DTYPES[name])
+                for name in CHUNK_FIELDS}
+        yield TraceChunk(instr_lo=int(instr[0]), instr_hi=int(instr[1]),
+                         **arrays)
+
+
+# -- chunk surgery -----------------------------------------------------------
+
+def _window(chunk, lo, hi):
+    klo, khi = lo - chunk.instr_lo, hi - chunk.instr_lo
+    a_lo = int(np.searchsorted(chunk.mem_instr, lo, side="left"))
+    a_hi = int(np.searchsorted(chunk.mem_instr, hi, side="left"))
+    b_lo = int(np.searchsorted(chunk.branch_instr, lo, side="left"))
+    b_hi = int(np.searchsorted(chunk.branch_instr, hi, side="left"))
+    return TraceChunk(
+        instr_lo=lo,
+        instr_hi=hi,
+        kind=chunk.kind[klo:khi],
+        mem_instr=chunk.mem_instr[a_lo:a_hi],
+        mem_line=chunk.mem_line[a_lo:a_hi],
+        mem_pc=chunk.mem_pc[a_lo:a_hi],
+        mem_store=chunk.mem_store[a_lo:a_hi],
+        branch_instr=chunk.branch_instr[b_lo:b_hi],
+        branch_mispred=chunk.branch_mispred[b_lo:b_hi],
+    )
+
+
+def split_chunk(chunk, edges):
+    """Split ``chunk`` at the given instruction ``edges`` (views, no copy).
+
+    Edges outside ``(instr_lo, instr_hi)`` are ignored; the returned
+    pieces are contiguous and concatenate back to ``chunk`` exactly.
+    """
+    points = [chunk.instr_lo]
+    for edge in sorted(set(int(e) for e in edges)):
+        if chunk.instr_lo < edge < chunk.instr_hi:
+            points.append(edge)
+    points.append(chunk.instr_hi)
+    return [_window(chunk, lo, hi)
+            for lo, hi in zip(points[:-1], points[1:])]
+
+
+def chunk_trace(trace, chunk_instructions, instr_lo=0):
+    """Yield contiguous :class:`TraceChunk` windows over an in-memory
+    trace (the in-process twin of ``TraceReader.iter_chunks``)."""
+    chunk_instructions = max(1, int(chunk_instructions))
+    n = trace.n_instructions
+    for lo in range(int(instr_lo), n, chunk_instructions):
+        hi = min(n, lo + chunk_instructions)
+        a_lo, a_hi = trace.access_range(lo, hi)
+        b_lo, b_hi = trace.branch_range(lo, hi)
+        yield TraceChunk(
+            instr_lo=lo,
+            instr_hi=hi,
+            kind=trace.kind[lo:hi],
+            mem_instr=trace.mem_instr[a_lo:a_hi],
+            mem_line=trace.mem_line[a_lo:a_hi],
+            mem_pc=trace.mem_pc[a_lo:a_hi],
+            mem_store=trace.mem_store[a_lo:a_hi],
+            branch_instr=trace.branch_instr[b_lo:b_hi],
+            branch_mispred=trace.branch_mispred[b_lo:b_hi],
+        )
+
+
+def prefix_trace(trace, n_instructions, name=None):
+    """The first ``n_instructions`` of ``trace`` as a standalone Trace.
+
+    This is the reference the differential harness compares against:
+    the live runner's watermark-``k`` snapshot must equal
+    ``prefix_trace(full, k * gap)`` byte for byte.
+    """
+    n = min(int(n_instructions), trace.n_instructions)
+    a_lo, a_hi = trace.access_range(0, n)
+    b_lo, b_hi = trace.branch_range(0, n)
+    return Trace(
+        name=name if name is not None else trace.name,
+        kind=np.array(trace.kind[:n], copy=True),
+        mem_instr=np.array(trace.mem_instr[a_lo:a_hi], copy=True),
+        mem_line=np.array(trace.mem_line[a_lo:a_hi], copy=True),
+        mem_pc=np.array(trace.mem_pc[a_lo:a_hi], copy=True),
+        mem_store=np.array(trace.mem_store[a_lo:a_hi], copy=True),
+        branch_instr=np.array(trace.branch_instr[b_lo:b_hi], copy=True),
+        branch_mispred=np.array(trace.branch_mispred[b_lo:b_hi],
+                                copy=True),
+    )

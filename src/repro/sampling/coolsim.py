@@ -68,68 +68,20 @@ class CoolSim(StrategyBase):
             context=None):
         context = self.context_for(workload, index=index, seed=seed,
                                    context=context)
-        self._footprint_scale = plan.footprint_scale
-        meter = CostMeter(scale=plan.scale)
-        machine = context.machine(meter)
-        stats = PerPCReuseStats(min_samples=self.min_pc_samples)
-        stride_detector = StrideDetector()
-        rng = context.rng("coolsim")
-        regions = []
-        collected_model = 0
-
+        run = self.begin(context, plan, hierarchy_config)
         for spec in plan.regions():
-            collected_model += self._profile_gap(
-                machine, spec, stats, stride_detector, rng)
-            machine.switch_state()
+            run.refine(spec)
+        return run.result(plan)
 
-            classifier = WarmingClassifier(
-                hierarchy_config,
-                capacity_predictor=self._capacity_predictor(stats, rng),
-                stride_detector=stride_detector,
-                mshrs=self.processor_config.mshrs_l1d,
-                mshr_window=self.mshr_window,
-                seed=context.seed,
-            )
-            machine.meter.detailed(spec.paper_warming_instructions)
-            l1_warming = context.l1_warming_window(spec)
-            warming = context.warming_window(spec)
-            classifier.warm_detailed(np.asarray(l1_warming.lines),
-                                     np.asarray(warming.lines))
-
-            machine.detailed(spec.region_start, spec.region_end)
-            region = context.region_window(spec)
-            classified = classifier.classify_region(
-                np.asarray(region.lines),
-                np.asarray(region.pcs),
-                region.rel_instr(),
-            )
-            machine.switch_state()
-            timing = self.region_timing(context, spec, classified)
-            regions.append(RegionResult(
-                index=spec.index,
-                n_instructions=spec.region_end - spec.region_start,
-                stats=classified.stats,
-                timing=timing,
-            ))
-
-        paper_equivalent_samples = (
-            collected_model / self.density_boost * plan.scale)
-        return StrategyResult(
-            strategy=self.name,
-            workload=workload.name,
-            regions=regions,
-            meter=meter,
-            paper_equivalent_instructions=plan.paper_equivalent_instructions,
-            extras={
-                "collected_reuse_distances": paper_equivalent_samples,
-                "collected_model_samples": collected_model,
-                "pcs_sampled": stats.n_pcs,
-            },
-        )
+    def begin(self, context, plan, hierarchy_config):
+        """Start a refinable run (``refine`` per region, ``result`` at
+        any watermark); :meth:`run` is the same steps back to back."""
+        return CoolSimRun(self, context, plan, hierarchy_config)
 
     # -- profiling -------------------------------------------------------------
 
-    def _profile_gap(self, machine, spec, stats, stride_detector, rng):
+    def _profile_gap(self, machine, spec, stats, stride_detector, rng,
+                     footprint_scale):
         """Sample reuse distances in ``[warmup_start, region_start)``."""
         trace = machine.trace
         machine.fast_forward(spec.warmup_start, spec.region_start)
@@ -143,7 +95,7 @@ class CoolSim(StrategyBase):
         # equivalent is `scale * footprint_scale` times the model count,
         # bounded by the abandonment threshold.
         scale = machine.meter.scale
-        footprint = self._footprint_scale
+        footprint = footprint_scale
         sample_weight = scale / self.density_boost  # paper samples per model sample
 
         collected = 0
@@ -217,3 +169,90 @@ class CoolSim(StrategyBase):
             return HIT_WARMING
 
         return predict
+
+
+class CoolSimRun:
+    """Refinable CoolSim execution state.
+
+    The per-PC reuse statistics, the stride detector and the single
+    ``coolsim`` RNG stream (consumed by gap sampling *and* the
+    classifier's Bernoulli draws, strictly in region order) are carried
+    across :meth:`refine` calls, so an incremental run over a live feed
+    consumes byte-for-byte the draws a batch run over the same prefix
+    consumes.
+    """
+
+    def __init__(self, strategy, context, plan, hierarchy_config):
+        self.strategy = strategy
+        self.context = context
+        self.hierarchy_config = hierarchy_config
+        self.footprint_scale = plan.footprint_scale
+        self.meter = CostMeter(scale=plan.scale)
+        self.machine = context.machine(self.meter)
+        self.stats = PerPCReuseStats(min_samples=strategy.min_pc_samples)
+        self.stride_detector = StrideDetector()
+        self.rng = context.rng("coolsim")
+        self.regions = []
+        self.collected_model = 0
+
+    def refine(self, spec):
+        """Profile one gap and simulate its detailed region."""
+        strategy = self.strategy
+        context = self.context
+        machine = self.machine
+        self.collected_model += strategy._profile_gap(
+            machine, spec, self.stats, self.stride_detector, self.rng,
+            self.footprint_scale)
+        machine.switch_state()
+
+        classifier = WarmingClassifier(
+            self.hierarchy_config,
+            capacity_predictor=strategy._capacity_predictor(
+                self.stats, self.rng),
+            stride_detector=self.stride_detector,
+            mshrs=strategy.processor_config.mshrs_l1d,
+            mshr_window=strategy.mshr_window,
+            seed=context.seed,
+        )
+        machine.meter.detailed(spec.paper_warming_instructions)
+        l1_warming = context.l1_warming_window(spec)
+        warming = context.warming_window(spec)
+        classifier.warm_detailed(np.asarray(l1_warming.lines),
+                                 np.asarray(warming.lines))
+
+        machine.detailed(spec.region_start, spec.region_end)
+        region = context.region_window(spec)
+        classified = classifier.classify_region(
+            np.asarray(region.lines),
+            np.asarray(region.pcs),
+            region.rel_instr(),
+        )
+        machine.switch_state()
+        timing = strategy.region_timing(context, spec, classified)
+        self.regions.append(RegionResult(
+            index=spec.index,
+            n_instructions=spec.region_end - spec.region_start,
+            stats=classified.stats,
+            timing=timing,
+        ))
+        return self.regions[-1]
+
+    def result(self, plan):
+        """The :class:`StrategyResult` over the regions refined so far
+        (meter snapshotted, safe to keep across further refinement)."""
+        meter = CostMeter(params=self.meter.params, scale=self.meter.scale)
+        meter.ledger.merge(self.meter.ledger)
+        paper_equivalent_samples = (
+            self.collected_model / self.strategy.density_boost * plan.scale)
+        return StrategyResult(
+            strategy=self.strategy.name,
+            workload=self.context.workload.name,
+            regions=list(self.regions),
+            meter=meter,
+            paper_equivalent_instructions=plan.paper_equivalent_instructions,
+            extras={
+                "collected_reuse_distances": paper_equivalent_samples,
+                "collected_model_samples": self.collected_model,
+                "pcs_sampled": self.stats.n_pcs,
+            },
+        )

@@ -52,48 +52,18 @@ class Smarts(StrategyBase):
         """Evaluate ``workload`` under the plan; returns StrategyResult."""
         context = self.context_for(workload, index=index, seed=seed,
                                    context=context)
-        meter = CostMeter(scale=plan.scale)
-        machine = context.machine(meter)
-        hierarchy = CacheHierarchy(hierarchy_config, seed=context.seed)
-        prefetcher = (StridePrefetcher(n_streams=8)
-                      if self.prefetcher_enabled else None)
-        seen_lines = set()
-        regions = []
-
+        run = self.begin(context, plan, hierarchy_config)
         for spec in plan.regions():
-            # Functional warming across the gap (the expensive part).
-            machine.functional_warm(
-                hierarchy, spec.warmup_start, spec.warming_start)
-            gap = context.gap_window(spec)
-            seen_lines.update(
-                np.unique(np.asarray(gap.lines)).tolist())
-            # Detailed warming: detailed simulation that also warms caches
-            # (cost charged at the paper's 30 k instructions).
-            machine.meter.detailed(spec.paper_warming_instructions)
-            warming = context.warming_window(spec)
-            seen_lines.update(
-                np.unique(np.asarray(warming.lines)).tolist())
-            hierarchy.warm(np.asarray(warming.lines))
+            run.refine(spec)
+        return run.result(plan)
 
-            machine.detailed(spec.region_start, spec.region_end)
-            classified = self._simulate_region(
-                context.region_window(spec), hierarchy, prefetcher,
-                seen_lines)
-            timing = self.region_timing(context, spec, classified)
-            regions.append(RegionResult(
-                index=spec.index,
-                n_instructions=spec.region_end - spec.region_start,
-                stats=classified.stats,
-                timing=timing,
-            ))
+    def begin(self, context, plan, hierarchy_config):
+        """Start a refinable run: ``refine(spec)`` per region, then
+        ``result(plan)`` — the batch :meth:`run` composed of the same
+        steps, which is what pins the incremental live path to it."""
+        return SmartsRun(self, context, plan, hierarchy_config)
 
-        return StrategyResult(
-            strategy=self.name,
-            workload=workload.name,
-            regions=regions,
-            meter=meter,
-            paper_equivalent_instructions=plan.paper_equivalent_instructions,
-        )
+    # -- region simulation (stateless helpers, shared with SmartsRun) ------
 
     def _simulate_region(self, window, hierarchy, prefetcher, seen_lines):
         """Cycle-level region simulation over the warmed hierarchy."""
@@ -195,3 +165,75 @@ class Smarts(StrategyBase):
         result.stats.counts[HIT_LUKEWARM] += n - misses.shape[0]
         result.llc_hit_instr.extend(instr[candidates[llc_mask]].tolist())
         return result
+
+
+class SmartsRun:
+    """Refinable SMARTS execution state: one warmed hierarchy carried
+    across regions, extended one region at a time.
+
+    Over a live feed the runner calls :meth:`refine` as each region's
+    prefix becomes available and :meth:`result` at every watermark; a
+    batch :meth:`Smarts.run` is exactly the same calls back to back, so
+    the incremental estimates cannot drift from a from-scratch run on
+    the same prefix.
+    """
+
+    def __init__(self, strategy, context, plan, hierarchy_config):
+        self.strategy = strategy
+        self.context = context
+        self.meter = CostMeter(scale=plan.scale)
+        self.machine = context.machine(self.meter)
+        self.hierarchy = CacheHierarchy(hierarchy_config,
+                                        seed=context.seed)
+        self.prefetcher = (StridePrefetcher(n_streams=8)
+                           if strategy.prefetcher_enabled else None)
+        self.seen_lines = set()
+        self.regions = []
+
+    def refine(self, spec):
+        """Consume one region window: warm across the gap, simulate the
+        detailed region, append its :class:`RegionResult`."""
+        context = self.context
+        machine = self.machine
+        # Functional warming across the gap (the expensive part).
+        machine.functional_warm(
+            self.hierarchy, spec.warmup_start, spec.warming_start)
+        gap = context.gap_window(spec)
+        self.seen_lines.update(
+            np.unique(np.asarray(gap.lines)).tolist())
+        # Detailed warming: detailed simulation that also warms caches
+        # (cost charged at the paper's 30 k instructions).
+        machine.meter.detailed(spec.paper_warming_instructions)
+        warming = context.warming_window(spec)
+        self.seen_lines.update(
+            np.unique(np.asarray(warming.lines)).tolist())
+        self.hierarchy.warm(np.asarray(warming.lines))
+
+        machine.detailed(spec.region_start, spec.region_end)
+        classified = self.strategy._simulate_region(
+            context.region_window(spec), self.hierarchy, self.prefetcher,
+            self.seen_lines)
+        timing = self.strategy.region_timing(context, spec, classified)
+        self.regions.append(RegionResult(
+            index=spec.index,
+            n_instructions=spec.region_end - spec.region_start,
+            stats=classified.stats,
+            timing=timing,
+        ))
+        return self.regions[-1]
+
+    def result(self, plan):
+        """The :class:`StrategyResult` for the regions refined so far.
+
+        Snapshots the meter so a result taken at one watermark is not
+        mutated by later refinement.
+        """
+        meter = CostMeter(params=self.meter.params, scale=self.meter.scale)
+        meter.ledger.merge(self.meter.ledger)
+        return StrategyResult(
+            strategy=self.strategy.name,
+            workload=self.context.workload.name,
+            regions=list(self.regions),
+            meter=meter,
+            paper_equivalent_instructions=plan.paper_equivalent_instructions,
+        )

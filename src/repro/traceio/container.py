@@ -302,6 +302,19 @@ class TraceStreamWriter:
             self._views = self._spill.views()
         return self._views
 
+    def snapshot_views(self):
+        """Read-only memmap views of the rows accumulated *so far*.
+
+        Unlike :meth:`views` this does not finish the writer: appending
+        may continue afterwards.  The live pipeline uses this to
+        materialize the prefix trace at a watermark while the feed keeps
+        growing; the views (like :meth:`views`'s) die with
+        :meth:`close`.
+        """
+        if self._views is not None:
+            return self._views
+        return self._spill.snapshot_views()
+
     def manifest(self, name, source=None, compressed=False):
         """The manifest for the accumulated trace (no further I/O).
 

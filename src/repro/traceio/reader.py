@@ -23,6 +23,7 @@ mapped; the reader transparently falls back to buffered loads and
 """
 
 import io
+import time
 import zipfile
 
 import numpy as np
@@ -175,22 +176,35 @@ class TraceReader:
         return max(1, int(max_bytes / per_instr))
 
     def iter_chunks(self, chunk_instructions=None,
-                    max_bytes=DEFAULT_CHUNK_BYTES):
+                    max_bytes=DEFAULT_CHUNK_BYTES, instr_lo=0):
         """Yield :class:`TraceChunk` windows covering the whole trace.
 
         Only one chunk is materialized at a time; everything else stays
         on disk.  ``chunk_instructions`` pins the window length
         directly, otherwise it is derived from ``max_bytes`` and the
         manifest's access/branch densities.
+
+        ``instr_lo`` resumes mid-container: chunks start there instead
+        of at 0, so a tailing consumer that stopped on the old tail —
+        including the boundary case where its last chunk ended *exactly*
+        at the tail — picks up only the appended suffix after
+        :meth:`refresh`.  An ``instr_lo`` beyond the container raises
+        (the consumed position cannot exceed the trace; seeing it means
+        the reader opened an older generation of a replaced container).
         """
         views = self._open()
         if chunk_instructions is None:
             chunk_instructions = self.chunk_instructions_for(max_bytes)
         chunk_instructions = max(1, int(chunk_instructions))
         n = int(self.manifest["n_instructions"])
+        instr_lo = int(instr_lo)
+        if instr_lo < 0 or instr_lo > n:
+            raise ValueError(
+                f"resume position {instr_lo} outside container "
+                f"[0, {n}] — stale generation of {self.path!r}?")
         mem_instr = views["mem_instr"]
         branch_instr = views["branch_instr"]
-        for lo in range(0, n, chunk_instructions):
+        for lo in range(instr_lo, n, chunk_instructions):
             hi = min(n, lo + chunk_instructions)
             a_lo = int(np.searchsorted(mem_instr, lo, side="left"))
             a_hi = int(np.searchsorted(mem_instr, hi, side="left"))
@@ -209,7 +223,64 @@ class TraceReader:
                                         copy=True),
             )
 
+    def tail_chunks(self, chunk_instructions=None,
+                    max_bytes=DEFAULT_CHUNK_BYTES, instr_lo=0,
+                    poll_interval=0.05, idle_timeout=None,
+                    clock=time.monotonic, sleep=time.sleep):
+        """Follow a container that a producer keeps republishing.
+
+        Yields every chunk of the current generation from ``instr_lo``,
+        then polls: when the container grows (an appender atomically
+        replaced it with a longer trace), refreshes and yields only the
+        new suffix.  Ends after ``idle_timeout`` seconds without growth
+        (None follows forever).  A torn mid-replace state — sidecar and
+        npz from different generations — surfaces as
+        :class:`TraceFormatError` from the open; it is retried on the
+        next poll rather than propagated, because the very next publish
+        step resolves it.
+
+        ``clock``/``sleep`` are injectable so tests drive the deadline
+        deterministically instead of racing wall time.
+        """
+        consumed = int(instr_lo)
+        deadline = None
+        while True:
+            try:
+                for chunk in self.iter_chunks(
+                        chunk_instructions, max_bytes, instr_lo=consumed):
+                    consumed = chunk.instr_hi
+                    deadline = None
+                    yield chunk
+            except TraceFormatError:
+                # Mid-replace tear (or we mapped a stale generation):
+                # drop everything and retry against the next publish.
+                pass
+            if idle_timeout is not None:
+                now = clock()
+                if deadline is None:
+                    deadline = now + idle_timeout
+                elif now >= deadline:
+                    return
+            sleep(poll_interval)
+            try:
+                self.refresh()
+            except TraceFormatError:
+                # Sidecar mid-write; keep the old manifest and retry.
+                self.close()
+
     # -- lifecycle -----------------------------------------------------------
+
+    def refresh(self):
+        """Re-read the manifest and drop cached views.
+
+        After an appender republishes the container (same path, longer
+        trace) the cached manifest under-reports the length and the old
+        memmaps point at the replaced inode; a tailing consumer calls
+        this before resuming ``iter_chunks`` from its consumed
+        position.
+        """
+        self.close()
+        self.manifest = read_manifest(self.path)
 
     def close(self):
         """Drop every view (unmaps the file once consumers release it)."""

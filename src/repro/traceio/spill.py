@@ -120,6 +120,36 @@ class ArraySpill:
                                         shape=(self._rows[name],))
         return views
 
+    def flush(self):
+        """Flush every open handle without closing it.
+
+        Makes the rows appended so far durable on disk so that
+        :meth:`snapshot_views` (or another reader of the spill files) sees
+        them, while the spill stays appendable.
+        """
+        for handle in self._handles.values():
+            if handle is not None:
+                handle.flush()
+
+    def snapshot_views(self):
+        """Read-only memmap views of the rows appended *so far*.
+
+        Unlike :meth:`views` this does not finish the spill: appending may
+        continue afterwards.  Each view is sized to the current row count;
+        later appends grow the files underneath without disturbing already
+        mapped prefixes (POSIX mmap maps a fixed length).
+        """
+        self.flush()
+        views = {}
+        for name, dtype in self.columns.items():
+            if self._rows[name] == 0:
+                views[name] = np.empty(0, dtype=dtype)
+            else:
+                views[name] = np.memmap(self._path(name), mode="r",
+                                        dtype=dtype,
+                                        shape=(self._rows[name],))
+        return views
+
     def _flush(self):
         for name, handle in self._handles.items():
             if handle is not None:

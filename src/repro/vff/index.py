@@ -437,6 +437,353 @@ def build_index_tables(trace, chunk_accesses=None, allocate=None):
     return tables, stats
 
 
+class _GrowColumn:
+    """Random-write growable int64 column with bounded-RAM option.
+
+    The live builder's successor table needs *random* writes into
+    already-appended rows (a key's previous occurrence is patched when
+    its next access arrives), which rules out the append-only
+    :class:`~repro.traceio.spill.ArraySpill`.  With a ``directory`` the
+    column lives in a capacity-doubling memory-mapped file (RSS stays
+    bounded by the touched pages); without one it degrades to a
+    capacity-doubling heap array.
+    """
+
+    def __init__(self, directory=None, name="column", capacity=1 << 12):
+        self._directory = directory
+        self._path = (os.path.join(directory, name + ".bin")
+                      if directory is not None else None)
+        self._capacity = max(1, int(capacity))
+        self.rows = 0
+        self._data = self._allocate(self._capacity)
+
+    def _allocate(self, capacity):
+        if self._path is None:
+            return np.empty(capacity, dtype=np.int64)
+        with open(self._path, "ab") as handle:
+            handle.truncate(capacity * 8)
+        return np.memmap(self._path, mode="r+", dtype=np.int64,
+                         shape=(capacity,))
+
+    def _grow_to(self, rows):
+        if rows <= self._capacity:
+            return
+        capacity = self._capacity
+        while capacity < rows:
+            capacity *= 2
+        old = self._data
+        data = self._allocate(capacity)
+        if self._path is None:
+            data[:self.rows] = old[:self.rows]
+        # A remapped file already holds the previous rows.
+        self._data = data
+        self._capacity = capacity
+
+    def append(self, values):
+        values = np.asarray(values, dtype=np.int64)
+        self._grow_to(self.rows + values.shape[0])
+        self._data[self.rows:self.rows + values.shape[0]] = values
+        self.rows += values.shape[0]
+
+    def patch(self, idx, values):
+        """Overwrite already-appended rows at ``idx`` with ``values``."""
+        self._data[idx] = values
+
+    def view(self, n):
+        """Live (mutable-underneath) view of the first ``n`` rows —
+        copy before keeping across further appends."""
+        return self._data[:n]
+
+    def close(self):
+        self._data = None
+        if self._path is not None:
+            try:
+                os.remove(self._path)
+            except OSError:
+                pass
+
+
+class LiveIndexBuilder:
+    """Incrementally maintained index tables over an append-only feed.
+
+    Generalizes the chunked counting-sort build to an *unbounded* access
+    stream: :meth:`append` folds each chunk into merged per-key state
+    (sorted keys, occurrence counts, last-occurrence positions) plus
+    live successor/rank columns, and :meth:`seal` materializes the full
+    grouped table set for the prefix consumed so far — bit-identical to
+    what :func:`build_index_tables` (or the in-RAM argsort) produces on
+    that prefix.
+
+    Incrementality invariants that make the seal cheap and exact:
+
+    * *ranks* are prefix-independent (the rank of access ``p`` within
+      its key's run counts only earlier accesses), so they are computed
+      once at append time and copied at seal;
+    * *successors* are appended provisionally (``-1``) and patched in
+      place when the key's next access arrives — at a seal taken at the
+      stream position every entry is either a real in-prefix successor
+      or ``-1``, exactly the batch semantics;
+    * the grouped *positions* table of epoch ``k`` is the epoch-``k-1``
+      table with each run extended by the pending accesses, so sealing
+      copies the previous epoch run-by-run into its new offsets and
+      counting-sort scatters only the pending tail.
+
+    Sealed epochs spill through the existing
+    ``save_arrays``/``put_stream`` path when a store is given, so the
+    builder's resident set stays O(chunk + unique keys) while the feed
+    grows without bound.
+    """
+
+    _GRANULARITIES = ("lines", "pages")
+
+    def __init__(self, store=None, spill_dir=None):
+        self.store = store if store is not None and store.enabled else None
+        self.n_accesses = 0
+        self._scratch = None
+        directory = None
+        if self.store is not None or spill_dir is not None:
+            parent = spill_dir if spill_dir is not None else self.store.root
+            os.makedirs(parent, exist_ok=True)
+            self._scratch = tempfile.mkdtemp(prefix="live-index-",
+                                             dir=parent)
+            directory = self._scratch
+        self._keys = {}
+        self._counts = {}
+        self._prev_pos = {}
+        self._succ = {}
+        self._rank = {}
+        self._pending = {}
+        for name in self._GRANULARITIES:
+            self._keys[name] = np.empty(0, dtype=np.int64)
+            self._counts[name] = np.empty(0, dtype=np.int64)
+            self._prev_pos[name] = np.empty(0, dtype=np.int64)
+            self._succ[name] = _GrowColumn(directory, name + "_succ")
+            self._rank[name] = _GrowColumn(directory, name + "_rank")
+            self._pending[name] = []
+        #: Per-granularity previous sealed epoch: (keys, starts, positions).
+        self._sealed = {}
+        self._sealed_watermark = 0
+
+    def append(self, chunk):
+        """Fold one feed chunk (a TraceChunk or a raw line array) into
+        the live tables."""
+        mem_line = getattr(chunk, "mem_line", chunk)
+        lines = np.asarray(mem_line, dtype=np.int64)
+        m = lines.shape[0]
+        if m == 0:
+            return
+        telemetry.counter("live.index.chunks")
+        n0 = self.n_accesses
+        for name in self._GRANULARITIES:
+            chunk_arr = (lines if name == "lines"
+                         else lines >> _PAGE_OF_LINE_SHIFT)
+            self._fold(name, chunk_arr, n0)
+            self._pending[name].append(chunk_arr.copy())
+        self.n_accesses = n0 + m
+
+    def _fold(self, name, chunk_arr, n0):
+        m = chunk_arr.shape[0]
+        unique, chunk_counts = np.unique(chunk_arr, return_counts=True)
+        keys = self._keys[name]
+        # Merge new keys into the sorted state (counts/prev_pos realign).
+        if keys.shape[0] == 0 or not np.all(np.isin(unique, keys)):
+            merged = np.unique(np.concatenate((keys, unique)))
+            if merged.shape[0] != keys.shape[0]:
+                old_slot = np.searchsorted(merged, keys)
+                counts = np.zeros(merged.shape[0], dtype=np.int64)
+                counts[old_slot] = self._counts[name]
+                prev_pos = np.full(merged.shape[0], -1, dtype=np.int64)
+                prev_pos[old_slot] = self._prev_pos[name]
+                self._keys[name] = keys = merged
+                self._counts[name] = counts
+                self._prev_pos[name] = prev_pos
+        counts = self._counts[name]
+        prev_pos = self._prev_pos[name]
+
+        slot = np.searchsorted(keys, chunk_arr)
+        order = np.argsort(chunk_arr, kind="stable")
+        sorted_slot = slot[order]
+        run_slot, run_start, run_count = np.unique(
+            sorted_slot, return_index=True, return_counts=True)
+        within = (np.arange(m, dtype=np.int64)
+                  - np.repeat(run_start, run_count))
+
+        # Ranks: prefix count before the chunk + within-chunk rank.
+        rank_chunk = np.empty(m, dtype=np.int64)
+        rank_chunk[order] = counts[sorted_slot] + within
+        self._rank[name].append(rank_chunk)
+
+        # Successors: in-chunk chains now, cross-chunk patched in place.
+        pos_sorted = n0 + order.astype(np.int64)
+        succ_sorted = np.empty(m, dtype=np.int64)
+        if m:
+            succ_sorted[:-1] = pos_sorted[1:]
+            succ_sorted[-1] = -1
+            succ_sorted[run_start + run_count - 1] = -1
+        succ_chunk = np.empty(m, dtype=np.int64)
+        succ_chunk[order] = succ_sorted
+        self._succ[name].append(succ_chunk)
+        first_pos = pos_sorted[run_start]
+        prev = prev_pos[run_slot]
+        has_prev = prev >= 0
+        if np.any(has_prev):
+            self._succ[name].patch(prev[has_prev], first_pos[has_prev])
+
+        prev_pos[run_slot] = pos_sorted[run_start + run_count - 1]
+        counts[run_slot] += run_count
+
+    def seal(self, trace, key=None, label="live-index",
+             chunk_accesses=None):
+        """Materialize the index for the prefix consumed so far.
+
+        ``trace`` is the prefix snapshot (``trace.n_accesses`` must equal
+        the accesses appended); with a store and ``key`` the tables are
+        published via ``save_arrays`` and served back memory-mapped,
+        otherwise they stay heap-resident.  Returns a
+        :class:`TraceIndex` bit-identical to a from-scratch build of the
+        same prefix.
+        """
+        t0 = time.perf_counter()
+        n = self.n_accesses
+        if int(trace.n_accesses) != n:
+            raise ValueError(
+                f"prefix snapshot has {trace.n_accesses} accesses, "
+                f"builder consumed {n}")
+        chunk = max(1, int(chunk_accesses if chunk_accesses is not None
+                           else default_chunk_accesses()))
+        spill_dir = None
+        if self.store is not None and key is not None:
+            spill_dir = tempfile.mkdtemp(prefix="live-seal-",
+                                         dir=self.store.root)
+
+        def allocate(table_name, shape, dtype):
+            if spill_dir is None or not shape[0]:
+                return np.empty(shape, dtype=dtype)
+            return np.lib.format.open_memmap(
+                os.path.join(spill_dir, table_name + ".npy"), mode="w+",
+                dtype=dtype, shape=shape)
+
+        try:
+            tables = {}
+            for name in self._GRANULARITIES:
+                self._seal_granularity(name, n, chunk, allocate, tables)
+            index = self._publish(trace, tables, key, label)
+        finally:
+            if spill_dir is not None:
+                shutil.rmtree(spill_dir, ignore_errors=True)
+        self._sealed_watermark = n
+        s = telemetry.session()
+        if s is not None:
+            s.add_time("live.index.seal", time.perf_counter() - t0)
+            s.count("live.index.seals")
+        return index
+
+    def _seal_granularity(self, name, n, chunk, allocate, tables):
+        keys_now = self._keys[name]
+        counts_now = self._counts[name]
+        n_keys = keys_now.shape[0]
+        starts_now = np.empty(n_keys + 1, dtype=np.int64)
+        starts_now[0] = 0
+        np.cumsum(counts_now, out=starts_now[1:])
+
+        key_table = allocate(f"{name}_keys", (n_keys,), np.int64)
+        key_table[:] = keys_now
+        start_table = allocate(f"{name}_starts", (n_keys + 1,), np.int64)
+        start_table[:] = starts_now
+        positions = allocate(f"{name}_positions", (n,), np.int64)
+
+        base_counts = np.zeros(n_keys, dtype=np.int64)
+        prev = self._sealed.get(name)
+        if prev is not None:
+            pkeys, pstarts, ppositions = prev
+            pstarts = np.asarray(pstarts, dtype=np.int64)
+            n_prev = int(pstarts[-1])
+            slot = np.searchsorted(keys_now, np.asarray(pkeys))
+            run_lengths = np.diff(pstarts)
+            base_counts[slot] = run_lengths
+            new_run_base = starts_now[slot]
+            # Copy epoch k-1's runs into their (shifted) epoch-k offsets.
+            for lo in range(0, n_prev, chunk):
+                hi = min(n_prev, lo + chunk)
+                idx = np.arange(lo, hi, dtype=np.int64)
+                run_of = np.searchsorted(pstarts, idx, side="right") - 1
+                dest = new_run_base[run_of] + (idx - pstarts[run_of])
+                positions[dest] = np.asarray(ppositions[lo:hi],
+                                             dtype=np.int64)
+        n_prev = int(base_counts.sum())
+
+        # Counting-sort scatter of the pending tail behind per-key
+        # cursors seeded past the copied runs.
+        cursors = starts_now[:-1] + base_counts
+        pend_lo = 0
+        for chunk_arr in self._pending[name]:
+            for lo in range(0, chunk_arr.shape[0], chunk):
+                hi = min(chunk_arr.shape[0], lo + chunk)
+                window = chunk_arr[lo:hi]
+                slot = np.searchsorted(keys_now, window)
+                order = np.argsort(window, kind="stable")
+                sorted_slot = slot[order]
+                run_slot, run_start, run_count = np.unique(
+                    sorted_slot, return_index=True, return_counts=True)
+                within = (np.arange(hi - lo, dtype=np.int64)
+                          - np.repeat(run_start, run_count))
+                dest = cursors[sorted_slot] + within
+                positions[dest] = (n_prev + pend_lo + lo
+                                   + order.astype(np.int64))
+                cursors[run_slot] += run_count
+            pend_lo += chunk_arr.shape[0]
+        if n_prev + pend_lo != n:
+            raise AssertionError("pending buffer out of sync with feed")
+
+        successors = allocate(f"{name}_successors", (n,), np.int64)
+        ranks = allocate(f"{name}_ranks", (n,), np.int64)
+        for lo in range(0, n, chunk):
+            hi = min(n, lo + chunk)
+            successors[lo:hi] = self._succ[name].view(n)[lo:hi]
+            ranks[lo:hi] = self._rank[name].view(n)[lo:hi]
+
+        tables[f"{name}_keys"] = key_table
+        tables[f"{name}_starts"] = start_table
+        tables[f"{name}_positions"] = positions
+        tables[f"{name}_successors"] = successors
+        tables[f"{name}_ranks"] = ranks
+
+    def _publish(self, trace, tables, key, label):
+        published = None
+        if self.store is not None and key is not None:
+            self.store.save_arrays(key, tables, label=label)
+            published = self.store.load_mapped(key, label=label)
+        if published is not None:
+            tables = published
+        else:
+            # Heap fallback (no store/key, or a racing sweep): copy any
+            # spill memmaps so the epoch survives the spill cleanup.
+            tables = {name: (np.array(table) if isinstance(table, np.memmap)
+                             else table)
+                      for name, table in tables.items()}
+        for name in self._GRANULARITIES:
+            self._sealed[name] = (tables[f"{name}_keys"],
+                                  tables[f"{name}_starts"],
+                                  tables[f"{name}_positions"])
+            self._pending[name] = []
+        return TraceIndex.from_tables(trace, tables)
+
+    def close(self):
+        for name in self._GRANULARITIES:
+            self._succ[name].close()
+            self._rank[name].close()
+        self._sealed = {}
+        if self._scratch is not None:
+            shutil.rmtree(self._scratch, ignore_errors=True)
+            self._scratch = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+
 class TraceIndex:
     """Line- and page-granularity position indices for one trace."""
 
@@ -477,6 +824,14 @@ class TraceIndex:
         return index
 
     # -- spill / memory-mapped mode ---------------------------------------
+
+    @classmethod
+    def appendable(cls, store=None, spill_dir=None):
+        """A :class:`LiveIndexBuilder`: ``append(chunk)`` folds feed
+        chunks incrementally, ``seal(trace)`` materializes a
+        :class:`TraceIndex` for the consumed prefix that is bit-identical
+        to a from-scratch build."""
+        return LiveIndexBuilder(store=store, spill_dir=spill_dir)
 
     @classmethod
     def open(cls, trace, store, key):

@@ -151,9 +151,11 @@ def test_trace_ls_json_schema(capsys, tmp_path, monkeypatch):
 def test_cache_gc_json(capsys, tmp_path):
     assert main(["cache", "gc", "--dir", str(tmp_path), "--json"]) == 0
     payload = json.loads(capsys.readouterr().out)
-    assert set(payload) == {"root", "removed", "reclaimed_bytes"}
+    assert set(payload) == {"root", "removed", "reclaimed_bytes",
+                            "superseded_removed"}
     assert payload["root"] == str(tmp_path)
     assert payload["removed"] == 0 and payload["reclaimed_bytes"] == 0
+    assert payload["superseded_removed"] == 0
     # A stale-schema blob is reclaimable and must be counted.
     from repro.store import ArtifactStore
 
@@ -280,3 +282,118 @@ def test_synth_export_rejections(capsys, tmp_path, monkeypatch):
     assert main(["synth", "export", "bwaves",
                  "--instructions", "0"]) == 1
     assert "--instructions" in capsys.readouterr().err
+
+
+# -- live feeds ---------------------------------------------------------------
+#
+# Schema pins for ``live run|tail --json`` (one object per watermark)
+# and the watermark-aware ``cache stats|ls|gc`` views.
+
+#: Keys every per-watermark JSON line must expose.
+LIVE_WATERMARK_SCHEMA = {"watermark", "instructions", "content_fp",
+                         "results"}
+#: Keys every per-strategy result summary must expose (extras ride on
+#: top, strategy-specific).
+LIVE_RESULT_SCHEMA = {"strategy", "workload", "cpi", "mpki", "seconds",
+                      "mips"}
+
+_LIVE_ARGS = ["--gap", "1000", "--region", "500", "--warming", "600",
+              "--strategies", "SMARTS", "--name", "clifeed",
+              "--seed", "3", "--json"]
+
+
+def _live_fixture(tmp_path, n_instructions=2_300):
+    from repro.live import chunk_trace, write_frame
+    from repro.traceio import write_trace
+    from tests.test_traceio import random_trace
+
+    trace = random_trace(31, n_instructions=n_instructions)
+    feed = tmp_path / "feed.rlf"
+    with open(feed, "wb") as handle:
+        for chunk in chunk_trace(trace, 317):
+            write_frame(handle, chunk)
+    container = tmp_path / "feed.trace.npz"
+    write_trace(trace, container, name="clifeed")
+    return trace, feed, container
+
+
+def _watermark_lines(capsys):
+    lines = [json.loads(line)
+             for line in capsys.readouterr().out.splitlines() if line]
+    for payload in lines:
+        assert set(payload) == LIVE_WATERMARK_SCHEMA
+        for summary in payload["results"].values():
+            assert LIVE_RESULT_SCHEMA <= set(summary)
+    return lines
+
+
+def test_live_run_feed_json_schema(capsys, tmp_path):
+    _, feed, _ = _live_fixture(tmp_path)
+    assert main(["live", "run", "--feed", str(feed)] + _LIVE_ARGS) == 0
+    lines = _watermark_lines(capsys)
+    assert [p["watermark"] for p in lines] == [1, 2]
+    assert [p["instructions"] for p in lines] == [1_000, 2_000]
+    for payload in lines:
+        assert set(payload["results"]) == {"SMARTS"}
+        assert payload["results"]["SMARTS"]["workload"] == "clifeed"
+
+
+def test_live_run_container_matches_feed(capsys, tmp_path):
+    _, feed, container = _live_fixture(tmp_path)
+    assert main(["live", "run", "--feed", str(feed)] + _LIVE_ARGS) == 0
+    from_feed = _watermark_lines(capsys)
+    assert main(["live", "run", "--container", str(container),
+                 "--chunk", "129"] + _LIVE_ARGS) == 0
+    from_container = _watermark_lines(capsys)
+    # Same prefix, different transport and chunking: identical output.
+    assert from_container == from_feed
+
+
+def test_live_tail_json_schema(capsys, tmp_path):
+    _, feed, container = _live_fixture(tmp_path)
+    assert main(["live", "run", "--feed", str(feed)] + _LIVE_ARGS) == 0
+    from_feed = _watermark_lines(capsys)
+    assert main(["live", "tail", str(container), "--poll", "0.01",
+                 "--idle-timeout", "0.1"] + _LIVE_ARGS) == 0
+    assert _watermark_lines(capsys) == from_feed
+
+
+def test_live_rejects_unknown_strategy(tmp_path):
+    _, feed, _ = _live_fixture(tmp_path)
+    with pytest.raises(SystemExit, match="unknown strategy"):
+        main(["live", "run", "--feed", str(feed), "--gap", "1000",
+              "--strategies", "Oracle"])
+
+
+def test_live_tail_requires_source(tmp_path):
+    with pytest.raises(SystemExit, match="container path"):
+        main(["live", "tail", "--gap", "1000"])
+
+
+def test_cache_watermark_views(capsys, tmp_path):
+    _, feed, _ = _live_fixture(tmp_path)
+    cache = tmp_path / "cache"
+    assert main(["live", "run", "--feed", str(feed),
+                 "--store", str(cache)] + _LIVE_ARGS) == 0
+    capsys.readouterr()
+    # stats: superseded watermark entries are counted...
+    assert main(["cache", "stats", "--dir", str(cache), "--json"]) == 0
+    stats = json.loads(capsys.readouterr().out)
+    assert stats["live_superseded"] == 2        # index + result at wm 1
+    # ...ls: every live entry names its lineage and watermark...
+    assert main(["cache", "ls", "--dir", str(cache), "--json"]) == 0
+    entries = json.loads(capsys.readouterr().out)
+    live = [e for e in entries if e["watermark"] is not None]
+    assert {e["watermark"] for e in live} == {1, 2}
+    assert len({e["lineage"] for e in live}) == 1
+    # ...gc: superseded entries are reclaimed, latest survives.
+    assert main(["cache", "gc", "--dir", str(cache), "--json"]) == 0
+    swept = json.loads(capsys.readouterr().out)
+    assert swept["superseded_removed"] == 2
+    assert swept["reclaimed_bytes"] > 0
+    assert main(["cache", "stats", "--dir", str(cache), "--json"]) == 0
+    assert json.loads(capsys.readouterr().out)["live_superseded"] == 0
+    assert main(["cache", "ls", "--dir", str(cache), "--json"]) == 0
+    remaining = [e for e in json.loads(capsys.readouterr().out)
+                 if e["watermark"] is not None]
+    assert {e["watermark"] for e in remaining} == {2}

@@ -131,3 +131,98 @@ def test_strided_engine_always_within_map(n_lines, stride, n):
     lines, pcs = engine.generate(child_rng(0, "t"), n)
     assert lines.shape == (n,) and pcs.shape == (n,)
     assert set(lines.tolist()) <= set(line_map(n_lines).tolist())
+
+
+# -- chunk-cursor contracts ----------------------------------------------------
+#
+# The primitive behind generate_chunks (and therefore every live feed):
+# chunk_cursor must make chunking unobservable, consume must advance the
+# RNG exactly as a real generate would, and fast_forward must land the
+# engine (stream state *and* RNG) exactly where the real call would.
+# Randomized chunk boundaries are the whole point — fixed splits keep
+# missing the off-by-one at run edges.
+
+ENGINE_FACTORIES = {
+    "uniform": lambda: UniformWorkingSetEngine(line_map(48), n_pcs=6),
+    "zipf": lambda: UniformWorkingSetEngine(line_map(64), n_pcs=4,
+                                            zipf_a=1.3),
+    "strided": lambda: StridedEngine(line_map(40), stride_lines=3,
+                                     n_pcs=4),
+    "sequential": lambda: SequentialEngine(line_map(17), n_pcs=3),
+    "chase": lambda: PointerChaseEngine(line_map(32),
+                                        child_rng(9, "perm"), n_pcs=4),
+    "mixture": lambda: MultiWorkingSetEngine([
+        WorkingSetComponent(
+            UniformWorkingSetEngine(line_map(32), n_pcs=4), 0.6),
+        WorkingSetComponent(
+            SequentialEngine(line_map(8, base=5000), n_pcs=2), 0.4,
+            pc_base=4),
+    ]),
+}
+
+
+@st.composite
+def _random_split(draw):
+    """(total, sizes) with sizes > 0 summing to total, cuts anywhere."""
+    total = draw(st.integers(1, 300))
+    cuts = draw(st.lists(st.integers(0, total), max_size=6))
+    edges = sorted({0, total, *cuts})
+    return total, [hi - lo for lo, hi in zip(edges[:-1], edges[1:])]
+
+
+def _probe(rng):
+    """Observable RNG position (identical iff the states are)."""
+    return rng.integers(0, 1 << 62, size=4).tolist()
+
+
+@pytest.mark.parametrize("kind", sorted(ENGINE_FACTORIES))
+@settings(max_examples=25, deadline=None)
+@given(split=_random_split())
+def test_chunk_cursor_split_invariant(kind, split):
+    total, sizes = split
+    factory = ENGINE_FACTORIES[kind]
+    ref_lines, ref_pcs = factory().generate(child_rng(3, kind), total)
+    cursor = factory().chunk_cursor(child_rng(3, kind), total)
+    parts = [cursor.take(n) for n in sizes]
+    lines = np.concatenate([p[0] for p in parts])
+    pcs = np.concatenate([p[1] for p in parts])
+    assert np.array_equal(lines, ref_lines), sizes
+    assert np.array_equal(pcs, ref_pcs), sizes
+
+
+@pytest.mark.parametrize("kind", sorted(ENGINE_FACTORIES))
+@settings(max_examples=10, deadline=None)
+@given(split=_random_split())
+def test_chunk_cursor_never_advances_caller_rng(kind, split):
+    total, sizes = split
+    rng = child_rng(5, kind)
+    cursor = ENGINE_FACTORIES[kind]().chunk_cursor(rng, total)
+    for n in sizes:
+        cursor.take(n)
+    assert _probe(rng) == _probe(child_rng(5, kind))
+
+
+@pytest.mark.parametrize("kind", sorted(ENGINE_FACTORIES))
+@settings(max_examples=25, deadline=None)
+@given(total=st.integers(1, 300))
+def test_consume_advances_rng_like_generate(kind, total):
+    factory = ENGINE_FACTORIES[kind]
+    r_gen, r_consume = child_rng(7, kind), child_rng(7, kind)
+    factory().generate(r_gen, total)
+    factory().consume(r_consume, total)
+    assert _probe(r_gen) == _probe(r_consume)
+
+
+@pytest.mark.parametrize("kind", sorted(ENGINE_FACTORIES))
+@settings(max_examples=25, deadline=None)
+@given(skip=st.integers(1, 200), tail=st.integers(1, 100))
+def test_fast_forward_lands_where_generate_would(kind, skip, tail):
+    factory = ENGINE_FACTORIES[kind]
+    engine_gen, engine_ff = factory(), factory()
+    r_gen, r_ff = child_rng(11, kind), child_rng(11, kind)
+    engine_gen.generate(r_gen, skip)
+    engine_ff.fast_forward(r_ff, skip)
+    lines_gen, pcs_gen = engine_gen.generate(r_gen, tail)
+    lines_ff, pcs_ff = engine_ff.generate(r_ff, tail)
+    assert np.array_equal(lines_ff, lines_gen)
+    assert np.array_equal(pcs_ff, pcs_gen)

@@ -295,14 +295,18 @@ class TestLocksAndConcurrency:
 
     def test_maintenance_waits_for_cross_process_reader(self, tmp_path):
         """`cache clear` blocks on another process's live mapped views."""
+        # Handshake instead of a fixed child sleep: the child holds its
+        # mapped views until the parent says so, so neither a slow parent
+        # (child gone before the lock probe) nor a slow child can race
+        # the assertions.
         script = textwrap.dedent("""
-            import sys, time
+            import sys
             from repro.store import ArtifactStore
             store = ArtifactStore(root=sys.argv[1], enabled=True)
             views = store.load_mapped({"k": "held"})
             assert views is not None
             print("mapped", flush=True)
-            time.sleep(0.6)
+            sys.stdin.readline()        # parent releases us explicitly
         """)
         store = ArtifactStore(root=tmp_path, enabled=True)
         store.save_arrays({"k": "held"},
@@ -310,6 +314,7 @@ class TestLocksAndConcurrency:
         env = dict(os.environ, REPRO_CACHE="on")
         child = subprocess.Popen([sys.executable, "-c", script,
                                   str(tmp_path)],
+                                 stdin=subprocess.PIPE,
                                  stdout=subprocess.PIPE, text=True, env=env)
         try:
             assert child.stdout.readline().strip() == "mapped"
@@ -317,6 +322,8 @@ class TestLocksAndConcurrency:
             # maintenance lock is unavailable ...
             assert store.disk._maintenance_lock(timeout=0.1) is None
             # ... and becomes available once the child exits
+            child.stdin.write("done\n")
+            child.stdin.close()
             child.wait(timeout=10)
             lock = store.disk._maintenance_lock(timeout=5.0)
             assert lock is not None
@@ -494,11 +501,14 @@ class TestResilientPool:
                                                baseline):
         monkeypatch.setenv("REPRO_TASK_TIMEOUT", "3")
         monkeypatch.setenv("REPRO_RETRY_BACKOFF", "0.01")
+        # The injected hang (120s) dwarfs the pass bound (60s): a healthy
+        # run finishes in seconds even on loaded CI, and a broken timeout
+        # path cannot sneak under the bound by scheduler luck.
         spec = (f"state={tmp_path / 'faults'};"
-                "pool.task:hang@seconds=60,times=1")
+                "pool.task:hang@seconds=120,times=1")
         start = time.monotonic()
         matrix, runner = chaos_matrix(tmp_path, spec)
-        assert time.monotonic() - start < 45    # did not sit out the hang
+        assert time.monotonic() - start < 60    # did not sit out the hang
         assert_identical(matrix, baseline)
         report = runner.last_matrix_report
         assert not report.failed

@@ -597,4 +597,4 @@ def test_cli_cache_gc_json(tmp_path, capsys, monkeypatch):
     assert main(["cache", "gc", "--json"]) == 0
     payload = json_module.loads(capsys.readouterr().out)
     assert payload == {"root": str(tmp_path), "removed": 0,
-                       "reclaimed_bytes": 0}
+                       "reclaimed_bytes": 0, "superseded_removed": 0}

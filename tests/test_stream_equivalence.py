@@ -24,6 +24,7 @@ The whole file runs under both kernel backends via the session-level
 import multiprocessing
 import os
 import resource
+import time
 
 import numpy as np
 import pytest
@@ -557,11 +558,18 @@ def _child_import_streamed(queue, workdir):
                "fingerprint": manifest["fingerprint"]})
 
 
+#: Hard ceiling for one measurement child (generous: the slowest child
+#: takes ~30s on an unloaded machine).  A child that blows it is killed
+#: and reported loudly instead of hanging the suite forever.
+MEASURE_DEADLINE_SECONDS = 540
+
+
 def _measure(target, workdir):
     context = multiprocessing.get_context("spawn")
     queue = context.Queue()
     process = context.Process(target=target, args=(queue, str(workdir)))
     process.start()
+    deadline = time.monotonic() + MEASURE_DEADLINE_SECONDS
     payload = None
     while payload is None:
         try:
@@ -572,6 +580,12 @@ def _measure(target, workdir):
                 raise RuntimeError(
                     f"{target.__name__} exited {process.exitcode} "
                     "without a payload") from None
+            if time.monotonic() >= deadline:
+                process.kill()
+                process.join()
+                raise RuntimeError(
+                    f"{target.__name__} still running after "
+                    f"{MEASURE_DEADLINE_SECONDS}s; killed") from None
     process.join()
     assert process.exitcode == 0, target.__name__
     return payload

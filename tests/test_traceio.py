@@ -25,7 +25,7 @@ from repro.sampling.smarts import Smarts
 from repro.sampling.plan import SamplingPlan
 from repro.store import ArtifactStore
 from repro.trace.phases import PhaseSpec, build_trace
-from repro.trace.record import Kind, Trace
+from repro.trace.record import Kind, Trace, trace_from_chunks
 from repro.trace.engines import (
     MultiWorkingSetEngine,
     PointerChaseEngine,
@@ -779,3 +779,139 @@ class TestStreamingExecutionCore:
         assert "leak-a.trace.npz" not in maps
         assert "leak-b.trace.npz" not in maps
         assert ".blob" not in maps
+
+
+# -- tailing an appended container --------------------------------------------
+
+
+class _FakeTime:
+    """Deterministic clock/sleep pair for tail_chunks: time only moves
+    when the reader sleeps, and scheduled actions fire on exact poll
+    counts — no wall-clock racing, ever."""
+
+    def __init__(self):
+        self.now = 0.0
+        self.sleeps = 0
+        self.actions = {}          # poll count -> callable
+
+    def clock(self):
+        return self.now
+
+    def sleep(self, seconds):
+        self.sleeps += 1
+        self.now += seconds
+        action = self.actions.pop(self.sleeps, None)
+        if action is not None:
+            action()
+
+
+class TestTailReader:
+    """Resume/refresh/tail semantics over an atomically republished
+    container (the ``live tail`` transport)."""
+
+    def _publish_prefix(self, tmp_path, full, n):
+        from repro.live import prefix_trace
+        path = tmp_path / "feed.trace.npz"
+        write_trace(prefix_trace(full, n, name=full.name), path)
+        return path
+
+    def test_resume_skips_consumed_prefix(self, tmp_path):
+        full = random_trace(21)
+        cut = 3_000
+        path = self._publish_prefix(tmp_path, full, cut)
+        reader = TraceReader(path)
+        first = list(reader.iter_chunks(chunk_instructions=1_024))
+        assert first[-1].instr_hi == cut
+        # The producer atomically republishes a longer generation...
+        write_trace(full, path)
+        reader.refresh()
+        rest = list(reader.iter_chunks(chunk_instructions=1_024,
+                                       instr_lo=cut))
+        assert rest[0].instr_lo == cut
+        assert rest[-1].instr_hi == full.n_instructions
+        rebuilt = trace_from_chunks(first + rest, name=full.name)
+        assert_traces_identical(rebuilt, full, "resumed tail")
+
+    def test_resume_at_exact_tail_yields_nothing(self, tmp_path):
+        full = random_trace(22)
+        path = self._publish_prefix(tmp_path, full, full.n_instructions)
+        reader = TraceReader(path)
+        n = full.n_instructions
+        assert list(reader.iter_chunks(instr_lo=n)) == []
+
+    def test_resume_beyond_tail_is_loud(self, tmp_path):
+        full = random_trace(23)
+        path = self._publish_prefix(tmp_path, full, 2_000)
+        reader = TraceReader(path)
+        with pytest.raises(ValueError, match="stale generation"):
+            list(reader.iter_chunks(instr_lo=2_001))
+        with pytest.raises(ValueError):
+            list(reader.iter_chunks(instr_lo=-1))
+
+    def test_tail_follows_republished_container(self, tmp_path):
+        full = random_trace(24)
+        cut = 3_000
+        path = self._publish_prefix(tmp_path, full, cut)
+        fake = _FakeTime()
+        # Republish the full trace on the third poll.
+        fake.actions[3] = lambda: write_trace(full, path)
+        reader = TraceReader(path)
+        chunks = list(reader.tail_chunks(chunk_instructions=1_024,
+                                         poll_interval=0.5,
+                                         idle_timeout=2.0,
+                                         clock=fake.clock,
+                                         sleep=fake.sleep))
+        rebuilt = trace_from_chunks(chunks, name=full.name)
+        assert_traces_identical(rebuilt, full, "tailed")
+        # ...and the idle deadline was reset by the growth: without the
+        # reset the 2.0s timeout (deadline 2.0) would stop at poll 4;
+        # the suffix at poll 3 pushes it to 1.5 + 2.0 = 3.5 → poll 7.
+        assert fake.sleeps == 7
+
+    def test_tail_idle_timeout_is_deterministic(self, tmp_path):
+        full = random_trace(25)
+        path = self._publish_prefix(tmp_path, full, 2_000)
+        fake = _FakeTime()
+        reader = TraceReader(path)
+        chunks = list(reader.tail_chunks(chunk_instructions=1_024,
+                                         poll_interval=0.5,
+                                         idle_timeout=2.0,
+                                         clock=fake.clock,
+                                         sleep=fake.sleep))
+        assert chunks[-1].instr_hi == 2_000
+        # deadline = first idle check + 2.0s, checked before each
+        # 0.5s poll: the fake clock pins the count exactly.
+        assert fake.sleeps == 4
+
+    def test_tail_retries_through_torn_republish(self, tmp_path):
+        full = random_trace(26)
+        cut = 3_000
+        path = self._publish_prefix(tmp_path, full, cut)
+        sidecar = manifest_path(path)
+        stale_manifest = sidecar.read_bytes() if hasattr(sidecar, "read_bytes") \
+            else open(sidecar, "rb").read()
+
+        def tear():
+            # New npz paired with the *old* generation's sidecar — the
+            # torn state a crash mid-replace leaves behind.
+            write_trace(full, path)
+            good = open(manifest_path(path), "rb").read()
+            with open(manifest_path(path), "wb") as handle:
+                handle.write(stale_manifest)
+            self._good_manifest = good
+
+        def heal():
+            with open(manifest_path(path), "wb") as handle:
+                handle.write(self._good_manifest)
+
+        fake = _FakeTime()
+        fake.actions[2] = tear
+        fake.actions[4] = heal
+        reader = TraceReader(path)
+        chunks = list(reader.tail_chunks(chunk_instructions=1_024,
+                                         poll_interval=0.5,
+                                         idle_timeout=3.0,
+                                         clock=fake.clock,
+                                         sleep=fake.sleep))
+        rebuilt = trace_from_chunks(chunks, name=full.name)
+        assert_traces_identical(rebuilt, full, "healed tail")
